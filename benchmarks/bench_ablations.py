@@ -1,0 +1,48 @@
+"""Ablation benchmarks supporting the design choices documented in DESIGN.md.
+
+These are not figures from the paper; they sweep the knobs the paper fixes
+(upset rate, area budget OV1, L1' correction strength, drain latency) and
+record how the optimum chunk size and its overheads move, so a downstream
+user can re-derive the operating point for their own platform.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    ablation_area_budget,
+    ablation_correction_strength,
+    ablation_drain_latency,
+    ablation_error_rate,
+)
+
+
+def test_ablation_error_rate(benchmark, save_result):
+    result = benchmark.pedantic(ablation_error_rate, rounds=1, iterations=1)
+    save_result("ablation_error_rate", result.render())
+    chunks = [row[1] for row in result.rows()]
+    # Higher upset rates shrink the optimum chunk (recomputation dominates).
+    assert chunks[0] >= chunks[-1]
+
+
+def test_ablation_area_budget(benchmark, save_result):
+    result = benchmark.pedantic(ablation_area_budget, rounds=1, iterations=1)
+    save_result("ablation_area_budget", result.render())
+    max_chunks = [row[1] for row in result.rows()]
+    # A looser area budget always admits at least as large a buffer.
+    assert all(later >= earlier for earlier, later in zip(max_chunks, max_chunks[1:]))
+
+
+def test_ablation_correction_strength(benchmark, save_result):
+    result = benchmark.pedantic(ablation_correction_strength, rounds=1, iterations=1)
+    save_result("ablation_correction_strength", result.render())
+    areas = [float(row[2].rstrip("%")) for row in result.rows()]
+    # Stronger L1' codes cost more area for the same optimum-sized buffer.
+    assert areas[-1] > areas[0]
+
+
+def test_ablation_drain_latency(benchmark, save_result):
+    result = benchmark.pedantic(ablation_drain_latency, rounds=1, iterations=1)
+    save_result("ablation_drain_latency", result.render())
+    errs = [float(row[2]) for row in result.rows()]
+    # Longer exposure windows mean more expected faulty chunks.
+    assert errs == sorted(errs)

@@ -1,0 +1,27 @@
+"""Benchmark regenerating Fig. 4: feasible chunk sizes vs correctable bits.
+
+The paper's figure sweeps protected-buffer sizes from 1 to ~512 words and
+ECC strengths from 1 to 18 correctable bits per word under the 5 % area
+budget of the 64 KB L1.  The reproduced boundary must be a non-increasing
+staircase: larger buffers can only afford weaker codes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig4_feasible_region
+
+
+def test_fig4_feasible_region(benchmark, save_result):
+    result = benchmark.pedantic(fig4_feasible_region, rounds=1, iterations=1)
+    save_result("fig4_feasible_region", result.render())
+
+    boundary = result.series()
+    # Shape checks mirroring the published figure.
+    assert boundary[1] >= 10, "a one-word buffer affords a strong (>=10-bit) code"
+    assert boundary[max(boundary)] <= 6, "a ~512-word buffer only affords a weak code"
+    bits = [boundary[c] for c in sorted(boundary)]
+    assert all(b2 <= b1 for b1, b2 in zip(bits, bits[1:])), "boundary must be non-increasing"
+    # The proposal's own operating points (Table I sizes, 4-bit correction)
+    # all lie inside the feasible region.
+    for chunk in (11, 16, 32, 44):
+        assert boundary[chunk] >= 4

@@ -1,0 +1,33 @@
+"""Benchmark regenerating Table I: optimum protected-buffer size per benchmark.
+
+Runs the Eq. 3–7 optimizer for the five MediaBench-class workloads at the
+paper's operating point (OV1 = 5 %, OV2 = 10 %, 1e-6 upsets/word/cycle).
+Absolute sizes depend on the synthetic inputs (see EXPERIMENTS.md), so the
+assertions check the shape: optima in the tens of words, all constraints
+honoured, JPEG needing the largest buffer and G.721 decode needing more
+than G.721 encode.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import table1_optimal_chunks
+
+
+def test_table1_optimal_chunks(benchmark, save_result):
+    result = benchmark.pedantic(table1_optimal_chunks, rounds=1, iterations=1)
+    save_result("table1_optimal_chunks", result.render())
+
+    rows = result.rows_by_app
+    assert set(rows) == {
+        "adpcm-encode",
+        "adpcm-decode",
+        "g721-encode",
+        "g721-decode",
+        "jpeg-decode",
+    }
+    for row in rows.values():
+        assert 4 <= row.chunk_words <= 128, f"{row.application}: optimum not in the tens of words"
+        assert row.area_fraction <= result.constraints.area_overhead
+        assert row.predicted_cycle_overhead <= result.constraints.cycle_overhead + 1e-9
+    assert rows["jpeg-decode"].chunk_words == max(r.chunk_words for r in rows.values())
+    assert rows["g721-decode"].chunk_words > rows["g721-encode"].chunk_words

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures; the rendered
+text table is both printed (visible with ``pytest -s``) and written to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference the exact
+output of the last run.
+
+The behavioural Fig. 5 simulation is shared between the energy and timing
+benchmarks through a session-scoped cache so the expensive runs happen once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Return a callable persisting a rendered table under benchmarks/results/."""
+
+    def _save(name: str, text: str) -> Path:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def fig5_cache():
+    """Mutable session cache so the Fig. 5 runs are shared with the timing bench."""
+    return {}
+
+
+#: Seeds used by the behavioural (fault-injection) benchmarks.
+BENCH_SEEDS = (0, 1, 2, 3, 4)

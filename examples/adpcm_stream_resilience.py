@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Streaming-audio resilience demo: ADPCM frames under all four schemes.
+
+Simulates a multi-frame ADPCM encoding stream (the paper's periodic-task
+setting) and compares the Default, SW-restart, HW-ECC and hybrid
+configurations on the same fault streams.  For every configuration it
+reports averaged energy, execution-time overhead, recovery activity and —
+most importantly — whether the decoded audio the consumer receives is
+bit-exact.
+
+Run with:  python examples/adpcm_stream_resilience.py [--frames N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+
+from repro.apps.adpcm import AdpcmEncodeApp
+from repro.core import (
+    DefaultStrategy,
+    HwMitigationStrategy,
+    HybridStrategy,
+    PAPER_OPERATING_POINT,
+    SwMitigationStrategy,
+    optimize_chunk_size,
+)
+from repro.runtime import run_task
+
+
+def run_stream(frames: int) -> None:
+    app = AdpcmEncodeApp(frame_samples=1600)
+    # Elevated upset rate so a short demo exercises every recovery path.
+    constraints = PAPER_OPERATING_POINT.with_overrides(error_rate=5e-6)
+
+    optimization = optimize_chunk_size(app, constraints)
+    print(f"Optimized chunk size for {app.name}: {optimization.chunk_words} words "
+          f"({optimization.num_checkpoints} checkpoints per frame)\n")
+
+    strategies = [
+        DefaultStrategy(constraints),
+        SwMitigationStrategy(constraints),
+        HwMitigationStrategy(constraints),
+        HybridStrategy(
+            optimization.chunk_words, constraints, extra_buffer_words=app.state_words()
+        ),
+    ]
+
+    header = (
+        f"{'configuration':<18s} {'rel.energy':>10s} {'rel.time':>9s} "
+        f"{'rollbacks':>9s} {'restarts':>8s} {'frames ok':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    baseline_energy: dict[int, float] = {}
+    baseline_cycles: dict[int, float] = {}
+    for strategy in strategies:
+        energies, times, rollbacks, restarts, correct = [], [], 0, 0, 0
+        for frame in range(frames):
+            result = run_task(app, strategy, constraints=constraints, seed=frame)
+            stats = result.stats
+            if strategy.name == "default":
+                baseline_energy[frame] = stats.total_energy_pj
+                baseline_cycles[frame] = stats.total_cycles
+            energies.append(stats.total_energy_pj / baseline_energy[frame])
+            times.append(stats.total_cycles / baseline_cycles[frame])
+            rollbacks += stats.rollbacks
+            restarts += stats.task_restarts
+            correct += stats.fully_mitigated
+        print(
+            f"{strategy.name:<18s} {statistics.fmean(energies):>10.3f} "
+            f"{statistics.fmean(times):>9.3f} {rollbacks:>9d} {restarts:>8d} "
+            f"{correct:>6d}/{frames}"
+        )
+
+    print(
+        "\nThe hybrid scheme keeps every frame bit-exact at a few percent of"
+        " extra energy, while full HW protection roughly doubles the energy"
+        " and SW restarts pay for whole re-executions."
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=8, help="number of streamed frames")
+    args = parser.parse_args()
+    run_stream(max(1, args.frames))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without PEP 517 editable-install support.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-use-pep517`` (and plain ``python setup.py
+develop``) keep working on offline machines whose setuptools/pip stacks
+lack the ``wheel`` package required for PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — reproduction of the DATE 2012 hybrid HW-SW intermittent-error
+mitigation scheme for streaming-based embedded systems.
+
+The package is organized as:
+
+* :mod:`repro.memmodel` — analytical SRAM model (CACTI substitute);
+* :mod:`repro.ecc` — error-correcting codes and their circuitry overheads;
+* :mod:`repro.faults` — SSU/SMU fault models, rate-based injection, campaigns;
+* :mod:`repro.soc` — behavioural SoC platform (processor, memories, bus,
+  interrupts, energy accounting);
+* :mod:`repro.apps` — MediaBench-class streaming workloads (ADPCM, G.721,
+  JPEG) and synthetic input generators;
+* :mod:`repro.core` — the paper's contribution: chunked checkpointing,
+  cost model, chunk-size optimizer, feasibility analysis, strategies;
+* :mod:`repro.runtime` — the execution engine tying it all together;
+* :mod:`repro.analysis` — harnesses regenerating every table and figure.
+
+Quickstart
+----------
+>>> from repro.apps import get_application
+>>> from repro.core import optimize_chunk_size, HybridStrategy
+>>> from repro.runtime import run_task
+>>> app = get_application("adpcm-encode")
+>>> opt = optimize_chunk_size(app)
+>>> result = run_task(app, HybridStrategy(opt.chunk_words))
+>>> result.stats.fully_mitigated
+True
+"""
+
+from .core import (
+    DesignConstraints,
+    HybridStrategy,
+    PAPER_OPERATING_POINT,
+    optimize_chunk_size,
+)
+from .runtime import TaskExecutor, run_task
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignConstraints",
+    "HybridStrategy",
+    "PAPER_OPERATING_POINT",
+    "optimize_chunk_size",
+    "TaskExecutor",
+    "run_task",
+    "__version__",
+]

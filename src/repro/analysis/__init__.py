@@ -1,0 +1,46 @@
+"""Experiment harnesses and reporting utilities.
+
+Each function in :mod:`repro.analysis.experiments` regenerates one of the
+paper's tables or figures (see DESIGN.md's per-experiment index);
+:mod:`repro.analysis.tables` renders the results as text tables and
+:mod:`repro.analysis.paper_data` holds the paper's reference numbers.
+"""
+
+from .experiments import (
+    AblationResult,
+    Fig4Result,
+    Fig5Result,
+    StrategyOutcome,
+    Table1Result,
+    Table1Row,
+    TimingResult,
+    ablation_area_budget,
+    ablation_correction_strength,
+    ablation_drain_latency,
+    ablation_error_rate,
+    fig4_feasible_region,
+    fig5_energy,
+    table1_optimal_chunks,
+    timing_overhead,
+)
+from .tables import render_markdown_table, render_table
+
+__all__ = [
+    "AblationResult",
+    "Fig4Result",
+    "Fig5Result",
+    "StrategyOutcome",
+    "Table1Result",
+    "Table1Row",
+    "TimingResult",
+    "ablation_area_budget",
+    "ablation_correction_strength",
+    "ablation_drain_latency",
+    "ablation_error_rate",
+    "fig4_feasible_region",
+    "fig5_energy",
+    "table1_optimal_chunks",
+    "timing_overhead",
+    "render_markdown_table",
+    "render_table",
+]

@@ -1,0 +1,71 @@
+"""Reference numbers reported by the paper, for side-by-side comparison.
+
+Table I is quoted exactly; the Fig. 5 bars are approximate values read off
+the published figure (the paper gives the exact statistics only for the
+proposed scheme: 10.1 % average and 22 % maximum energy overhead).  The
+experiment harnesses print these next to the reproduced numbers, and the
+tests only assert the *shape* relations the paper states in its text.
+"""
+
+from __future__ import annotations
+
+#: Table I — optimum protected-buffer size (words) per benchmark.
+PAPER_TABLE1_OPTIMUM_WORDS: dict[str, int] = {
+    "adpcm-encode": 11,
+    "adpcm-decode": 11,
+    "g721-encode": 16,
+    "g721-decode": 32,
+    "jpeg-decode": 44,
+}
+
+#: Fig. 5 — normalized energy consumption (Default = 1.0), approximate
+#: values read off the published bar chart.
+PAPER_FIG5_NORMALIZED_ENERGY: dict[str, dict[str, float]] = {
+    "adpcm-decode": {
+        "default": 1.0,
+        "sw-mitigation": 1.75,
+        "hw-mitigation": 1.8,
+        "hybrid-optimal": 1.05,
+        "hybrid-suboptimal": 1.15,
+    },
+    "adpcm-encode": {
+        "default": 1.0,
+        "sw-mitigation": 1.75,
+        "hw-mitigation": 1.8,
+        "hybrid-optimal": 1.06,
+        "hybrid-suboptimal": 1.16,
+    },
+    "jpeg-decode": {
+        "default": 1.0,
+        "sw-mitigation": 2.3,
+        "hw-mitigation": 2.0,
+        "hybrid-optimal": 1.22,
+        "hybrid-suboptimal": 1.35,
+    },
+    "g721-decode": {
+        "default": 1.0,
+        "sw-mitigation": 1.9,
+        "hw-mitigation": 1.75,
+        "hybrid-optimal": 1.1,
+        "hybrid-suboptimal": 1.2,
+    },
+    "g721-encode": {
+        "default": 1.0,
+        "sw-mitigation": 1.85,
+        "hw-mitigation": 1.75,
+        "hybrid-optimal": 1.08,
+        "hybrid-suboptimal": 1.18,
+    },
+}
+
+#: Headline statistics stated in the paper's text.
+PAPER_PROPOSED_AVG_ENERGY_OVERHEAD = 0.101
+PAPER_PROPOSED_MAX_ENERGY_OVERHEAD = 0.22
+PAPER_BASELINE_MIN_ENERGY_OVERHEAD = 0.70   # HW / SW average exceeds this
+PAPER_BASELINE_MAX_ENERGY_OVERHEAD = 1.00   # HW / SW maximum exceeds this
+PAPER_AREA_BUDGET = 0.05
+PAPER_CYCLE_BUDGET = 0.10
+
+#: Fig. 4 axis ranges: chunk sizes 1..~512 words, 1..18 correctable bits.
+PAPER_FIG4_MAX_CHUNK_WORDS = 512
+PAPER_FIG4_MAX_CORRECTABLE_BITS = 18

@@ -1,0 +1,51 @@
+"""Streaming workloads: MediaBench-class codecs and synthetic data generators."""
+
+from .adpcm import AdpcmDecodeApp, AdpcmEncodeApp, AdpcmState
+from .base import (
+    AppCharacterization,
+    StepResult,
+    StreamingApplication,
+    pack_bytes_to_words,
+    pack_samples_to_words,
+    unpack_words_to_samples,
+)
+from .datagen import flat_image, natural_image, speech_like_pcm, tonal_pcm
+from .g721 import G721DecodeApp, G721EncodeApp, G721State
+from .jpeg import EncodedImage, JpegDecodeApp, decode_image, encode_image
+from .registry import (
+    PAPER_BENCHMARK_ORDER,
+    available_applications,
+    canonical_name,
+    get_application,
+    paper_benchmarks,
+    register_application,
+)
+
+__all__ = [
+    "AdpcmDecodeApp",
+    "AdpcmEncodeApp",
+    "AdpcmState",
+    "AppCharacterization",
+    "StepResult",
+    "StreamingApplication",
+    "pack_bytes_to_words",
+    "pack_samples_to_words",
+    "unpack_words_to_samples",
+    "flat_image",
+    "natural_image",
+    "speech_like_pcm",
+    "tonal_pcm",
+    "G721DecodeApp",
+    "G721EncodeApp",
+    "G721State",
+    "EncodedImage",
+    "JpegDecodeApp",
+    "decode_image",
+    "encode_image",
+    "PAPER_BENCHMARK_ORDER",
+    "available_applications",
+    "canonical_name",
+    "get_application",
+    "paper_benchmarks",
+    "register_application",
+]

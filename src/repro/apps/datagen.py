@@ -1,0 +1,103 @@
+"""Synthetic input generators standing in for the MediaBench reference inputs.
+
+The MediaBench suite ships speech recordings (``clinton.pcm``) and
+photographic images that we cannot redistribute.  The generators below
+produce inputs with the same structural properties the codecs care about:
+
+* PCM speech-like audio: a sum of low-frequency harmonics with slowly
+  varying amplitude plus band-limited noise, 16-bit signed samples at
+  8 kHz.  ADPCM-class coders exercise their step-size adaptation on
+  exactly this kind of signal.
+* Natural-image-like blocks: smooth gradients plus low-frequency texture
+  and mild noise, 8-bit grey-scale, so JPEG DCT blocks contain the usual
+  mix of significant low-frequency and sparse high-frequency coefficients.
+
+All generators take an explicit seed and are deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..utils.rng import make_rng
+
+
+def speech_like_pcm(
+    num_samples: int,
+    seed: int = 0,
+    sample_rate_hz: float = 8000.0,
+    amplitude: int = 12000,
+) -> list[int]:
+    """Generate ``num_samples`` of 16-bit speech-like PCM audio.
+
+    The signal mixes a fundamental whose frequency drifts within the
+    typical voiced-speech range (100–300 Hz), two harmonics, a slow
+    amplitude envelope (syllable rhythm) and white noise at roughly
+    -20 dB relative to the carrier.
+    """
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    rng = make_rng(seed)
+    t = np.arange(num_samples) / sample_rate_hz
+    f0 = 140.0 + 60.0 * np.sin(2 * math.pi * 1.3 * t + rng.uniform(0, 2 * math.pi))
+    phase = 2 * math.pi * np.cumsum(f0) / sample_rate_hz
+    envelope = 0.55 + 0.45 * np.sin(2 * math.pi * 2.1 * t + rng.uniform(0, 2 * math.pi))
+    signal = (
+        0.7 * np.sin(phase)
+        + 0.2 * np.sin(2 * phase + 0.3)
+        + 0.1 * np.sin(3 * phase + 1.1)
+    )
+    noise = rng.normal(0.0, 0.05, size=num_samples)
+    samples = amplitude * envelope * signal + amplitude * noise
+    clipped = np.clip(samples, -32768, 32767).astype(np.int64)
+    return [int(v) for v in clipped]
+
+
+def tonal_pcm(num_samples: int, frequency_hz: float = 440.0, amplitude: int = 8000,
+              sample_rate_hz: float = 8000.0) -> list[int]:
+    """Deterministic pure-tone PCM, handy for small unit tests."""
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    t = np.arange(num_samples) / sample_rate_hz
+    samples = amplitude * np.sin(2 * math.pi * frequency_hz * t)
+    return [int(v) for v in np.clip(samples, -32768, 32767).astype(np.int64)]
+
+
+def natural_image(width: int = 64, height: int = 64, seed: int = 0) -> np.ndarray:
+    """Generate a grey-scale image with natural-image-like statistics.
+
+    Returns a ``(height, width)`` uint8 array.  Both dimensions must be
+    multiples of 8 so the JPEG-class codec can tile it into 8x8 blocks.
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("width and height must be positive")
+    if width % 8 or height % 8:
+        raise ValueError("width and height must be multiples of 8")
+    rng = make_rng(seed)
+    y, x = np.mgrid[0:height, 0:width].astype(float)
+    gradient = 90.0 + 60.0 * (x / max(1, width - 1)) + 30.0 * (y / max(1, height - 1))
+    texture = (
+        25.0 * np.sin(2 * math.pi * x / 17.0 + rng.uniform(0, 2 * math.pi))
+        + 18.0 * np.cos(2 * math.pi * y / 23.0 + rng.uniform(0, 2 * math.pi))
+        + 12.0 * np.sin(2 * math.pi * (x + y) / 31.0)
+    )
+    blobs = np.zeros_like(gradient)
+    for _ in range(6):
+        cx, cy = rng.uniform(0, width), rng.uniform(0, height)
+        sigma = rng.uniform(width / 10.0, width / 4.0)
+        strength = rng.uniform(-35.0, 35.0)
+        blobs += strength * np.exp(-(((x - cx) ** 2 + (y - cy) ** 2) / (2 * sigma**2)))
+    noise = rng.normal(0.0, 2.5, size=gradient.shape)
+    image = gradient + texture + blobs + noise
+    return np.clip(image, 0, 255).astype(np.uint8)
+
+
+def flat_image(width: int = 16, height: int = 16, value: int = 128) -> np.ndarray:
+    """Uniform grey image, handy for exercising degenerate DCT blocks."""
+    if width % 8 or height % 8:
+        raise ValueError("width and height must be multiples of 8")
+    if not 0 <= value <= 255:
+        raise ValueError("value must be an 8-bit intensity")
+    return np.full((height, width), value, dtype=np.uint8)

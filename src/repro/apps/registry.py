@@ -1,0 +1,80 @@
+"""Registry of the benchmark applications used in the paper's evaluation.
+
+The five MediaBench workloads of Table I / Fig. 5 are registered under
+their paper names.  :func:`get_application` builds fresh instances so
+experiments never share mutable state, and :func:`paper_benchmarks`
+returns them in the order the paper's tables use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .adpcm import AdpcmDecodeApp, AdpcmEncodeApp
+from .base import StreamingApplication
+from .g721 import G721DecodeApp, G721EncodeApp
+from .jpeg import JpegDecodeApp
+
+#: Factories for every registered application, keyed by canonical name.
+_REGISTRY: dict[str, Callable[[], StreamingApplication]] = {
+    "adpcm-encode": AdpcmEncodeApp,
+    "adpcm-decode": AdpcmDecodeApp,
+    "g721-encode": G721EncodeApp,
+    "g721-decode": G721DecodeApp,
+    "jpeg-decode": JpegDecodeApp,
+}
+
+#: Mapping from the names used in the paper's tables to canonical names.
+_ALIASES: dict[str, str] = {
+    "adpcm encode": "adpcm-encode",
+    "adpcm decode": "adpcm-decode",
+    "g721 encode": "g721-encode",
+    "g721 decode": "g721-decode",
+    "jpg decode": "jpeg-decode",
+    "jpeg decode": "jpeg-decode",
+}
+
+#: Order in which the paper's tables and figures list the benchmarks.
+PAPER_BENCHMARK_ORDER: tuple[str, ...] = (
+    "adpcm-decode",
+    "adpcm-encode",
+    "jpeg-decode",
+    "g721-decode",
+    "g721-encode",
+)
+
+
+def canonical_name(name: str) -> str:
+    """Resolve a benchmark name or paper alias to its canonical form."""
+    key = name.strip().lower()
+    if key in _REGISTRY:
+        return key
+    if key in _ALIASES:
+        return _ALIASES[key]
+    known = ", ".join(sorted(_REGISTRY))
+    raise KeyError(f"unknown application {name!r}; known applications: {known}")
+
+
+def get_application(name: str) -> StreamingApplication:
+    """Instantiate a registered application by name or paper alias."""
+    return _REGISTRY[canonical_name(name)]()
+
+
+def available_applications() -> list[str]:
+    """Canonical names of all registered applications."""
+    return sorted(_REGISTRY)
+
+
+def paper_benchmarks() -> list[StreamingApplication]:
+    """Fresh instances of the five paper benchmarks, in paper order."""
+    return [get_application(name) for name in PAPER_BENCHMARK_ORDER]
+
+
+def register_application(name: str, factory: Callable[[], StreamingApplication]) -> None:
+    """Register a custom application factory (for extensions and tests)."""
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("application name must not be empty")
+    if key in _REGISTRY:
+        raise ValueError(f"application {key!r} is already registered")
+    _REGISTRY[key] = factory

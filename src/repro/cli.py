@@ -1,0 +1,105 @@
+"""Command-line front-end: ``repro-experiments``.
+
+Regenerates the paper's tables and figures from the terminal::
+
+    repro-experiments fig4
+    repro-experiments table1
+    repro-experiments fig5 --seeds 0 1 2
+    repro-experiments timing
+    repro-experiments ablations
+    repro-experiments all
+
+The same harness functions back the pytest benchmarks; the CLI exists so a
+user can reproduce individual artefacts without invoking pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    ablation_area_budget,
+    ablation_correction_strength,
+    ablation_drain_latency,
+    ablation_error_rate,
+    fig4_feasible_region,
+    fig5_energy,
+    table1_optimal_chunks,
+    timing_overhead,
+)
+from .core.config import PAPER_OPERATING_POINT
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of the DATE 2012 hybrid "
+        "HW-SW intermittent error mitigation paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["fig4", "table1", "fig5", "timing", "ablations", "all"],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[0, 1, 2],
+        help="fault-injection seeds for the behavioural experiments (fig5/timing)",
+    )
+    parser.add_argument(
+        "--error-rate",
+        type=float,
+        default=PAPER_OPERATING_POINT.error_rate,
+        help="upset rate per word per cycle (default: the paper's 1e-6)",
+    )
+    parser.add_argument(
+        "--area-budget",
+        type=float,
+        default=PAPER_OPERATING_POINT.area_overhead,
+        help="affordable area overhead OV1 (default: 0.05)",
+    )
+    parser.add_argument(
+        "--cycle-budget",
+        type=float,
+        default=PAPER_OPERATING_POINT.cycle_overhead,
+        help="affordable cycle overhead OV2 (default: 0.10)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point used by the ``repro-experiments`` console script."""
+    args = _build_parser().parse_args(argv)
+    constraints = PAPER_OPERATING_POINT.with_overrides(
+        error_rate=args.error_rate,
+        area_overhead=args.area_budget,
+        cycle_overhead=args.cycle_budget,
+    )
+    seeds = tuple(args.seeds)
+
+    sections: list[str] = []
+    if args.experiment in ("fig4", "all"):
+        sections.append(fig4_feasible_region(constraints).render())
+    if args.experiment in ("table1", "all"):
+        sections.append(table1_optimal_chunks(constraints).render())
+    if args.experiment in ("fig5", "timing", "all"):
+        fig5 = fig5_energy(constraints, seeds=seeds)
+        if args.experiment in ("fig5", "all"):
+            sections.append(fig5.render())
+        if args.experiment in ("timing", "all"):
+            sections.append(timing_overhead(fig5=fig5).render())
+    if args.experiment in ("ablations", "all"):
+        sections.append(ablation_error_rate(constraints=constraints).render())
+        sections.append(ablation_area_budget(constraints=constraints).render())
+        sections.append(ablation_correction_strength(constraints=constraints).render())
+        sections.append(ablation_drain_latency(constraints=constraints).render())
+
+    print("\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

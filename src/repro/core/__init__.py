@@ -1,0 +1,56 @@
+"""The paper's primary contribution: chunked checkpoint/rollback mitigation.
+
+Public API: design constraints, chunking / checkpoint schedules, the
+analytical cost model (Eq. 1–2), the chunk-size optimizer (Eq. 3–7), the
+Fig. 4 feasibility analysis and the mitigation strategies compared in
+Fig. 5.
+"""
+
+from .chunking import (
+    CheckpointSchedule,
+    Phase,
+    plan_schedule,
+    plan_schedule_from_profile,
+    profile_step_outputs,
+    uniform_schedule,
+)
+from .config import PAPER_OPERATING_POINT, DesignConstraints
+from .cost_model import CostBreakdown, MitigationCostModel, PlatformCostParameters
+from .feasibility import FeasiblePoint, FeasibleRegion, feasible_region
+from .optimizer import ChunkSizeOptimizer, OptimizationResult, optimize_chunk_size
+from .strategies import (
+    DefaultStrategy,
+    HwMitigationStrategy,
+    HybridStrategy,
+    MitigationStrategy,
+    RecoveryPolicy,
+    SwMitigationStrategy,
+    paper_strategies,
+)
+
+__all__ = [
+    "CheckpointSchedule",
+    "Phase",
+    "plan_schedule",
+    "plan_schedule_from_profile",
+    "profile_step_outputs",
+    "uniform_schedule",
+    "PAPER_OPERATING_POINT",
+    "DesignConstraints",
+    "CostBreakdown",
+    "MitigationCostModel",
+    "PlatformCostParameters",
+    "FeasiblePoint",
+    "FeasibleRegion",
+    "feasible_region",
+    "ChunkSizeOptimizer",
+    "OptimizationResult",
+    "optimize_chunk_size",
+    "DefaultStrategy",
+    "HwMitigationStrategy",
+    "HybridStrategy",
+    "MitigationStrategy",
+    "RecoveryPolicy",
+    "SwMitigationStrategy",
+    "paper_strategies",
+]

@@ -1,0 +1,158 @@
+"""Data chunking and checkpoint scheduling.
+
+The proposal divides a task's produced data into *chunks* of ``S_CH``
+words and inserts a *checkpoint* after each chunk (Fig. 1 of the paper).
+Because the runtime can only commit at streaming-step boundaries, a
+:class:`CheckpointSchedule` maps the abstract ``(S_CH, N_CH)`` pair onto
+concrete step ranges, each annotated with the number of output words it
+produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.base import AppCharacterization, StreamingApplication
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One computation phase: the steps between two consecutive checkpoints.
+
+    Attributes
+    ----------
+    index:
+        Phase number ``i`` (the chunk produced is ``DCH(i)``).
+    first_step / last_step:
+        Inclusive range of streaming steps executed in this phase.
+    output_words:
+        Number of output words the phase produces (the chunk size actually
+        realized, which can exceed the nominal ``S_CH`` by less than one
+        step's worth of output).
+    """
+
+    index: int
+    first_step: int
+    last_step: int
+    output_words: int
+
+    @property
+    def steps(self) -> int:
+        """Number of streaming steps in the phase."""
+        return self.last_step - self.first_step + 1
+
+
+@dataclass(frozen=True)
+class CheckpointSchedule:
+    """Concrete checkpoint plan for one application task.
+
+    Attributes
+    ----------
+    chunk_words:
+        Nominal chunk size ``S_CH`` in words.
+    phases:
+        The phases, in execution order; there are ``N_CH`` of them.
+    """
+
+    chunk_words: int
+    phases: tuple[Phase, ...]
+
+    @property
+    def num_checkpoints(self) -> int:
+        """``N_CH``: one checkpoint commits each phase."""
+        return len(self.phases)
+
+    @property
+    def total_output_words(self) -> int:
+        """Total words covered by the schedule (equals the task's output)."""
+        return sum(phase.output_words for phase in self.phases)
+
+    @property
+    def max_phase_words(self) -> int:
+        """Largest realized chunk; L1' must be able to hold it."""
+        return max((phase.output_words for phase in self.phases), default=0)
+
+    def phase_of_step(self, step_index: int) -> Phase:
+        """Return the phase containing a given streaming step."""
+        for phase in self.phases:
+            if phase.first_step <= step_index <= phase.last_step:
+                return phase
+        raise IndexError(f"step {step_index} is not covered by this schedule")
+
+
+def plan_schedule_from_profile(
+    step_output_words: list[int], chunk_words: int
+) -> CheckpointSchedule:
+    """Group steps into phases of at least ``chunk_words`` output words.
+
+    Parameters
+    ----------
+    step_output_words:
+        Output words produced by each streaming step, in order.
+    chunk_words:
+        Nominal chunk size ``S_CH``.  Each phase closes at the first step
+        boundary at which the accumulated output reaches ``chunk_words``;
+        the final phase may be smaller.
+    """
+    if chunk_words <= 0:
+        raise ValueError("chunk_words must be positive")
+    if not step_output_words:
+        raise ValueError("the task must contain at least one step")
+    phases: list[Phase] = []
+    first = 0
+    accumulated = 0
+    for index, words in enumerate(step_output_words):
+        if words < 0:
+            raise ValueError("step output word counts must be non-negative")
+        accumulated += words
+        if accumulated >= chunk_words:
+            phases.append(
+                Phase(
+                    index=len(phases),
+                    first_step=first,
+                    last_step=index,
+                    output_words=accumulated,
+                )
+            )
+            first = index + 1
+            accumulated = 0
+    if first < len(step_output_words):
+        phases.append(
+            Phase(
+                index=len(phases),
+                first_step=first,
+                last_step=len(step_output_words) - 1,
+                output_words=accumulated,
+            )
+        )
+    return CheckpointSchedule(chunk_words=chunk_words, phases=tuple(phases))
+
+
+def profile_step_outputs(app: StreamingApplication, task_input) -> list[int]:
+    """Run the task fault-free and record each step's output word count."""
+    state = app.initial_state(task_input)
+    words: list[int] = []
+    for index in range(app.num_steps(task_input)):
+        result = app.run_step(task_input, index, state)
+        words.append(len(result.output_words))
+        state = result.state
+    return words
+
+
+def plan_schedule(
+    app: StreamingApplication, task_input, chunk_words: int
+) -> CheckpointSchedule:
+    """Build the checkpoint schedule for ``app`` on ``task_input``."""
+    return plan_schedule_from_profile(profile_step_outputs(app, task_input), chunk_words)
+
+
+def uniform_schedule(characterization: AppCharacterization, chunk_words: int) -> CheckpointSchedule:
+    """Approximate schedule assuming every step produces the average word count.
+
+    Used by the analytical cost model, which does not execute the task.
+    """
+    if chunk_words <= 0:
+        raise ValueError("chunk_words must be positive")
+    per_step = max(1, round(characterization.words_per_step))
+    step_words = [per_step] * characterization.steps
+    return plan_schedule_from_profile(step_words, chunk_words)

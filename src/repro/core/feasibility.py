@@ -1,0 +1,131 @@
+"""Feasible (chunk size, correctable bits) region under the area budget (Fig. 4).
+
+Figure 4 of the paper sweeps candidate protected-buffer sizes (1–512
+words) against the number of correctable bits per word of the buffer's
+ECC, and marks the combinations whose total area (storage including check
+bits, plus encoder/decoder logic) stays within the affordable area
+overhead — 5 % of the 64 KB vulnerable L1.  The resulting staircase-shaped
+boundary is what the optimizer searches inside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ecc.overhead import EccOverheadModel
+from ..memmodel import NODE_65NM, SramMacro, TechnologyNode
+from .config import DesignConstraints, PAPER_OPERATING_POINT
+
+
+@dataclass(frozen=True)
+class FeasiblePoint:
+    """One (chunk size, correctable bits) candidate of the Fig. 4 sweep."""
+
+    chunk_words: int
+    correctable_bits: int
+    buffer_area_mm2: float
+    area_fraction: float
+    feasible: bool
+
+
+@dataclass(frozen=True)
+class FeasibleRegion:
+    """Complete Fig. 4 sweep result.
+
+    Attributes
+    ----------
+    l1_area_mm2:
+        Area of the vulnerable memory (the ``M`` in Eq. 4).
+    area_budget:
+        OV1, the allowed fractional overhead.
+    points:
+        Every evaluated (chunk size, correctable bits) pair.
+    """
+
+    l1_area_mm2: float
+    area_budget: float
+    points: tuple[FeasiblePoint, ...]
+
+    def max_correctable_bits(self, chunk_words: int) -> int:
+        """Largest correctable-bit count feasible at ``chunk_words`` (0 if none)."""
+        best = 0
+        for point in self.points:
+            if point.chunk_words == chunk_words and point.feasible:
+                best = max(best, point.correctable_bits)
+        return best
+
+    def max_chunk_words(self, correctable_bits: int) -> int:
+        """Largest feasible chunk size at a given correction strength (0 if none)."""
+        best = 0
+        for point in self.points:
+            if point.correctable_bits == correctable_bits and point.feasible:
+                best = max(best, point.chunk_words)
+        return best
+
+    def boundary(self) -> list[tuple[int, int]]:
+        """The Fig. 4 staircase: (chunk size, max feasible correctable bits)."""
+        chunks = sorted({point.chunk_words for point in self.points})
+        return [(chunk, self.max_correctable_bits(chunk)) for chunk in chunks]
+
+    def feasible_points(self) -> list[FeasiblePoint]:
+        """Only the feasible points of the sweep."""
+        return [point for point in self.points if point.feasible]
+
+
+def feasible_region(
+    constraints: DesignConstraints | None = None,
+    l1_bytes: int = 64 * 1024,
+    word_bits: int = 32,
+    chunk_sizes: range | list[int] | None = None,
+    correctable_bits: range | list[int] | None = None,
+    scheme: str = "bch",
+    technology: TechnologyNode = NODE_65NM,
+) -> FeasibleRegion:
+    """Reproduce the Fig. 4 sweep.
+
+    Parameters
+    ----------
+    constraints:
+        Supplies the area budget OV1 (defaults to the paper's 5 %).
+    l1_bytes:
+        Capacity of the vulnerable memory (64 KB in the paper).
+    chunk_sizes:
+        Buffer sizes (in words) to sweep; defaults to 1..512 matching the
+        figure's x-axis.
+    correctable_bits:
+        ECC strengths to sweep; defaults to 1..18 matching the y-axis.
+    scheme:
+        Redundancy-sizing scheme for the buffer's ECC (``"bch"`` is the
+        general t-error-correcting bound the paper's figure implies).
+    """
+    constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
+    if chunk_sizes is None:
+        chunk_sizes = range(1, 513)
+    if correctable_bits is None:
+        correctable_bits = range(1, 19)
+
+    l1 = SramMacro(l1_bytes, word_bits=word_bits, technology=technology).estimate()
+    model = EccOverheadModel(technology)
+    word_bytes = word_bits // 8
+
+    points: list[FeasiblePoint] = []
+    for t in correctable_bits:
+        for chunk in chunk_sizes:
+            protected = model.protected_memory(
+                chunk * word_bytes, word_bits=word_bits, t=t, scheme=scheme
+            )
+            fraction = protected.area_mm2 / l1.area_mm2
+            points.append(
+                FeasiblePoint(
+                    chunk_words=int(chunk),
+                    correctable_bits=int(t),
+                    buffer_area_mm2=protected.area_mm2,
+                    area_fraction=fraction,
+                    feasible=fraction <= constraints.area_overhead,
+                )
+            )
+    return FeasibleRegion(
+        l1_area_mm2=l1.area_mm2,
+        area_budget=constraints.area_overhead,
+        points=tuple(points),
+    )

@@ -1,0 +1,220 @@
+"""Mitigation strategies: the four configurations compared in Fig. 5.
+
+A strategy bundles (a) how the platform memories are protected and (b) how
+the runtime reacts to a detected error:
+
+* :class:`DefaultStrategy` — no protection, no recovery (errors silently
+  corrupt the output); the normalization baseline of Fig. 5.
+* :class:`HwMitigationStrategy` — the whole L1 carries multi-bit ECC, so
+  every error is corrected inline; expensive in area, energy and access
+  latency.
+* :class:`SwMitigationStrategy` — L1 has only minimal (parity) detection;
+  a detected error restarts the whole task from its beginning.
+* :class:`HybridStrategy` — the paper's proposal: parity-detected L1 plus
+  the small multi-bit-protected L1' buffer, periodic checkpoints and
+  demand-driven rollback of a single chunk.  Instantiated either with the
+  optimizer's chunk size (``Proposed (optimal)``) or a documented
+  sub-optimal one (``Proposed (sub-optimal)``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..soc.platform import (
+    Platform,
+    default_platform,
+    hw_mitigation_platform,
+    hybrid_platform,
+    sw_mitigation_platform,
+)
+from .config import DesignConstraints, PAPER_OPERATING_POINT
+
+
+class RecoveryPolicy:
+    """Symbolic names of the runtime's recovery behaviours."""
+
+    NONE = "none"          # consume possibly-corrupt data (Default)
+    INLINE = "inline"      # memory ECC corrects transparently (HW)
+    RESTART = "restart"    # restart the whole task (SW)
+    ROLLBACK = "rollback"  # roll back to the last checkpoint (Hybrid)
+
+
+class MitigationStrategy(abc.ABC):
+    """Configuration of one mitigation approach.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports and figures.
+    recovery:
+        One of the :class:`RecoveryPolicy` constants.
+    uses_checkpoints:
+        Whether the runtime inserts checkpoints and buffers chunks to L1'.
+    """
+
+    name: str = "abstract"
+    recovery: str = RecoveryPolicy.NONE
+    uses_checkpoints: bool = False
+
+    def __init__(self, constraints: DesignConstraints | None = None) -> None:
+        self.constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
+
+    @abc.abstractmethod
+    def build_platform(self, required_buffer_words: int | None = None) -> Platform:
+        """Instantiate the platform configured for this strategy.
+
+        ``required_buffer_words`` lets the runtime request an L1' large
+        enough for the realized chunk plus the application's codec state;
+        strategies without an L1' ignore it.
+        """
+
+    def chunk_words_for(self, output_words: int) -> int:
+        """Chunk (drain) granularity used by the runtime for this strategy.
+
+        Non-checkpointing strategies still stream produced data out in
+        groups; their granularity is the natural streaming unit rather
+        than an optimized chunk.  Checkpointing strategies override this.
+        """
+        return max(1, min(16, output_words))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class DefaultStrategy(MitigationStrategy):
+    """Unprotected baseline: errors pass silently into the output."""
+
+    name = "default"
+    recovery = RecoveryPolicy.NONE
+    uses_checkpoints = False
+
+    def build_platform(self, required_buffer_words: int | None = None) -> Platform:
+        return default_platform()
+
+
+class HwMitigationStrategy(MitigationStrategy):
+    """Full hardware protection of L1 with strong multi-bit ECC.
+
+    Parameters
+    ----------
+    correctable_bits:
+        Correction strength applied to every L1 word.  The paper's
+        introduction cites 8-bit-correcting ECC on a 64 KB SRAM as the
+        representative (and prohibitively expensive) full-HW option, so
+        that is the default.
+    """
+
+    name = "hw-mitigation"
+    recovery = RecoveryPolicy.INLINE
+    uses_checkpoints = False
+
+    def __init__(
+        self,
+        constraints: DesignConstraints | None = None,
+        correctable_bits: int = 8,
+    ) -> None:
+        super().__init__(constraints)
+        if correctable_bits < 1:
+            raise ValueError("correctable_bits must be at least 1")
+        self.correctable_bits = correctable_bits
+
+    def build_platform(self, required_buffer_words: int | None = None) -> Platform:
+        return hw_mitigation_platform(correctable_bits=self.correctable_bits)
+
+
+class SwMitigationStrategy(MitigationStrategy):
+    """Minimal detection (parity) plus full task restart on error."""
+
+    name = "sw-mitigation"
+    recovery = RecoveryPolicy.RESTART
+    uses_checkpoints = False
+
+    def __init__(
+        self,
+        constraints: DesignConstraints | None = None,
+        max_restarts: int = 8,
+    ) -> None:
+        super().__init__(constraints)
+        if max_restarts < 1:
+            raise ValueError("max_restarts must be at least 1")
+        #: Safety bound on task restarts per run (the behavioural executor
+        #: refuses to loop forever under pathological error rates).
+        self.max_restarts = max_restarts
+
+    def build_platform(self, required_buffer_words: int | None = None) -> Platform:
+        return sw_mitigation_platform()
+
+
+class HybridStrategy(MitigationStrategy):
+    """The paper's hybrid HW-SW scheme with an explicit chunk size.
+
+    Parameters
+    ----------
+    chunk_words:
+        Chunk size ``S_CH`` (typically the optimizer's output, or a
+        sub-optimal value for the Fig. 5 comparison).
+    extra_buffer_words:
+        Additional L1' words reserved for the saved codec state / status
+        registers; sized by the runtime from the application profile.
+    label:
+        Report label; defaults to ``"hybrid-optimal"``.
+    """
+
+    recovery = RecoveryPolicy.ROLLBACK
+    uses_checkpoints = True
+
+    def __init__(
+        self,
+        chunk_words: int,
+        constraints: DesignConstraints | None = None,
+        extra_buffer_words: int = 0,
+        label: str = "hybrid-optimal",
+    ) -> None:
+        super().__init__(constraints)
+        if chunk_words <= 0:
+            raise ValueError("chunk_words must be positive")
+        if extra_buffer_words < 0:
+            raise ValueError("extra_buffer_words must be non-negative")
+        self.chunk_words = chunk_words
+        self.extra_buffer_words = extra_buffer_words
+        self.name = label
+
+    def chunk_words_for(self, output_words: int) -> int:
+        return self.chunk_words
+
+    def build_platform(self, required_buffer_words: int | None = None) -> Platform:
+        capacity = self.chunk_words + self.extra_buffer_words
+        if required_buffer_words is not None:
+            capacity = max(capacity, required_buffer_words)
+        return hybrid_platform(
+            l1p_words=capacity,
+            l1p_correctable_bits=self.constraints.correctable_bits,
+        )
+
+
+def paper_strategies(
+    optimal_chunk: int,
+    suboptimal_chunk: int,
+    extra_buffer_words: int = 0,
+    constraints: DesignConstraints | None = None,
+) -> list[MitigationStrategy]:
+    """The five bars of Fig. 5, in the paper's plotting order."""
+    return [
+        DefaultStrategy(constraints),
+        SwMitigationStrategy(constraints),
+        HwMitigationStrategy(constraints),
+        HybridStrategy(
+            optimal_chunk,
+            constraints,
+            extra_buffer_words=extra_buffer_words,
+            label="hybrid-optimal",
+        ),
+        HybridStrategy(
+            suboptimal_chunk,
+            constraints,
+            extra_buffer_words=extra_buffer_words,
+            label="hybrid-suboptimal",
+        ),
+    ]

@@ -1,0 +1,83 @@
+"""Error-correcting-code substrate.
+
+Real, behaviourally exercised codes (parity, Hamming SEC, SECDED and
+interleaved multi-bit codes) plus redundancy bounds and circuitry overhead
+models used by the feasibility analysis (Fig. 4) and the chunk-size
+optimizer.
+"""
+
+from .base import Code, DecodeResult, DecodeStatus, NoCode
+from .hamming import HammingCode, SecDedCode, hamming_check_bits, secded_check_bits
+from .interleaved import (
+    InterleavedCode,
+    InterleavedHammingCode,
+    InterleavedParityCode,
+    InterleavedSecDedCode,
+)
+from .overhead import EccLogicEstimate, EccOverheadModel, ProtectedMemoryEstimate
+from .parity import ParityCode
+from .redundancy import (
+    available_schemes,
+    bch_check_bits,
+    check_bits_for_correction,
+    interleaved_check_bits,
+)
+
+__all__ = [
+    "Code",
+    "DecodeResult",
+    "DecodeStatus",
+    "NoCode",
+    "ParityCode",
+    "HammingCode",
+    "SecDedCode",
+    "hamming_check_bits",
+    "secded_check_bits",
+    "InterleavedCode",
+    "InterleavedHammingCode",
+    "InterleavedParityCode",
+    "InterleavedSecDedCode",
+    "EccLogicEstimate",
+    "EccOverheadModel",
+    "ProtectedMemoryEstimate",
+    "available_schemes",
+    "bch_check_bits",
+    "check_bits_for_correction",
+    "interleaved_check_bits",
+]
+
+
+def code_for_scheme(scheme: str, data_bits: int = 32, t: int = 4) -> Code:
+    """Construct a concrete :class:`Code` from a scheme name.
+
+    Parameters
+    ----------
+    scheme:
+        ``"none"``, ``"parity"``, ``"hamming"``, ``"secded"``,
+        ``"interleaved-hamming"`` or ``"interleaved-secded"``.
+    data_bits:
+        Protected word width.
+    t:
+        Interleaving factor (i.e. correctable adjacent-cluster width) for
+        the interleaved schemes; ignored by the others.
+    """
+    scheme = scheme.lower()
+    if scheme == "none":
+        return NoCode(data_bits)
+    if scheme == "parity":
+        return ParityCode(data_bits)
+    if scheme == "hamming":
+        return HammingCode(data_bits)
+    if scheme == "secded":
+        return SecDedCode(data_bits)
+    if scheme == "interleaved-parity":
+        return InterleavedParityCode(data_bits, ways=t)
+    if scheme == "interleaved-hamming":
+        return InterleavedHammingCode(data_bits, ways=t)
+    if scheme == "interleaved-secded":
+        return InterleavedSecDedCode(data_bits, ways=t)
+    raise ValueError(
+        f"unknown code scheme {scheme!r}; expected one of: none, parity, "
+        "hamming, secded, interleaved-parity, interleaved-hamming, "
+        "interleaved-secded"
+    )

@@ -1,0 +1,205 @@
+"""Hamming single-error-correcting (SEC) and SECDED codes.
+
+These are the work-horse codes of the reproduction:
+
+* :class:`HammingCode` — classic Hamming SEC code over an arbitrary data
+  width; corrects any single bit error per word.
+* :class:`SecDedCode` — extended Hamming (SECDED): corrects single errors
+  and detects double errors.  This is the code the paper cites as the
+  standard L1 protection whose capability SMUs defeat (Section I).
+
+Codeword layout follows the textbook construction: codeword bit positions
+are numbered 1..n, parity bits live at the power-of-two positions, data
+bits fill the remaining positions in increasing order.  For SECDED an
+overall-parity bit is appended above position n.  Externally, codewords
+are exposed as packed integers whose bit ``i`` corresponds to position
+``i + 1``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..utils.bitops import get_bit, mask, parity, set_bit
+from .base import Code, DecodeResult, DecodeStatus
+
+
+@lru_cache(maxsize=None)
+def _hamming_layout(data_bits: int) -> tuple[int, tuple[int, ...], tuple[int, ...]]:
+    """Compute the Hamming layout for ``data_bits`` data bits.
+
+    Returns ``(parity_bits, data_positions, parity_positions)`` where the
+    positions are 1-based codeword positions.
+    """
+    parity_bits = 0
+    while (1 << parity_bits) < data_bits + parity_bits + 1:
+        parity_bits += 1
+    total = data_bits + parity_bits
+    parity_positions = tuple(1 << j for j in range(parity_bits))
+    parity_set = set(parity_positions)
+    data_positions = tuple(p for p in range(1, total + 1) if p not in parity_set)
+    return parity_bits, data_positions, parity_positions
+
+
+def hamming_check_bits(data_bits: int) -> int:
+    """Number of check bits a Hamming SEC code needs for ``data_bits`` bits."""
+    if data_bits <= 0:
+        raise ValueError("data_bits must be positive")
+    return _hamming_layout(data_bits)[0]
+
+
+def secded_check_bits(data_bits: int) -> int:
+    """Number of check bits a SECDED code needs for ``data_bits`` bits."""
+    return hamming_check_bits(data_bits) + 1
+
+
+class HammingCode(Code):
+    """Hamming single-error-correcting code over ``data_bits`` data bits.
+
+    Corrects any single bit flip in the stored codeword (including flips of
+    check bits).  Two or more flips produce undefined behaviour: they may be
+    miscorrected, which is precisely the weakness against multi-bit upsets
+    that motivates the paper.
+    """
+
+    def __init__(self, data_bits: int = 32) -> None:
+        if data_bits <= 0:
+            raise ValueError("data_bits must be positive")
+        self.data_bits = data_bits
+        parity_bits, data_positions, parity_positions = _hamming_layout(data_bits)
+        self.check_bits = parity_bits
+        self._data_positions = data_positions
+        self._parity_positions = parity_positions
+
+    @property
+    def correctable_bits(self) -> int:
+        return 1
+
+    @property
+    def detectable_bits(self) -> int:
+        return 1
+
+    # ------------------------------------------------------------------ #
+    def encode(self, data: int) -> int:
+        self._check_data(data)
+        codeword = 0
+        # Place data bits.
+        for index, position in enumerate(self._data_positions):
+            codeword = set_bit(codeword, position - 1, get_bit(data, index))
+        # Compute parity bits: parity bit at position 2^j covers every
+        # position whose index has bit j set.
+        for j, position in enumerate(self._parity_positions):
+            acc = 0
+            for p in range(1, self.codeword_bits + 1):
+                if p & (1 << j) and p != position:
+                    acc ^= get_bit(codeword, p - 1)
+            codeword = set_bit(codeword, position - 1, acc)
+        return codeword
+
+    def _syndrome(self, codeword: int) -> int:
+        syndrome = 0
+        for j in range(self.check_bits):
+            acc = 0
+            for p in range(1, self.codeword_bits + 1):
+                if p & (1 << j):
+                    acc ^= get_bit(codeword, p - 1)
+            if acc:
+                syndrome |= 1 << j
+        return syndrome
+
+    def _extract_data(self, codeword: int) -> int:
+        data = 0
+        for index, position in enumerate(self._data_positions):
+            data = set_bit(data, index, get_bit(codeword, position - 1))
+        return data
+
+    def decode(self, codeword: int) -> DecodeResult:
+        self._check_codeword(codeword)
+        syndrome = self._syndrome(codeword)
+        if syndrome == 0:
+            return DecodeResult(data=self._extract_data(codeword), status=DecodeStatus.CLEAN)
+        if syndrome <= self.codeword_bits:
+            corrected = codeword ^ (1 << (syndrome - 1))
+            return DecodeResult(
+                data=self._extract_data(corrected),
+                status=DecodeStatus.CORRECTED,
+                corrected_bits=1,
+                syndrome=syndrome,
+            )
+        # Syndrome points outside the codeword: definitely uncorrectable.
+        return DecodeResult(
+            data=self._extract_data(codeword),
+            status=DecodeStatus.DETECTED_UNCORRECTABLE,
+            syndrome=syndrome,
+        )
+
+
+class SecDedCode(Code):
+    """Single-error-correcting, double-error-detecting extended Hamming code.
+
+    Layout: the underlying Hamming codeword occupies bits ``0 .. n-1`` and
+    the overall (even) parity bit is stored at bit ``n``.
+    """
+
+    def __init__(self, data_bits: int = 32) -> None:
+        self._inner = HammingCode(data_bits)
+        self.data_bits = data_bits
+        self.check_bits = self._inner.check_bits + 1
+
+    @property
+    def correctable_bits(self) -> int:
+        return 1
+
+    @property
+    def detectable_bits(self) -> int:
+        return 2
+
+    def encode(self, data: int) -> int:
+        inner = self._inner.encode(data)
+        overall = parity(inner)
+        return inner | (overall << self._inner.codeword_bits)
+
+    def decode(self, codeword: int) -> DecodeResult:
+        self._check_codeword(codeword)
+        inner_bits = self._inner.codeword_bits
+        inner = codeword & mask(inner_bits)
+        stored_overall = (codeword >> inner_bits) & 1
+        overall_ok = parity(inner) == stored_overall
+        syndrome = self._inner._syndrome(inner)
+
+        if syndrome == 0 and overall_ok:
+            return DecodeResult(data=self._inner._extract_data(inner), status=DecodeStatus.CLEAN)
+
+        if syndrome == 0 and not overall_ok:
+            # The overall parity bit itself flipped; data is intact.
+            return DecodeResult(
+                data=self._inner._extract_data(inner),
+                status=DecodeStatus.CORRECTED,
+                corrected_bits=1,
+                syndrome=0,
+            )
+
+        if not overall_ok:
+            # Odd number of flips with a non-zero syndrome: assume single
+            # error and correct it.
+            if syndrome <= inner_bits:
+                corrected = inner ^ (1 << (syndrome - 1))
+                return DecodeResult(
+                    data=self._inner._extract_data(corrected),
+                    status=DecodeStatus.CORRECTED,
+                    corrected_bits=1,
+                    syndrome=syndrome,
+                )
+            return DecodeResult(
+                data=self._inner._extract_data(inner),
+                status=DecodeStatus.DETECTED_UNCORRECTABLE,
+                syndrome=syndrome,
+            )
+
+        # Non-zero syndrome with matching overall parity: even number of
+        # flips (>= 2) — detected but uncorrectable.
+        return DecodeResult(
+            data=self._inner._extract_data(inner),
+            status=DecodeStatus.DETECTED_UNCORRECTABLE,
+            syndrome=syndrome,
+        )

@@ -1,0 +1,28 @@
+"""Fault-injection substrate: upset models, rate-based injector, campaigns."""
+
+from .campaign import CampaignReport, CampaignResult, FaultCampaign, run_campaign
+from .injector import PAPER_ERROR_RATE, ExposureWindow, FaultInjector
+from .models import (
+    FaultModel,
+    MixedUpset,
+    MultiBitUpset,
+    SingleBitUpset,
+    UpsetEvent,
+    default_smu_model,
+)
+
+__all__ = [
+    "CampaignReport",
+    "CampaignResult",
+    "FaultCampaign",
+    "run_campaign",
+    "PAPER_ERROR_RATE",
+    "ExposureWindow",
+    "FaultInjector",
+    "FaultModel",
+    "MixedUpset",
+    "MultiBitUpset",
+    "SingleBitUpset",
+    "UpsetEvent",
+    "default_smu_model",
+]

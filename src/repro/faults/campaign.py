@@ -1,0 +1,115 @@
+"""Fault-injection campaign driver.
+
+A *campaign* repeats the same experiment under many independent fault
+streams (different seeds) and aggregates the outcomes.  The Fig. 5 energy
+comparison and the timing-overhead analysis are averages over such
+campaigns, because the number and placement of upsets varies run to run.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Aggregated statistics of one metric across campaign runs."""
+
+    metric: str
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean across runs."""
+        return statistics.fmean(self.values)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observed value."""
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        """Largest observed value."""
+        return max(self.values)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation (0 for a single run)."""
+        if len(self.values) < 2:
+            return 0.0
+        return statistics.stdev(self.values)
+
+
+@dataclass
+class CampaignReport:
+    """All metrics aggregated over one campaign."""
+
+    runs: int
+    metrics: dict[str, CampaignResult] = field(default_factory=dict)
+    raw: list[Mapping[str, float]] = field(default_factory=list)
+
+    def __getitem__(self, metric: str) -> CampaignResult:
+        return self.metrics[metric]
+
+    def mean(self, metric: str) -> float:
+        """Shortcut for ``report[metric].mean``."""
+        return self.metrics[metric].mean
+
+
+class FaultCampaign:
+    """Runs an experiment function under multiple fault seeds.
+
+    Parameters
+    ----------
+    experiment:
+        Callable taking a seed and returning a mapping of metric name to
+        numeric value (e.g. ``{"energy_nj": ..., "cycles": ...}``).
+    seeds:
+        Explicit sequence of seeds, or ``None`` to use ``range(runs)``.
+    runs:
+        Number of runs when ``seeds`` is not given.
+    """
+
+    def __init__(
+        self,
+        experiment: Callable[[int], Mapping[str, float]],
+        seeds: Sequence[int] | None = None,
+        runs: int = 10,
+    ) -> None:
+        if seeds is None:
+            if runs <= 0:
+                raise ValueError("runs must be positive")
+            seeds = tuple(range(runs))
+        if not seeds:
+            raise ValueError("at least one seed is required")
+        self.experiment = experiment
+        self.seeds = tuple(int(s) for s in seeds)
+
+    def run(self) -> CampaignReport:
+        """Execute every run and aggregate per-metric statistics."""
+        raw: list[Mapping[str, float]] = []
+        for seed in self.seeds:
+            outcome = self.experiment(seed)
+            if not outcome:
+                raise ValueError(f"experiment returned no metrics for seed {seed}")
+            raw.append(dict(outcome))
+
+        metric_names = set().union(*(r.keys() for r in raw))
+        metrics: dict[str, CampaignResult] = {}
+        for name in sorted(metric_names):
+            values = tuple(float(r[name]) for r in raw if name in r)
+            metrics[name] = CampaignResult(metric=name, values=values)
+        return CampaignReport(runs=len(self.seeds), metrics=metrics, raw=raw)
+
+
+def run_campaign(
+    experiment: Callable[[int], Mapping[str, Any]],
+    runs: int = 10,
+    seeds: Sequence[int] | None = None,
+) -> CampaignReport:
+    """Convenience wrapper constructing and running a :class:`FaultCampaign`."""
+    return FaultCampaign(experiment, seeds=seeds, runs=runs).run()

@@ -1,0 +1,156 @@
+"""Fault injector: converts an upset *rate* into concrete upset events.
+
+The paper uses an intermittent-error rate of 1e-6 upsets per word per
+cycle (an upper bound taken from ERSA [14]) applied to the vulnerable L1
+SRAM.  The injector turns that rate into a stream of :class:`UpsetEvent`
+objects for a given exposure window (number of live words x number of
+cycles), using either exact Bernoulli sampling per word-cycle (for small
+windows, used in tests) or the Poisson approximation (for realistic
+windows, where the per-word-cycle probability is tiny).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.rng import make_rng
+from .models import FaultModel, UpsetEvent, default_smu_model
+
+#: Upset rate used throughout the paper's evaluation (per word per cycle).
+PAPER_ERROR_RATE = 1e-6
+
+
+@dataclass(frozen=True)
+class ExposureWindow:
+    """An exposure of ``live_words`` words for ``cycles`` cycles.
+
+    The expected number of upsets in the window is
+    ``rate * live_words * cycles``.
+    """
+
+    live_words: int
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.live_words < 0:
+            raise ValueError("live_words must be non-negative")
+        if self.cycles < 0:
+            raise ValueError("cycles must be non-negative")
+
+    @property
+    def word_cycles(self) -> int:
+        """Total word-cycle product of the window."""
+        return self.live_words * self.cycles
+
+
+class FaultInjector:
+    """Samples upset events at a fixed per-word-per-cycle rate.
+
+    Parameters
+    ----------
+    rate_per_word_cycle:
+        Upset probability per word per cycle (paper value: 1e-6).
+    fault_model:
+        Bit-pattern model for each upset; defaults to the SMU-dominated
+        mixture used in the paper-level experiments.
+    seed:
+        Seed for the internal random generator; pass an explicit value for
+        reproducible campaigns.
+    """
+
+    def __init__(
+        self,
+        rate_per_word_cycle: float = PAPER_ERROR_RATE,
+        fault_model: FaultModel | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        if rate_per_word_cycle < 0:
+            raise ValueError("rate_per_word_cycle must be non-negative")
+        self.rate = rate_per_word_cycle
+        self.fault_model = fault_model if fault_model is not None else default_smu_model()
+        self.rng = make_rng(seed)
+        self._events_generated = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def events_generated(self) -> int:
+        """Total number of upset events produced so far."""
+        return self._events_generated
+
+    def expected_upsets(self, window: ExposureWindow) -> float:
+        """Mean number of upsets for an exposure window at this rate."""
+        return self.rate * window.word_cycles
+
+    # ------------------------------------------------------------------ #
+    def sample_upset_count(self, window: ExposureWindow) -> int:
+        """Draw how many upsets strike during ``window``.
+
+        Uses the Poisson approximation, which is exact in the limit of the
+        tiny per-word-cycle probabilities the paper assumes.
+        """
+        lam = self.expected_upsets(window)
+        if lam == 0.0:
+            return 0
+        return int(self.rng.poisson(lam))
+
+    def sample_events(
+        self,
+        window: ExposureWindow,
+        word_bits: int = 32,
+        start_cycle: int = 0,
+    ) -> list[UpsetEvent]:
+        """Sample the full list of upset events for an exposure window.
+
+        Struck word indices are uniform over ``[0, live_words)`` and event
+        cycles are uniform over the window, offset by ``start_cycle``.
+        """
+        count = self.sample_upset_count(window)
+        events: list[UpsetEvent] = []
+        if count == 0 or window.live_words == 0:
+            return events
+        word_indices = self.rng.integers(0, window.live_words, size=count)
+        cycle_offsets = (
+            self.rng.integers(0, max(1, window.cycles), size=count)
+            if window.cycles > 0
+            else np.zeros(count, dtype=int)
+        )
+        for word_index, cycle_offset in zip(word_indices, cycle_offsets):
+            events.append(
+                self.fault_model.make_event(
+                    word_index=int(word_index),
+                    word_bits=word_bits,
+                    rng=self.rng,
+                    cycle=start_cycle + int(cycle_offset),
+                )
+            )
+        self._events_generated += len(events)
+        return sorted(events, key=lambda e: e.cycle)
+
+    # ------------------------------------------------------------------ #
+    def sample_events_bernoulli(
+        self,
+        window: ExposureWindow,
+        word_bits: int = 32,
+        start_cycle: int = 0,
+    ) -> list[UpsetEvent]:
+        """Exact Bernoulli sampling over every word-cycle pair.
+
+        Exponentially slower than :meth:`sample_events`; intended for small
+        windows in unit tests that validate the Poisson approximation.
+        """
+        events: list[UpsetEvent] = []
+        for cycle in range(window.cycles):
+            strikes = self.rng.random(window.live_words) < self.rate
+            for word_index in np.nonzero(strikes)[0]:
+                events.append(
+                    self.fault_model.make_event(
+                        word_index=int(word_index),
+                        word_bits=word_bits,
+                        rng=self.rng,
+                        cycle=start_cycle + cycle,
+                    )
+                )
+        self._events_generated += len(events)
+        return events

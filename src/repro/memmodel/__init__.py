@@ -1,0 +1,34 @@
+"""Analytical SRAM modelling substrate (CACTI 6.5 substitute).
+
+Public API
+----------
+:class:`TechnologyNode` and the predefined nodes (:data:`NODE_65NM`, ...),
+:class:`SramMacro` / :func:`estimate_sram` producing :class:`SramEstimate`
+objects with area, energy, leakage and access-time figures, and the
+:class:`ArrayGeometry` planner used internally.
+"""
+
+from .geometry import ArrayGeometry, plan_geometry
+from .sram import SramEstimate, SramMacro, estimate_sram
+from .technology import (
+    NODE_45NM,
+    NODE_65NM,
+    NODE_90NM,
+    TechnologyNode,
+    available_nodes,
+    get_node,
+)
+
+__all__ = [
+    "ArrayGeometry",
+    "plan_geometry",
+    "SramEstimate",
+    "SramMacro",
+    "estimate_sram",
+    "TechnologyNode",
+    "NODE_45NM",
+    "NODE_65NM",
+    "NODE_90NM",
+    "available_nodes",
+    "get_node",
+]

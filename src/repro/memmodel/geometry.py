@@ -1,0 +1,115 @@
+"""SRAM array geometry helpers.
+
+The analytical model in :mod:`repro.memmodel.sram` needs a plausible
+physical organization (rows x columns, number of sub-banks, column
+multiplexing) for a macro of a given capacity and word width.  This module
+computes that organization with the same heuristics CACTI applies: keep
+sub-arrays close to square, cap the number of rows per sub-array, and use
+column multiplexing to match the word width.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Physical organization of an SRAM macro.
+
+    Attributes
+    ----------
+    total_bits:
+        Total number of storage bits (data + check bits).
+    rows:
+        Number of word-line rows per sub-array.
+    cols:
+        Number of bit-line columns per sub-array.
+    subarrays:
+        Number of identical sub-arrays composing the macro.
+    column_mux:
+        Column multiplexing degree (columns read per accessed bit).
+    """
+
+    total_bits: int
+    rows: int
+    cols: int
+    subarrays: int
+    column_mux: int
+
+    @property
+    def bits_per_subarray(self) -> int:
+        """Storage bits held by one sub-array."""
+        return self.rows * self.cols
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Ratio of the longer to the shorter sub-array dimension."""
+        longer = max(self.rows, self.cols)
+        shorter = max(1, min(self.rows, self.cols))
+        return longer / shorter
+
+
+MAX_ROWS_PER_SUBARRAY = 512
+MAX_COLS_PER_SUBARRAY = 1024
+
+
+def plan_geometry(capacity_bits: int, line_bits: int) -> ArrayGeometry:
+    """Choose a plausible array organization for ``capacity_bits`` of storage.
+
+    Parameters
+    ----------
+    capacity_bits:
+        Total stored bits, including ECC check bits.
+    line_bits:
+        Bits fetched per access (data word plus its check bits).
+
+    Returns
+    -------
+    ArrayGeometry
+        A geometry whose ``rows * cols * subarrays`` is at least
+        ``capacity_bits`` and whose sub-arrays respect the row/column caps.
+
+    Notes
+    -----
+    Tiny macros (a few hundred bits, e.g. the L1' buffer at its smallest)
+    degenerate to a single sub-array with one word per row; the model must
+    keep working in that regime because the paper's whole point is that the
+    protected buffer is very small.
+    """
+    if capacity_bits <= 0:
+        raise ValueError("capacity_bits must be positive")
+    if line_bits <= 0:
+        raise ValueError("line_bits must be positive")
+
+    # Columns hold at least one access line; widen columns to keep the
+    # sub-array roughly square, subject to the physical caps.
+    words = math.ceil(capacity_bits / line_bits)
+    rows = words
+    cols = line_bits
+    column_mux = 1
+
+    # Fold tall, skinny arrays by increasing column multiplexing.
+    while rows > MAX_ROWS_PER_SUBARRAY or (rows > cols and cols * 2 <= MAX_COLS_PER_SUBARRAY):
+        if rows <= 1:
+            break
+        rows = math.ceil(rows / 2)
+        cols *= 2
+        column_mux *= 2
+        if cols >= MAX_COLS_PER_SUBARRAY and rows <= MAX_ROWS_PER_SUBARRAY:
+            break
+
+    # Split into multiple sub-arrays if a single one is still too large.
+    subarrays = 1
+    while rows > MAX_ROWS_PER_SUBARRAY:
+        rows = math.ceil(rows / 2)
+        subarrays *= 2
+
+    return ArrayGeometry(
+        total_bits=capacity_bits,
+        rows=max(1, rows),
+        cols=max(line_bits, cols),
+        subarrays=subarrays,
+        column_mux=max(1, column_mux),
+    )

@@ -1,0 +1,241 @@
+"""Analytical SRAM macro model (CACTI 6.5 substitute).
+
+The paper uses CACTI 6.5 at 65 nm to obtain the area, access energy and
+access time of the vulnerable 64 KB L1 scratchpad and of candidate L1'
+protected buffers.  This module provides :class:`SramMacro`, an analytical
+model producing the same quantities from first-order geometry and the
+per-node constants in :mod:`repro.memmodel.technology`.
+
+The model captures the trends the reproduction depends on:
+
+* area grows linearly with stored bits plus a periphery term that grows
+  with the square root of the array (so small buffers pay proportionally
+  more periphery, exactly why a *minimal* L1' capacity is attractive);
+* read/write energy grows with the accessed line width and with the
+  square root of capacity (longer bit lines / deeper decoding);
+* access time grows with the square root of capacity;
+* leakage grows linearly with capacity;
+* ECC check bits widen every stored line and therefore inflate all of the
+  above; the ECC *logic* overheads live in :mod:`repro.ecc.overhead`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .geometry import ArrayGeometry, plan_geometry
+from .technology import NODE_65NM, TechnologyNode
+
+
+@dataclass(frozen=True)
+class SramEstimate:
+    """Complete characterization of one SRAM macro configuration.
+
+    All quantities refer to the macro storing ``capacity_bytes`` of *data*
+    (check bits are additional and included in the physical figures).
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Usable data capacity in bytes.
+    word_bits:
+        Data bits per addressable word.
+    check_bits:
+        ECC check bits stored alongside every word (0 for unprotected).
+    area_mm2:
+        Macro area in square millimetres (array + periphery).
+    read_energy_pj:
+        Dynamic energy of one word read in picojoules.
+    write_energy_pj:
+        Dynamic energy of one word write in picojoules.
+    leakage_mw:
+        Static leakage power in milliwatts.
+    access_time_ns:
+        Read access time in nanoseconds.
+    geometry:
+        The physical organization chosen for the macro.
+    """
+
+    capacity_bytes: int
+    word_bits: int
+    check_bits: int
+    area_mm2: float
+    read_energy_pj: float
+    write_energy_pj: float
+    leakage_mw: float
+    access_time_ns: float
+    geometry: ArrayGeometry
+
+    @property
+    def capacity_words(self) -> int:
+        """Number of addressable data words in the macro."""
+        return (self.capacity_bytes * 8) // self.word_bits
+
+    @property
+    def line_bits(self) -> int:
+        """Physical bits fetched per access (data + check bits)."""
+        return self.word_bits + self.check_bits
+
+    @property
+    def storage_overhead(self) -> float:
+        """Fraction of extra storage spent on check bits."""
+        return self.check_bits / self.word_bits
+
+
+class SramMacro:
+    """Analytical estimator for single-port SRAM macros.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Usable data capacity in bytes; must be a positive multiple of the
+        word size in bytes.
+    word_bits:
+        Data word width in bits (32 for the ARM9 platform of the paper).
+    check_bits:
+        Number of ECC check bits stored per word.  The macro model only
+        accounts for the *storage* cost of check bits; encoder/decoder
+        logic is modelled separately by :class:`repro.ecc.overhead.EccOverheadModel`.
+    technology:
+        Process node constants; defaults to the paper's 65 nm node.
+
+    Examples
+    --------
+    >>> l1 = SramMacro(64 * 1024, word_bits=32)
+    >>> est = l1.estimate()
+    >>> 0.2 < est.area_mm2 < 1.5
+    True
+    >>> tiny = SramMacro(44 * 4, word_bits=32, check_bits=8)
+    >>> tiny.estimate().area_mm2 < 0.05 * est.area_mm2
+    True
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        word_bits: int = 32,
+        check_bits: int = 0,
+        technology: TechnologyNode = NODE_65NM,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if word_bits <= 0 or word_bits % 8:
+            raise ValueError("word_bits must be a positive multiple of 8")
+        if check_bits < 0:
+            raise ValueError("check_bits must be non-negative")
+        word_bytes = word_bits // 8
+        if capacity_bytes % word_bytes:
+            raise ValueError(
+                f"capacity_bytes ({capacity_bytes}) must be a multiple of the "
+                f"word size ({word_bytes} bytes)"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.word_bits = word_bits
+        self.check_bits = check_bits
+        self.technology = technology
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity_words(self) -> int:
+        """Number of addressable data words."""
+        return (self.capacity_bytes * 8) // self.word_bits
+
+    @property
+    def line_bits(self) -> int:
+        """Physical line width per access: data plus check bits."""
+        return self.word_bits + self.check_bits
+
+    @property
+    def total_bits(self) -> int:
+        """Total stored bits including check bits."""
+        return self.capacity_words * self.line_bits
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+    def estimate(self) -> SramEstimate:
+        """Produce the full area / energy / delay / leakage estimate."""
+        geometry = plan_geometry(self.total_bits, self.line_bits)
+        area = self._area_mm2(geometry)
+        read_e = self._read_energy_pj(geometry)
+        write_e = read_e * 1.08  # writes drive full-swing bit lines
+        leakage = self._leakage_mw()
+        access = self._access_time_ns(geometry)
+        return SramEstimate(
+            capacity_bytes=self.capacity_bytes,
+            word_bits=self.word_bits,
+            check_bits=self.check_bits,
+            area_mm2=area,
+            read_energy_pj=read_e,
+            write_energy_pj=write_e,
+            leakage_mw=leakage,
+            access_time_ns=access,
+            geometry=geometry,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internal component models
+    # ------------------------------------------------------------------ #
+    def _area_mm2(self, geometry: ArrayGeometry) -> float:
+        tech = self.technology
+        cell_area_um2 = geometry.total_bits * tech.sram_cell_area_um2
+        array_area_um2 = cell_area_um2 / tech.array_efficiency
+        # Periphery that does not scale with the array efficiency factor:
+        # address decoders, sense amplifiers and output drivers.  Scales
+        # with the array edge (sqrt of area) plus a small fixed cost so
+        # that even a tiny buffer pays for its interface.
+        edge_um = math.sqrt(array_area_um2)
+        periphery_um2 = 180.0 * (tech.feature_nm / 65.0) ** 2 + 14.0 * edge_um
+        return (array_area_um2 + periphery_um2) * 1e-6
+
+    def _read_energy_pj(self, geometry: ArrayGeometry) -> float:
+        tech = self.technology
+        rows = geometry.rows
+        # Bit-line energy: every accessed bit discharges a bit line whose
+        # capacitance grows with the number of rows in the sub-array.
+        # Column-multiplexed bit lines are hierarchically segmented, so the
+        # energy of the unselected columns grows with the square root of
+        # the multiplexing degree rather than linearly (CACTI's divided
+        # bit-line behaviour).
+        bitline_fj = (
+            tech.bitline_energy_fj_per_bit
+            * self.line_bits
+            * math.sqrt(geometry.column_mux)
+            * (rows / 64.0)
+        )
+        wordline_fj = tech.wordline_energy_fj * (geometry.cols / 32.0)
+        decode_fj = tech.decode_energy_fj * (
+            1.0 + math.log2(max(2, self.capacity_words)) / 10.0
+        )
+        total_fj = bitline_fj + wordline_fj + decode_fj
+        return total_fj * 1e-3
+
+    def _leakage_mw(self) -> float:
+        tech = self.technology
+        stored_kb = self.total_bits / 8.0 / 1024.0
+        return stored_kb * tech.leakage_uw_per_kb * 1e-3
+
+    def _access_time_ns(self, geometry: ArrayGeometry) -> float:
+        tech = self.technology
+        # Decode depth grows with log2 of the number of rows; wire delay
+        # grows with the physical edge of the sub-array.
+        decode_ps = tech.logic_gate_delay_ps * (2.0 + math.log2(max(2, geometry.rows)))
+        edge_um = math.sqrt(
+            geometry.bits_per_subarray * tech.sram_cell_area_um2 / tech.array_efficiency
+        )
+        wire_ps = tech.wire_delay_ps_per_um * edge_um
+        total_ps = decode_ps + wire_ps + tech.sense_delay_ps
+        return total_ps * 1e-3
+
+
+def estimate_sram(
+    capacity_bytes: int,
+    word_bits: int = 32,
+    check_bits: int = 0,
+    technology: TechnologyNode = NODE_65NM,
+) -> SramEstimate:
+    """Convenience wrapper: build an :class:`SramMacro` and estimate it."""
+    return SramMacro(capacity_bytes, word_bits, check_bits, technology).estimate()

@@ -1,0 +1,16 @@
+"""Execution engine: checkpointed task execution with fault injection."""
+
+from .executor import ExecutionResult, MAX_ROLLBACK_ATTEMPTS, TaskExecutor, run_task
+from .isr import ReadErrorServiceRoutine
+from .trace import EventKind, ExecutionTrace, TraceEvent
+
+__all__ = [
+    "ExecutionResult",
+    "MAX_ROLLBACK_ATTEMPTS",
+    "TaskExecutor",
+    "run_task",
+    "ReadErrorServiceRoutine",
+    "EventKind",
+    "ExecutionTrace",
+    "TraceEvent",
+]

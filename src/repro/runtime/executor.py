@@ -1,0 +1,468 @@
+"""Behavioural execution engine: runs a workload under a mitigation strategy.
+
+The :class:`TaskExecutor` is where everything meets: it executes a
+streaming application step by step on the behavioural platform, writes the
+produced data into the vulnerable L1, exposes it to the fault injector,
+drains it through the memory's ECC path (the paper's Fig. 2(a) read
+check), and reacts to detected errors according to the mitigation
+strategy — ignoring them (*Default*), relying on inline correction (*HW*),
+restarting the task (*SW*), or servicing a Read Error Interrupt and
+rolling back one chunk (*Hybrid*, Fig. 2(b)).
+
+It produces a :class:`~repro.soc.stats.SimulationStats` with the energy,
+cycle, recovery and correctness figures that the Fig. 5 and timing
+experiments aggregate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..apps.base import StreamingApplication
+from ..core.chunking import CheckpointSchedule, Phase, plan_schedule_from_profile
+from ..core.config import DesignConstraints, PAPER_OPERATING_POINT
+from ..core.strategies import MitigationStrategy, RecoveryPolicy
+from ..ecc import DecodeResult, DecodeStatus
+from ..faults.injector import ExposureWindow, FaultInjector
+from ..faults.models import FaultModel
+from ..soc.energy import (
+    CATEGORY_CHECKPOINT,
+    CATEGORY_COMPUTE,
+    CATEGORY_MEMORY_READ,
+    CATEGORY_MEMORY_WRITE,
+    CATEGORY_RECOVERY,
+)
+from ..soc.interrupt import READ_ERROR_INTERRUPT
+from ..soc.platform import Platform
+from ..soc.stats import SimulationStats
+from .isr import ReadErrorServiceRoutine
+from .trace import EventKind, ExecutionTrace
+
+#: Safety bound on consecutive rollbacks of the same phase.
+MAX_ROLLBACK_ATTEMPTS = 6
+
+
+class _TaskRestartRequested(Exception):
+    """Internal control-flow signal of the SW-mitigation restart policy."""
+
+
+@dataclass
+class ExecutionResult:
+    """Everything produced by one simulated task execution."""
+
+    stats: SimulationStats
+    output: list[int]
+    golden: list[int]
+    schedule: CheckpointSchedule
+    trace: ExecutionTrace
+    platform: Platform
+
+    @property
+    def output_matches_golden(self) -> bool:
+        """True when the produced stream is bit-identical to the reference."""
+        return self.output == self.golden
+
+
+@dataclass
+class _TaskProfile:
+    """Fault-free profile of the task collected before the real run."""
+
+    step_words: list[int]
+    step_cycles: list[int]
+    step_reads: list[int]
+    step_writes: list[int]
+    golden: list[int]
+
+    @property
+    def total_words(self) -> int:
+        return sum(self.step_words)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(self.step_reads) + sum(self.step_writes) + 2 * self.total_words
+
+    @property
+    def baseline_cycles(self) -> int:
+        """Expected cycles on the unprotected platform (1-cycle L1)."""
+        return sum(self.step_cycles) + self.total_accesses
+
+
+class TaskExecutor:
+    """Runs one application task under one mitigation strategy.
+
+    Parameters
+    ----------
+    app:
+        The streaming workload.
+    strategy:
+        Mitigation strategy deciding platform protection and recovery.
+    constraints:
+        Design constraints (error rate, overhead budgets, drain latency).
+    seed:
+        Seed controlling both the workload input and the fault stream.
+    fault_model:
+        Upset bit-pattern model; defaults to the SMU-dominated mixture.
+    collect_trace:
+        Whether to record a detailed :class:`ExecutionTrace`.
+    """
+
+    def __init__(
+        self,
+        app: StreamingApplication,
+        strategy: MitigationStrategy,
+        constraints: DesignConstraints | None = None,
+        seed: int = 0,
+        fault_model: FaultModel | None = None,
+        collect_trace: bool = False,
+    ) -> None:
+        self.app = app
+        self.strategy = strategy
+        self.constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
+        self.seed = seed
+        self.fault_model = fault_model
+        self.collect_trace = collect_trace
+
+    # ------------------------------------------------------------------ #
+    # Profiling
+    # ------------------------------------------------------------------ #
+    def _profile(self, task_input) -> _TaskProfile:
+        state = self.app.initial_state(task_input)
+        step_words, step_cycles, step_reads, step_writes = [], [], [], []
+        golden: list[int] = []
+        for index in range(self.app.num_steps(task_input)):
+            result = self.app.run_step(task_input, index, state)
+            step_words.append(len(result.output_words))
+            step_cycles.append(result.cycles)
+            step_reads.append(result.l1_reads)
+            step_writes.append(result.l1_writes)
+            golden.extend(result.output_words)
+            state = result.state
+        return _TaskProfile(step_words, step_cycles, step_reads, step_writes, golden)
+
+    # ------------------------------------------------------------------ #
+    # Public entry point
+    # ------------------------------------------------------------------ #
+    def run(self, task_input=None) -> ExecutionResult:
+        """Execute the task once and return the full result."""
+        if task_input is None:
+            task_input = self.app.generate_input(self.seed)
+        profile = self._profile(task_input)
+        if profile.total_words == 0:
+            raise ValueError("the task produced no output words; nothing to protect")
+
+        chunk_words = self.strategy.chunk_words_for(profile.total_words)
+        schedule = plan_schedule_from_profile(profile.step_words, chunk_words)
+
+        state_words = self.app.state_words()
+        platform = self.strategy.build_platform(
+            required_buffer_words=schedule.max_phase_words + state_words
+        )
+        trace = ExecutionTrace(enabled=self.collect_trace)
+        injector = FaultInjector(
+            rate_per_word_cycle=self.constraints.error_rate,
+            fault_model=self.fault_model,
+            seed=self.seed + 1,
+        )
+
+        stats = SimulationStats(
+            configuration=self.strategy.name,
+            application=self.app.name,
+            deadline_cycles=math.ceil(
+                profile.baseline_cycles * (1.0 + self.constraints.cycle_overhead)
+            ),
+        )
+        stats.useful_cycles = profile.baseline_cycles
+
+        runner = _RunState(
+            executor=self,
+            task_input=task_input,
+            profile=profile,
+            schedule=schedule,
+            platform=platform,
+            injector=injector,
+            stats=stats,
+            trace=trace,
+            state_words=state_words,
+        )
+        output = runner.execute()
+
+        platform.finalize_leakage()
+        stats.energy = platform.energy
+        stats.total_cycles = platform.clock.cycles
+        stats.upsets_injected = platform.l1.stats.upsets_injected
+        stats.errors_corrected_inline = platform.l1.stats.errors_corrected
+
+        mismatches = sum(1 for got, want in zip(output, profile.golden) if got != want)
+        mismatches += abs(len(output) - len(profile.golden))
+        stats.silent_corruptions = mismatches
+        stats.output_correct = mismatches == 0
+        trace.record(EventKind.TASK_END, platform.clock.cycles, detail=f"mismatches={mismatches}")
+
+        return ExecutionResult(
+            stats=stats,
+            output=output,
+            golden=profile.golden,
+            schedule=schedule,
+            trace=trace,
+            platform=platform,
+        )
+
+
+class _RunState:
+    """Mutable execution state of one task run (kept out of the public API)."""
+
+    def __init__(
+        self,
+        executor: TaskExecutor,
+        task_input,
+        profile: _TaskProfile,
+        schedule: CheckpointSchedule,
+        platform: Platform,
+        injector: FaultInjector,
+        stats: SimulationStats,
+        trace: ExecutionTrace,
+        state_words: int,
+    ) -> None:
+        self.executor = executor
+        self.app = executor.app
+        self.strategy = executor.strategy
+        self.constraints = executor.constraints
+        self.task_input = task_input
+        self.profile = profile
+        self.schedule = schedule
+        self.platform = platform
+        self.injector = injector
+        self.stats = stats
+        self.trace = trace
+        self.state_words = state_words
+        self.l1 = platform.l1
+        self.l1p = platform.l1p
+        self.cpu = platform.processor
+        self._isr: ReadErrorServiceRoutine | None = None
+        if self.strategy.recovery == RecoveryPolicy.ROLLBACK:
+            if self.l1p is None:
+                raise ValueError("rollback recovery requires a protected buffer L1'")
+            self._isr = ReadErrorServiceRoutine(
+                protected_buffer=self.l1p,
+                processor_spec=self.cpu.spec,
+                state_words=self.state_words + self.cpu.spec.status_register_words,
+                state_base=0,
+            )
+            platform.interrupts.register(READ_ERROR_INTERRUPT, self._isr)
+        #: word index inside L1' where buffered chunk data begins (the
+        #: state/status region occupies the words below it).
+        self._chunk_base = self.state_words + self.cpu.spec.status_register_words
+
+    # ------------------------------------------------------------------ #
+    # Top-level control: task restarts (SW policy) wrap the phase loop
+    # ------------------------------------------------------------------ #
+    def execute(self) -> list[int]:
+        max_restarts = getattr(self.strategy, "max_restarts", 1)
+        while True:
+            try:
+                return self._execute_phases()
+            except _TaskRestartRequested:
+                self.stats.task_restarts += 1
+                self.trace.record(
+                    EventKind.TASK_RESTART,
+                    self.platform.clock.cycles,
+                    detail=f"restart #{self.stats.task_restarts}",
+                )
+                if self.stats.task_restarts >= max_restarts:
+                    # Give up: one final best-effort pass whose errors are
+                    # accepted, so the run terminates and reports the
+                    # corruption honestly.
+                    return self._execute_phases(accept_errors=True)
+
+    # ------------------------------------------------------------------ #
+    def _execute_phases(self, accept_errors: bool = False) -> list[int]:
+        output: list[int] = []
+        state = self.app.initial_state(self.task_input)
+        first_pass = self.stats.task_restarts == 0
+
+        for phase in self.schedule.phases:
+            committed_state = state
+            attempts = 0
+            while True:
+                category = (
+                    CATEGORY_COMPUTE if attempts == 0 and first_pass else CATEGORY_RECOVERY
+                )
+                start_cycle = self.platform.clock.cycles
+                self.trace.record(EventKind.PHASE_START, start_cycle, phase.index)
+                phase_words, end_state, base_address = self._run_phase_steps(
+                    phase, committed_state, len(output), category
+                )
+                phase_cycles = self.platform.clock.cycles - start_cycle
+                self._inject_phase_faults(phase, base_address, len(phase_words), phase_cycles)
+
+                drained, had_uncorrectable, corrected = self._drain_chunk(
+                    base_address, len(phase_words), category
+                )
+                attempt_cycles = self.platform.clock.cycles - start_cycle
+                if attempts == 0 and first_pass:
+                    pass  # first-pass work is the useful baseline
+                else:
+                    self.stats.recovery_cycles += attempt_cycles
+
+                if had_uncorrectable and not accept_errors:
+                    self.stats.errors_detected += 1
+                    self.trace.record(
+                        EventKind.ERROR_DETECTED, self.platform.clock.cycles, phase.index
+                    )
+                    recovery = self.strategy.recovery
+                    if recovery == RecoveryPolicy.RESTART:
+                        raise _TaskRestartRequested()
+                    if recovery == RecoveryPolicy.ROLLBACK and attempts < MAX_ROLLBACK_ATTEMPTS:
+                        self._service_read_error(phase)
+                        attempts += 1
+                        continue
+                    # Default / inline policies (or rollback giving up)
+                    # consume the corrupted data.
+                    self.trace.record(
+                        EventKind.SILENT_CORRUPTION, self.platform.clock.cycles, phase.index
+                    )
+                elif corrected:
+                    self.trace.record(
+                        EventKind.ERROR_CORRECTED_INLINE,
+                        self.platform.clock.cycles,
+                        phase.index,
+                        detail=f"corrected={corrected}",
+                    )
+
+                if self.strategy.uses_checkpoints:
+                    self._commit_checkpoint(phase, drained)
+                output.extend(drained)
+                state = end_state
+                self.trace.record(EventKind.PHASE_END, self.platform.clock.cycles, phase.index)
+                break
+        return output
+
+    # ------------------------------------------------------------------ #
+    # Phase execution
+    # ------------------------------------------------------------------ #
+    def _run_phase_steps(
+        self, phase: Phase, state, words_before: int, category: str
+    ):
+        """Execute the streaming steps of one phase, writing output into L1."""
+        base_address = words_before % self.l1.capacity_words
+        phase_words: list[int] = []
+        for step_index in range(phase.first_step, phase.last_step + 1):
+            result = self.app.run_step(self.task_input, step_index, state)
+            state = result.state
+            self.cpu.execute(result.cycles, category=category)
+            self._charge_abstract_l1_traffic(result.l1_reads, result.l1_writes)
+            for word in result.output_words:
+                address = (base_address + len(phase_words)) % self.l1.capacity_words
+                self.l1.write_word(address, word)
+                self.cpu.stall(self.l1.access_cycles)
+                phase_words.append(word)
+        return phase_words, state, base_address
+
+    def _charge_abstract_l1_traffic(self, reads: int, writes: int) -> None:
+        """Charge energy and stall cycles for the step's internal L1 traffic."""
+        if reads:
+            self.platform.energy.charge(
+                self.l1.name, CATEGORY_MEMORY_READ, reads * self.l1.read_energy_pj
+            )
+        if writes:
+            self.platform.energy.charge(
+                self.l1.name, CATEGORY_MEMORY_WRITE, writes * self.l1.write_energy_pj
+            )
+        total = reads + writes
+        if total:
+            self.cpu.stall(total * self.l1.access_cycles)
+
+    # ------------------------------------------------------------------ #
+    # Fault injection
+    # ------------------------------------------------------------------ #
+    def _inject_phase_faults(
+        self, phase: Phase, base_address: int, live_words: int, phase_cycles: int
+    ) -> None:
+        """Expose the phase's live chunk to upsets and apply them to L1."""
+        if live_words == 0 or self.constraints.error_rate == 0:
+            return
+        live_cycles = min(phase_cycles, self.constraints.drain_latency_cycles)
+        window = ExposureWindow(live_words=live_words, cycles=live_cycles)
+        events = self.injector.sample_events(
+            window, word_bits=self.l1.code.codeword_bits, start_cycle=self.platform.clock.cycles
+        )
+        for event in events:
+            address = (base_address + event.word_index) % self.l1.capacity_words
+            mapped = type(event)(
+                word_index=address, bit_positions=event.bit_positions, cycle=event.cycle
+            )
+            landed = self.l1.inject(mapped)
+            self.trace.record(
+                EventKind.FAULT_INJECTED,
+                event.cycle,
+                phase.index,
+                detail=f"addr={address} bits={len(event.bit_positions)} live={landed}",
+            )
+
+    # ------------------------------------------------------------------ #
+    # Drain / commit / recovery
+    # ------------------------------------------------------------------ #
+    def _drain_chunk(
+        self, base_address: int, count: int, category: str
+    ) -> tuple[list[int], bool, int]:
+        """Stream the chunk out of L1 through its ECC path (Fig. 2(a) check)."""
+        drained: list[int] = []
+        had_uncorrectable = False
+        corrected = 0
+        for offset in range(count):
+            address = (base_address + offset) % self.l1.capacity_words
+            result: DecodeResult = self.l1.read_word(address)
+            self.cpu.stall(self.l1.access_cycles)
+            drained.append(result.data)
+            if result.status is DecodeStatus.DETECTED_UNCORRECTABLE:
+                had_uncorrectable = True
+            elif result.status is DecodeStatus.CORRECTED:
+                corrected += 1
+        return drained, had_uncorrectable, corrected
+
+    def _commit_checkpoint(self, phase: Phase, chunk: list[int]) -> None:
+        """Buffer the chunk and the status registers into L1' (checkpoint commit)."""
+        if self.l1p is None:
+            return
+        start = self.platform.clock.cycles
+        # Save the architectural status registers plus the codec state.
+        self.cpu.execute(self.cpu.spec.context_save_cycles, category=CATEGORY_CHECKPOINT)
+        state_region = self.state_words + self.cpu.spec.status_register_words
+        for offset in range(state_region):
+            self.l1p.write_word(offset, 0)
+            self.cpu.stall(self.l1p.access_cycles)
+        # Buffer the (error-free) data chunk.
+        for offset, word in enumerate(chunk):
+            self.l1p.write_word(self._chunk_base + offset, word)
+            self.cpu.stall(self.l1p.access_cycles)
+        self.stats.checkpoint_cycles += self.platform.clock.cycles - start
+        self.stats.checkpoints_committed += 1
+        self.trace.record(
+            EventKind.CHECKPOINT_COMMIT,
+            self.platform.clock.cycles,
+            phase.index,
+            detail=f"words={len(chunk)}",
+        )
+
+    def _service_read_error(self, phase: Phase) -> None:
+        """Raise the Read Error Interrupt and account the rollback."""
+        start = self.platform.clock.cycles
+        self.platform.interrupts.raise_interrupt(READ_ERROR_INTERRUPT, payload=phase.index)
+        self.stats.rollbacks += 1
+        self.stats.recovery_cycles += self.platform.clock.cycles - start
+        self.trace.record(EventKind.ROLLBACK, self.platform.clock.cycles, phase.index)
+
+
+def run_task(
+    app: StreamingApplication,
+    strategy: MitigationStrategy,
+    constraints: DesignConstraints | None = None,
+    seed: int = 0,
+    collect_trace: bool = False,
+) -> ExecutionResult:
+    """Convenience wrapper: build a :class:`TaskExecutor` and run it once."""
+    executor = TaskExecutor(
+        app, strategy, constraints=constraints, seed=seed, collect_trace=collect_trace
+    )
+    return executor.run()

@@ -1,0 +1,62 @@
+"""Read Error Interrupt service routine (Fig. 2(b) of the paper).
+
+When a memory read between checkpoints ``CH(i)`` and ``CH(i+1)`` returns
+an uncorrectable word, the hardware asserts the *Read Error Interrupt*.
+The service routine implemented here performs the software half of the
+recovery, exactly as described in the paper:
+
+1. flush the pipeline (the in-flight instructions operate on bad data);
+2. restore the status registers saved in L1' at the last checkpoint;
+3. switch the memory map so the protected chunk in L1' is accessible;
+4. return, so execution resumes at the last committed checkpoint.
+
+The routine reports the cycles it consumed; the
+:class:`~repro.soc.interrupt.InterruptController` adds the interrupt
+entry/exit cost and charges the core energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..soc.memory import MemoryDevice
+from ..soc.processor import ProcessorSpec
+
+
+@dataclass
+class ReadErrorServiceRoutine:
+    """Callable ISR bound to a platform's protected buffer.
+
+    Parameters
+    ----------
+    protected_buffer:
+        The L1' device holding the saved status registers and chunk.
+    processor_spec:
+        Supplies the pipeline-flush and context-restore cycle counts.
+    state_words:
+        Number of status-register / codec-state words to restore from L1'.
+    state_base:
+        Word index inside L1' where the state copy begins.
+    """
+
+    protected_buffer: MemoryDevice
+    processor_spec: ProcessorSpec
+    state_words: int
+    state_base: int = 0
+    invocations: int = 0
+
+    def __call__(self, payload) -> int:
+        """Service one read-error interrupt; returns the cycles consumed."""
+        self.invocations += 1
+        cycles = self.processor_spec.pipeline_flush_cycles
+        # Restore the status registers (and codec state) from L1'.  The
+        # reads go through the buffer's multi-bit ECC, so a latent upset in
+        # the saved copy is corrected here rather than propagated.
+        for offset in range(self.state_words):
+            self.protected_buffer.read_word(self.state_base + offset)
+        cycles += self.state_words * self.protected_buffer.access_cycles
+        cycles += self.processor_spec.context_restore_cycles
+        # Enabling accessibility to L1' (memory-map switch) is a couple of
+        # control-register writes.
+        cycles += 4
+        return cycles

@@ -1,0 +1,82 @@
+"""Execution trace: an ordered record of architectural events.
+
+The trace is optional (the executor produces it only when asked) but it is
+what the Fig. 1 style walk-throughs and several integration tests rely on:
+it shows phases executing, checkpoints committing, errors being detected
+and exactly one chunk being re-computed after each rollback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class EventKind(Enum):
+    """Types of trace events emitted by the executor."""
+
+    PHASE_START = "phase_start"
+    PHASE_END = "phase_end"
+    CHECKPOINT_COMMIT = "checkpoint_commit"
+    FAULT_INJECTED = "fault_injected"
+    ERROR_DETECTED = "error_detected"
+    ERROR_CORRECTED_INLINE = "error_corrected_inline"
+    ROLLBACK = "rollback"
+    TASK_RESTART = "task_restart"
+    SILENT_CORRUPTION = "silent_corruption"
+    TASK_END = "task_end"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record.
+
+    Attributes
+    ----------
+    kind:
+        Event type.
+    cycle:
+        Clock value when the event was recorded.
+    phase:
+        Phase index the event belongs to (-1 for task-level events).
+    detail:
+        Free-form human-readable detail string.
+    """
+
+    kind: EventKind
+    cycle: int
+    phase: int = -1
+    detail: str = ""
+
+
+@dataclass
+class ExecutionTrace:
+    """Collected trace of one task execution."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, kind: EventKind, cycle: int, phase: int = -1, detail: str = "") -> None:
+        """Append an event (no-op when tracing is disabled)."""
+        if self.enabled:
+            self.events.append(TraceEvent(kind=kind, cycle=cycle, phase=phase, detail=detail))
+
+    def count(self, kind: EventKind) -> int:
+        """Number of recorded events of one kind."""
+        return sum(1 for event in self.events if event.kind is kind)
+
+    def of_kind(self, kind: EventKind) -> list[TraceEvent]:
+        """All events of one kind, in order."""
+        return [event for event in self.events if event.kind is kind]
+
+    def phases_rolled_back(self) -> list[int]:
+        """Indices of phases that experienced at least one rollback."""
+        return sorted({event.phase for event in self.of_kind(EventKind.ROLLBACK)})
+
+    def summary_lines(self) -> list[str]:
+        """Compact human-readable rendering of the trace."""
+        lines = []
+        for event in self.events:
+            phase = f"P{event.phase}" if event.phase >= 0 else "--"
+            lines.append(f"[{event.cycle:>10d}] {phase:>4s} {event.kind.value:<24s} {event.detail}")
+        return lines

@@ -1,0 +1,82 @@
+"""Behavioural SoC simulation substrate (MPARM substitute).
+
+Provides the clock, energy accounting, memory devices (L1, L1X, L1'),
+bus, interrupt controller, ARM9-class processor model and the platform
+factories for the four configurations compared in the paper.
+"""
+
+from .bus import Bus, TransferResult
+from .clock import Clock
+from .energy import (
+    CATEGORY_CHECKPOINT,
+    CATEGORY_COMPUTE,
+    CATEGORY_ISR,
+    CATEGORY_LEAKAGE,
+    CATEGORY_MEMORY_READ,
+    CATEGORY_MEMORY_WRITE,
+    CATEGORY_RECOVERY,
+    EnergyAccount,
+)
+from .interrupt import (
+    DEFAULT_ENTRY_CYCLES,
+    DEFAULT_EXIT_CYCLES,
+    READ_ERROR_INTERRUPT,
+    InterruptController,
+    InterruptRecord,
+)
+from .memory import (
+    MemoryAccessStats,
+    MemoryDevice,
+    make_protected_buffer,
+    make_scratchpad,
+    make_stream_buffer,
+)
+from .platform import (
+    PAPER_FREQUENCY_HZ,
+    PAPER_L1_BYTES,
+    Platform,
+    PlatformConfig,
+    default_platform,
+    hw_mitigation_platform,
+    hybrid_platform,
+    lh7a400_platform,
+    sw_mitigation_platform,
+)
+from .processor import Processor, ProcessorSpec
+from .stats import SimulationStats
+
+__all__ = [
+    "Bus",
+    "TransferResult",
+    "Clock",
+    "EnergyAccount",
+    "CATEGORY_CHECKPOINT",
+    "CATEGORY_COMPUTE",
+    "CATEGORY_ISR",
+    "CATEGORY_LEAKAGE",
+    "CATEGORY_MEMORY_READ",
+    "CATEGORY_MEMORY_WRITE",
+    "CATEGORY_RECOVERY",
+    "READ_ERROR_INTERRUPT",
+    "DEFAULT_ENTRY_CYCLES",
+    "DEFAULT_EXIT_CYCLES",
+    "InterruptController",
+    "InterruptRecord",
+    "MemoryAccessStats",
+    "MemoryDevice",
+    "make_protected_buffer",
+    "make_scratchpad",
+    "make_stream_buffer",
+    "Platform",
+    "PlatformConfig",
+    "PAPER_FREQUENCY_HZ",
+    "PAPER_L1_BYTES",
+    "default_platform",
+    "hw_mitigation_platform",
+    "hybrid_platform",
+    "lh7a400_platform",
+    "sw_mitigation_platform",
+    "Processor",
+    "ProcessorSpec",
+    "SimulationStats",
+]

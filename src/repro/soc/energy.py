@@ -1,0 +1,101 @@
+"""Energy accounting for the behavioural SoC model.
+
+All dynamic energies are tracked in picojoules, broken down by component
+and by category, so experiment harnesses can report both totals (Fig. 5)
+and the storage / computation split of the paper's cost model (Eq. 1–2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EnergyAccount:
+    """Hierarchical energy ledger (component x category, in picojoules)."""
+
+    _ledger: dict[str, dict[str, float]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(float))
+    )
+
+    # ------------------------------------------------------------------ #
+    def charge(self, component: str, category: str, energy_pj: float) -> None:
+        """Add ``energy_pj`` picojoules to ``component`` under ``category``.
+
+        Negative charges are rejected; refunds are not a physical event in
+        this model.
+        """
+        if energy_pj < 0:
+            raise ValueError("energy charges must be non-negative")
+        self._ledger[component][category] += energy_pj
+
+    # ------------------------------------------------------------------ #
+    def component_total_pj(self, component: str) -> float:
+        """Total energy charged to one component."""
+        return sum(self._ledger.get(component, {}).values())
+
+    def category_total_pj(self, category: str) -> float:
+        """Total energy charged under one category across all components."""
+        return sum(cats.get(category, 0.0) for cats in self._ledger.values())
+
+    def total_pj(self) -> float:
+        """Grand total energy in picojoules."""
+        return sum(sum(cats.values()) for cats in self._ledger.values())
+
+    def total_nj(self) -> float:
+        """Grand total energy in nanojoules."""
+        return self.total_pj() * 1e-3
+
+    def total_uj(self) -> float:
+        """Grand total energy in microjoules."""
+        return self.total_pj() * 1e-6
+
+    # ------------------------------------------------------------------ #
+    def components(self) -> list[str]:
+        """Names of all components that received charges."""
+        return sorted(self._ledger)
+
+    def categories(self) -> list[str]:
+        """Names of all charge categories used so far."""
+        names: set[str] = set()
+        for cats in self._ledger.values():
+            names.update(cats)
+        return sorted(names)
+
+    def breakdown(self) -> dict[str, dict[str, float]]:
+        """Deep copy of the ledger as plain dictionaries."""
+        return {comp: dict(cats) for comp, cats in self._ledger.items()}
+
+    def merge(self, other: "EnergyAccount") -> None:
+        """Fold another account's charges into this one."""
+        for component, cats in other._ledger.items():
+            for category, value in cats.items():
+                self._ledger[component][category] += value
+
+    def reset(self) -> None:
+        """Discard all recorded charges."""
+        self._ledger.clear()
+
+    # ------------------------------------------------------------------ #
+    def summary_lines(self) -> list[str]:
+        """Human-readable per-component summary, sorted by energy."""
+        lines = []
+        totals = sorted(
+            ((self.component_total_pj(c), c) for c in self.components()), reverse=True
+        )
+        for energy, component in totals:
+            lines.append(f"{component:<24s} {energy / 1e3:12.3f} nJ")
+        lines.append(f"{'TOTAL':<24s} {self.total_nj():12.3f} nJ")
+        return lines
+
+
+#: Charge categories used consistently across the library so reports can
+#: aggregate them.  Free-form categories are still allowed.
+CATEGORY_COMPUTE = "compute"
+CATEGORY_MEMORY_READ = "memory_read"
+CATEGORY_MEMORY_WRITE = "memory_write"
+CATEGORY_LEAKAGE = "leakage"
+CATEGORY_CHECKPOINT = "checkpoint"
+CATEGORY_RECOVERY = "recovery"
+CATEGORY_ISR = "isr"

@@ -1,0 +1,131 @@
+"""Interrupt controller for the behavioural SoC.
+
+The proposal's HW side asserts a *Read Error Interrupt* whenever a memory
+read returns an uncorrectable word (Fig. 2(a) of the paper); the SW side
+services it by restoring state from L1' and rolling back to the last
+checkpoint (Fig. 2(b)).  This module provides the controller that connects
+the two: interrupt lines, handler registration, dispatch cost accounting
+(pipeline flush + context save/restore cycles) and per-line statistics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .clock import Clock
+from .energy import CATEGORY_ISR, EnergyAccount
+
+#: Interrupt line asserted on an uncorrectable memory read (Fig. 2(a)).
+READ_ERROR_INTERRUPT = "read_error"
+
+#: Cycles charged for taking an interrupt on an ARM9-class core: pipeline
+#: flush, mode switch and vectoring.
+DEFAULT_ENTRY_CYCLES = 12
+#: Cycles charged for returning from the interrupt handler.
+DEFAULT_EXIT_CYCLES = 8
+
+
+@dataclass(frozen=True)
+class InterruptRecord:
+    """Bookkeeping entry for one serviced interrupt."""
+
+    line: str
+    cycle: int
+    handler_cycles: int
+    payload: Any = None
+
+
+class InterruptController:
+    """Dispatches interrupt lines to registered software handlers.
+
+    Parameters
+    ----------
+    clock:
+        Platform clock advanced by entry/exit and handler cycles.
+    energy:
+        Energy account charged for the processor activity during the ISR.
+    core_energy_per_cycle_pj:
+        Dynamic core energy per cycle while servicing interrupts.
+    """
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        energy: EnergyAccount | None = None,
+        core_energy_per_cycle_pj: float = 0.0,
+        entry_cycles: int = DEFAULT_ENTRY_CYCLES,
+        exit_cycles: int = DEFAULT_EXIT_CYCLES,
+    ) -> None:
+        if entry_cycles < 0 or exit_cycles < 0:
+            raise ValueError("entry/exit cycle costs must be non-negative")
+        self.clock = clock
+        self.energy = energy
+        self.core_energy_per_cycle_pj = core_energy_per_cycle_pj
+        self.entry_cycles = entry_cycles
+        self.exit_cycles = exit_cycles
+        self._handlers: dict[str, Callable[[Any], int]] = {}
+        self._counts: dict[str, int] = defaultdict(int)
+        self.history: list[InterruptRecord] = []
+
+    # ------------------------------------------------------------------ #
+    def register(self, line: str, handler: Callable[[Any], int]) -> None:
+        """Attach ``handler`` to interrupt ``line``.
+
+        The handler receives the raise payload and must return the number
+        of cycles its service routine consumed (excluding entry/exit).
+        """
+        if not callable(handler):
+            raise TypeError("handler must be callable")
+        self._handlers[line] = handler
+
+    def unregister(self, line: str) -> None:
+        """Detach the handler of ``line`` (no-op if none registered)."""
+        self._handlers.pop(line, None)
+
+    def is_registered(self, line: str) -> bool:
+        """True if a handler is attached to ``line``."""
+        return line in self._handlers
+
+    # ------------------------------------------------------------------ #
+    def raise_interrupt(self, line: str, payload: Any = None) -> InterruptRecord:
+        """Assert interrupt ``line`` and synchronously run its handler.
+
+        Raises
+        ------
+        KeyError
+            If no handler is registered for ``line`` — an unhandled
+            uncorrectable error is a configuration bug, not a silent event.
+        """
+        if line not in self._handlers:
+            raise KeyError(f"no handler registered for interrupt line {line!r}")
+        handler = self._handlers[line]
+        handler_cycles = int(handler(payload))
+        if handler_cycles < 0:
+            raise ValueError("interrupt handlers must report non-negative cycle counts")
+
+        total_cycles = self.entry_cycles + handler_cycles + self.exit_cycles
+        cycle_now = self.clock.cycles if self.clock is not None else 0
+        if self.clock is not None:
+            self.clock.advance(total_cycles)
+        if self.energy is not None and self.core_energy_per_cycle_pj > 0:
+            self.energy.charge(
+                "cpu", CATEGORY_ISR, total_cycles * self.core_energy_per_cycle_pj
+            )
+
+        self._counts[line] += 1
+        record = InterruptRecord(
+            line=line, cycle=cycle_now, handler_cycles=handler_cycles, payload=payload
+        )
+        self.history.append(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    def count(self, line: str) -> int:
+        """Number of times ``line`` has been serviced."""
+        return self._counts.get(line, 0)
+
+    def total_serviced(self) -> int:
+        """Total interrupts serviced across all lines."""
+        return sum(self._counts.values())

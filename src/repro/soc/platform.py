@@ -1,0 +1,234 @@
+"""Platform assembly: the NXP LH7A400-class SoC used in the paper.
+
+A :class:`Platform` wires together the shared clock and energy account,
+the ARM9-class processor model, the vulnerable L1 scratchpad, the
+streaming input buffer L1X, an optional protected buffer L1' and the
+interrupt controller.  Mitigation strategies configure the memories (which
+ECC protects L1, whether L1' exists and how large it is) through the
+factory helpers at the bottom of this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ecc import Code, NoCode, code_for_scheme
+from ..memmodel import NODE_65NM, TechnologyNode
+from .bus import Bus
+from .clock import Clock
+from .energy import EnergyAccount
+from .interrupt import InterruptController
+from .memory import MemoryDevice, make_protected_buffer, make_scratchpad, make_stream_buffer
+from .processor import Processor, ProcessorSpec
+
+#: L1 scratchpad capacity of the paper's platform (64 KB).
+PAPER_L1_BYTES = 64 * 1024
+#: Operating frequency fixed in the paper's experiments.
+PAPER_FREQUENCY_HZ = 200e6
+
+
+@dataclass
+class PlatformConfig:
+    """Declarative description of one platform instantiation.
+
+    Attributes
+    ----------
+    name:
+        Configuration name for reports (e.g. ``"default"``, ``"hybrid"``).
+    l1_bytes:
+        Capacity of the vulnerable L1 scratchpad.
+    l1_scheme:
+        ECC scheme protecting L1 (``"none"``, ``"parity"``, ``"secded"``,
+        ``"interleaved-secded"``...).
+    l1_correctable_bits:
+        Interleaving factor / correction strength when L1 uses a multi-bit
+        scheme (the HW-mitigation baseline).
+    l1x_bytes:
+        Capacity of the streaming input buffer.
+    l1p_words:
+        Data capacity of the protected buffer L1' in words, or 0 to omit
+        it (the Default / HW / SW configurations have no L1').
+    l1p_correctable_bits:
+        Correction strength of L1' (the proposal uses a multi-bit code).
+    frequency_hz:
+        Core and memory clock.
+    technology:
+        Process node for all memory estimates.
+    """
+
+    name: str = "default"
+    l1_bytes: int = PAPER_L1_BYTES
+    l1_scheme: str = "none"
+    l1_correctable_bits: int = 1
+    l1x_bytes: int = 8 * 1024
+    l1p_words: int = 0
+    l1p_correctable_bits: int = 4
+    frequency_hz: float = PAPER_FREQUENCY_HZ
+    technology: TechnologyNode = NODE_65NM
+    processor: ProcessorSpec = field(default_factory=ProcessorSpec)
+
+
+class Platform:
+    """Assembled behavioural SoC: processor, memories, bus, interrupts."""
+
+    def __init__(self, config: PlatformConfig | None = None) -> None:
+        self.config = config if config is not None else PlatformConfig()
+        cfg = self.config
+
+        self.clock = Clock(frequency_hz=cfg.frequency_hz)
+        self.energy = EnergyAccount()
+        spec = ProcessorSpec(
+            name=cfg.processor.name,
+            frequency_hz=cfg.frequency_hz,
+            dynamic_energy_per_cycle_pj=cfg.processor.dynamic_energy_per_cycle_pj,
+            static_power_mw=cfg.processor.static_power_mw,
+            context_save_cycles=cfg.processor.context_save_cycles,
+            context_restore_cycles=cfg.processor.context_restore_cycles,
+            pipeline_flush_cycles=cfg.processor.pipeline_flush_cycles,
+            status_register_words=cfg.processor.status_register_words,
+        )
+        self.processor = Processor(spec=spec, clock=self.clock, energy=self.energy)
+
+        l1_code = self._build_l1_code(cfg)
+        self.l1 = make_scratchpad(
+            name="L1",
+            capacity_bytes=cfg.l1_bytes,
+            code=l1_code,
+            energy=self.energy,
+            technology=cfg.technology,
+        )
+        self.l1x = make_stream_buffer(
+            capacity_bytes=cfg.l1x_bytes,
+            name="L1X",
+            energy=self.energy,
+            technology=cfg.technology,
+        )
+        self.l1p: MemoryDevice | None = None
+        if cfg.l1p_words > 0:
+            l1p_code = code_for_scheme(
+                "interleaved-secded", data_bits=32, t=cfg.l1p_correctable_bits
+            )
+            # Reserve room for the architectural status registers saved at
+            # every checkpoint in addition to the data chunk itself.
+            capacity = cfg.l1p_words + spec.status_register_words
+            self.l1p = make_protected_buffer(
+                capacity_words=capacity,
+                code=l1p_code,
+                name="L1p",
+                energy=self.energy,
+                technology=cfg.technology,
+            )
+
+        self.bus = Bus(clock=self.clock)
+        self.interrupts = InterruptController(
+            clock=self.clock,
+            energy=self.energy,
+            core_energy_per_cycle_pj=spec.dynamic_energy_per_cycle_pj,
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _build_l1_code(cfg: PlatformConfig) -> Code:
+        scheme = cfg.l1_scheme.lower()
+        if scheme in ("none", "parity", "hamming", "secded"):
+            return code_for_scheme(scheme, data_bits=32)
+        return code_for_scheme(scheme, data_bits=32, t=cfg.l1_correctable_bits)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def memories(self) -> list[MemoryDevice]:
+        """All instantiated memory devices."""
+        devices = [self.l1, self.l1x]
+        if self.l1p is not None:
+            devices.append(self.l1p)
+        return devices
+
+    def total_memory_leakage_mw(self) -> float:
+        """Sum of the leakage power of every memory device."""
+        return sum(device.leakage_mw for device in self.memories)
+
+    def total_area_mm2(self) -> float:
+        """Total memory area (the quantity constrained by OV1 in Eq. 4)."""
+        return sum(device.area_mm2 for device in self.memories)
+
+    def finalize_leakage(self) -> None:
+        """Charge leakage energy for the elapsed simulated time.
+
+        Call exactly once at the end of a run; calling earlier would double
+        count leakage when more activity follows.
+        """
+        self.processor.charge_leakage(
+            self.clock.cycles, extra_leakage_mw=self.total_memory_leakage_mw()
+        )
+
+    # ------------------------------------------------------------------ #
+    def area_overhead_vs(self, baseline: "Platform") -> float:
+        """Fractional memory-area overhead of this platform vs a baseline."""
+        base = baseline.total_area_mm2()
+        return (self.total_area_mm2() - base) / base
+
+
+# ---------------------------------------------------------------------- #
+# Factory helpers for the four configurations compared in the paper
+# ---------------------------------------------------------------------- #
+def lh7a400_platform(
+    l1_scheme: str = "none",
+    l1_correctable_bits: int = 1,
+    l1p_words: int = 0,
+    l1p_correctable_bits: int = 4,
+    name: str = "lh7a400",
+    frequency_hz: float = PAPER_FREQUENCY_HZ,
+) -> Platform:
+    """Build the NXP LH7A400-class platform with a chosen protection setup."""
+    config = PlatformConfig(
+        name=name,
+        l1_scheme=l1_scheme,
+        l1_correctable_bits=l1_correctable_bits,
+        l1p_words=l1p_words,
+        l1p_correctable_bits=l1p_correctable_bits,
+        frequency_hz=frequency_hz,
+    )
+    return Platform(config)
+
+
+def default_platform() -> Platform:
+    """Baseline platform: unprotected L1, no L1' (the paper's *Default*)."""
+    return lh7a400_platform(l1_scheme="none", name="default")
+
+
+def hw_mitigation_platform(correctable_bits: int = 4) -> Platform:
+    """HW-mitigation baseline: the whole L1 protected by multi-bit ECC."""
+    return lh7a400_platform(
+        l1_scheme="interleaved-secded",
+        l1_correctable_bits=correctable_bits,
+        name="hw-mitigation",
+    )
+
+
+def sw_mitigation_platform(detection_ways: int = 4) -> Platform:
+    """SW-mitigation baseline: interleaved-parity detection on L1, task restart.
+
+    The interleaved parity checker guarantees detection of adjacent SMU
+    clusters up to ``detection_ways`` bits (it corrects nothing), which is
+    the "minimal ECC capability" of the paper's SW baseline.
+    """
+    return lh7a400_platform(
+        l1_scheme="interleaved-parity",
+        l1_correctable_bits=detection_ways,
+        name="sw-mitigation",
+    )
+
+
+def hybrid_platform(
+    l1p_words: int, l1p_correctable_bits: int = 4, detection_ways: int = 4
+) -> Platform:
+    """The proposal: SMU-detecting (interleaved-parity) L1 plus the L1' buffer."""
+    if l1p_words <= 0:
+        raise ValueError("the hybrid platform requires a positive L1' capacity")
+    return lh7a400_platform(
+        l1_scheme="interleaved-parity",
+        l1_correctable_bits=detection_ways,
+        l1p_words=l1p_words,
+        l1p_correctable_bits=l1p_correctable_bits,
+        name="hybrid",
+    )

@@ -1,0 +1,121 @@
+"""Behavioural ARM9-class processor model.
+
+The reproduction does not interpret ARM instructions; applications report
+how many processor cycles each streaming step costs (derived from
+operation counts, see :mod:`repro.apps.base`) and the processor model
+turns those cycles into time and energy.  This level of abstraction is
+sufficient because every quantity in the paper's evaluation is a ratio of
+cycle/energy totals between mitigation configurations on the *same*
+workload.
+
+Core energy per cycle is derived from a typical ARM926EJ-S power figure of
+roughly 0.45 mW/MHz at 1.1 V in 65 nm low-power silicon, i.e. about
+0.45 pJ per cycle of dynamic core energy, plus a small static component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .clock import Clock
+from .energy import CATEGORY_COMPUTE, CATEGORY_LEAKAGE, EnergyAccount
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """Static parameters of the modelled core.
+
+    Attributes
+    ----------
+    name:
+        Core name for reports.
+    frequency_hz:
+        Operating frequency (the paper fixes 200 MHz).
+    dynamic_energy_per_cycle_pj:
+        Dynamic energy per active cycle in picojoules.
+    static_power_mw:
+        Core leakage power in milliwatts.
+    context_save_cycles:
+        Cycles to save the architectural status registers (used at every
+        checkpoint commit, per Fig. 2 of the paper).
+    context_restore_cycles:
+        Cycles to restore the status registers during the read-error ISR.
+    pipeline_flush_cycles:
+        Cycles lost flushing the pipeline when an error is detected.
+    status_register_words:
+        Number of 32-bit words of architectural status stored in L1' at
+        every checkpoint alongside the data chunk.
+    """
+
+    name: str = "ARM926EJ-S"
+    frequency_hz: float = 200e6
+    dynamic_energy_per_cycle_pj: float = 0.45
+    static_power_mw: float = 0.12
+    context_save_cycles: int = 34
+    context_restore_cycles: int = 34
+    pipeline_flush_cycles: int = 5
+    status_register_words: int = 16
+
+
+@dataclass
+class Processor:
+    """Cycle/energy accounting front-end for the modelled core.
+
+    Parameters
+    ----------
+    spec:
+        Static core parameters.
+    clock:
+        Shared platform clock advanced by :meth:`execute`.
+    energy:
+        Shared energy account charged for compute energy.
+    """
+
+    spec: ProcessorSpec = field(default_factory=ProcessorSpec)
+    clock: Clock = field(default_factory=Clock)
+    energy: EnergyAccount = field(default_factory=EnergyAccount)
+    busy_cycles: int = 0
+    stall_cycles: int = 0
+
+    # ------------------------------------------------------------------ #
+    def execute(self, cycles: int, category: str = CATEGORY_COMPUTE) -> int:
+        """Consume ``cycles`` of active execution; returns the new clock value."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        cycles = int(cycles)
+        self.busy_cycles += cycles
+        self.energy.charge("cpu", category, cycles * self.spec.dynamic_energy_per_cycle_pj)
+        return self.clock.advance(cycles)
+
+    def stall(self, cycles: int) -> int:
+        """Consume ``cycles`` of stall time (memory wait); charged at 40 % power."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        cycles = int(cycles)
+        self.stall_cycles += cycles
+        self.energy.charge(
+            "cpu", CATEGORY_COMPUTE, 0.4 * cycles * self.spec.dynamic_energy_per_cycle_pj
+        )
+        return self.clock.advance(cycles)
+
+    # ------------------------------------------------------------------ #
+    def charge_leakage(self, elapsed_cycles: int, extra_leakage_mw: float = 0.0) -> None:
+        """Charge core + supplied memory leakage for an elapsed interval.
+
+        Leakage energy = power x time; time follows from the elapsed cycles
+        and the operating frequency.  Memory devices report their leakage
+        power; the platform sums it and passes it here once per run so
+        leakage is not double counted.
+        """
+        if elapsed_cycles < 0:
+            raise ValueError("elapsed_cycles must be non-negative")
+        seconds = elapsed_cycles / self.spec.frequency_hz
+        total_mw = self.spec.static_power_mw + extra_leakage_mw
+        energy_pj = total_mw * 1e-3 * seconds * 1e12
+        self.energy.charge("leakage", CATEGORY_LEAKAGE, energy_pj)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_cycles(self) -> int:
+        """Busy plus stall cycles attributed to this core."""
+        return self.busy_cycles + self.stall_cycles

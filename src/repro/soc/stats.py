@@ -1,0 +1,159 @@
+"""Simulation statistics collection and report structures.
+
+The execution engine produces one :class:`SimulationStats` per run.  It
+captures everything the experiment harnesses need: energy broken down by
+component and category, cycle counts (useful work vs. overhead), error and
+recovery counts, and deadline information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .energy import EnergyAccount
+
+
+@dataclass
+class SimulationStats:
+    """Aggregate outcome of one simulated task execution.
+
+    Attributes
+    ----------
+    configuration:
+        Name of the mitigation configuration (``"default"``, ``"hybrid"``...).
+    application:
+        Name of the streaming workload executed.
+    total_cycles:
+        End-to-end execution cycles including all overheads.
+    useful_cycles:
+        Cycles spent on first-pass computation of the workload itself.
+    checkpoint_cycles:
+        Cycles spent committing checkpoints (copying chunks + status
+        registers into L1').
+    recovery_cycles:
+        Cycles spent in ISRs, rollbacks and re-computation of faulty chunks
+        (or full task restarts for the SW baseline).
+    energy:
+        Full energy ledger of the run.
+    upsets_injected:
+        Number of upset events applied to the vulnerable memory.
+    errors_detected:
+        Number of reads (or chunk buffering transfers) that observed an error.
+    errors_corrected_inline:
+        Errors corrected transparently by memory ECC (no rollback needed).
+    rollbacks:
+        Number of rollback/recovery episodes performed.
+    task_restarts:
+        Number of full task restarts (SW-mitigation baseline only).
+    output_correct:
+        Whether the produced output matched the golden reference.
+    silent_corruptions:
+        Number of corrupted words consumed without detection (Default case).
+    checkpoints_committed:
+        Number of checkpoint commits performed.
+    deadline_cycles:
+        The task deadline used for violation checks (0 = no deadline set).
+    """
+
+    configuration: str
+    application: str
+    total_cycles: int = 0
+    useful_cycles: int = 0
+    checkpoint_cycles: int = 0
+    recovery_cycles: int = 0
+    energy: EnergyAccount = field(default_factory=EnergyAccount)
+    upsets_injected: int = 0
+    errors_detected: int = 0
+    errors_corrected_inline: int = 0
+    rollbacks: int = 0
+    task_restarts: int = 0
+    output_correct: bool = True
+    silent_corruptions: int = 0
+    checkpoints_committed: int = 0
+    deadline_cycles: int = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_energy_pj(self) -> float:
+        """Total energy of the run in picojoules."""
+        return self.energy.total_pj()
+
+    @property
+    def total_energy_nj(self) -> float:
+        """Total energy of the run in nanojoules."""
+        return self.energy.total_nj()
+
+    @property
+    def overhead_cycles(self) -> int:
+        """Cycles beyond first-pass useful computation."""
+        return self.total_cycles - self.useful_cycles
+
+    @property
+    def cycle_overhead_fraction(self) -> float:
+        """Execution-time overhead relative to useful cycles."""
+        if self.useful_cycles == 0:
+            return 0.0
+        return self.overhead_cycles / self.useful_cycles
+
+    @property
+    def deadline_met(self) -> bool:
+        """True when no deadline was set or the run finished within it."""
+        return self.deadline_cycles == 0 or self.total_cycles <= self.deadline_cycles
+
+    @property
+    def fully_mitigated(self) -> bool:
+        """True when the output is correct and nothing corrupted it silently."""
+        return self.output_correct and self.silent_corruptions == 0
+
+    # ------------------------------------------------------------------ #
+    def energy_relative_to(self, baseline: "SimulationStats") -> float:
+        """Energy normalized to a baseline run (the y-axis of Fig. 5)."""
+        base = baseline.total_energy_pj
+        if base <= 0:
+            raise ValueError("baseline energy must be positive")
+        return self.total_energy_pj / base
+
+    def cycles_relative_to(self, baseline: "SimulationStats") -> float:
+        """Execution time normalized to a baseline run."""
+        if baseline.total_cycles <= 0:
+            raise ValueError("baseline cycles must be positive")
+        return self.total_cycles / baseline.total_cycles
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat numeric view used by fault campaigns and benchmarks."""
+        return {
+            "total_cycles": float(self.total_cycles),
+            "useful_cycles": float(self.useful_cycles),
+            "checkpoint_cycles": float(self.checkpoint_cycles),
+            "recovery_cycles": float(self.recovery_cycles),
+            "energy_pj": self.total_energy_pj,
+            "upsets_injected": float(self.upsets_injected),
+            "errors_detected": float(self.errors_detected),
+            "errors_corrected_inline": float(self.errors_corrected_inline),
+            "rollbacks": float(self.rollbacks),
+            "task_restarts": float(self.task_restarts),
+            "output_correct": 1.0 if self.output_correct else 0.0,
+            "silent_corruptions": float(self.silent_corruptions),
+            "checkpoints_committed": float(self.checkpoints_committed),
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary of the run."""
+        lines = [
+            f"configuration      : {self.configuration}",
+            f"application        : {self.application}",
+            f"total cycles       : {self.total_cycles}",
+            f"  useful           : {self.useful_cycles}",
+            f"  checkpointing    : {self.checkpoint_cycles}",
+            f"  recovery         : {self.recovery_cycles}",
+            f"total energy       : {self.total_energy_nj:.3f} nJ",
+            f"upsets injected    : {self.upsets_injected}",
+            f"errors detected    : {self.errors_detected}",
+            f"inline corrections : {self.errors_corrected_inline}",
+            f"rollbacks          : {self.rollbacks}",
+            f"task restarts      : {self.task_restarts}",
+            f"checkpoints        : {self.checkpoints_committed}",
+            f"output correct     : {self.output_correct}",
+            f"silent corruptions : {self.silent_corruptions}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Shared low-level utilities (bit manipulation, deterministic RNG helpers)."""
+
+from .bitops import (
+    bit_positions,
+    bits_to_int,
+    chunks_of_bits,
+    flip_bit,
+    flip_bits,
+    get_bit,
+    hamming_distance,
+    int_to_bits,
+    join_bit_chunks,
+    mask,
+    parity,
+    popcount,
+    rotate_left,
+    set_bit,
+)
+from .rng import make_rng, spawn_rngs
+
+__all__ = [
+    "bit_positions",
+    "bits_to_int",
+    "chunks_of_bits",
+    "flip_bit",
+    "flip_bits",
+    "get_bit",
+    "hamming_distance",
+    "int_to_bits",
+    "join_bit_chunks",
+    "mask",
+    "parity",
+    "popcount",
+    "rotate_left",
+    "set_bit",
+    "make_rng",
+    "spawn_rngs",
+]

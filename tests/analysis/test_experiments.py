@@ -1,0 +1,138 @@
+"""Tests for the experiment harnesses (small workloads, reduced sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ablation_area_budget,
+    ablation_correction_strength,
+    ablation_drain_latency,
+    ablation_error_rate,
+    fig4_feasible_region,
+    fig5_energy,
+    table1_optimal_chunks,
+    timing_overhead,
+)
+from repro.analysis.paper_data import PAPER_TABLE1_OPTIMUM_WORDS
+from repro.core.config import PAPER_OPERATING_POINT
+
+
+class TestFig4Harness:
+    def test_boundary_shape_and_rendering(self):
+        result = fig4_feasible_region(chunk_stride=16)
+        rows = result.rows()
+        assert rows
+        bits = [b for _, b in rows]
+        assert all(later <= earlier for earlier, later in zip(bits, bits[1:]))
+        assert "Fig. 4" in result.render()
+        assert result.series()[rows[0][0]] == rows[0][1]
+
+
+class TestTable1Harness:
+    @pytest.fixture(scope="class")
+    def small_apps(self):
+        from repro.apps.adpcm import AdpcmEncodeApp
+        from repro.apps.g721 import G721EncodeApp
+
+        return [AdpcmEncodeApp(frame_samples=640), G721EncodeApp(frame_samples=320)]
+
+    def test_rows_reference_paper_values(self, small_apps):
+        result = table1_optimal_chunks(applications=small_apps)
+        assert set(result.rows_by_app) == {"adpcm-encode", "g721-encode"}
+        row = result.rows_by_app["adpcm-encode"]
+        assert row.paper_chunk_words == PAPER_TABLE1_OPTIMUM_WORDS["adpcm-encode"]
+        assert row.chunk_words >= 1
+        assert row.predicted_cycle_overhead <= PAPER_OPERATING_POINT.cycle_overhead + 1e-9
+        assert "Table I" in result.render()
+
+    def test_optimizations_are_exposed_for_reuse(self, small_apps):
+        result = table1_optimal_chunks(applications=small_apps)
+        assert result.optimizations["g721-encode"].best.feasible
+
+
+class TestFig5AndTimingHarness:
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        from repro.apps.adpcm import AdpcmEncodeApp
+
+        return fig5_energy(applications=[AdpcmEncodeApp(frame_samples=640)], seeds=(0, 1))
+
+    def test_all_five_configurations_present(self, fig5):
+        assert fig5.strategies() == [
+            "default",
+            "sw-mitigation",
+            "hw-mitigation",
+            "hybrid-optimal",
+            "hybrid-suboptimal",
+        ]
+        assert fig5.applications() == ["adpcm-encode"]
+
+    def test_default_is_the_normalization_baseline(self, fig5):
+        assert fig5.outcome("adpcm-encode", "default").normalized_energy == pytest.approx(1.0)
+
+    def test_shape_hybrid_cheaper_than_hw(self, fig5):
+        hybrid = fig5.outcome("adpcm-encode", "hybrid-optimal").normalized_energy
+        hw = fig5.outcome("adpcm-encode", "hw-mitigation").normalized_energy
+        assert 1.0 <= hybrid < 1.4
+        assert hw > 1.5
+
+    def test_averages_and_render(self, fig5):
+        assert fig5.average_normalized_energy("default") == pytest.approx(1.0)
+        assert fig5.max_normalized_energy("hw-mitigation") >= fig5.average_normalized_energy(
+            "hw-mitigation"
+        )
+        rendered = fig5.render()
+        assert "Fig. 5" in rendered
+        assert "AVERAGE" in rendered
+
+    def test_unknown_lookup_raises(self, fig5):
+        with pytest.raises(KeyError):
+            fig5.outcome("adpcm-encode", "unknown-strategy")
+
+    def test_timing_reuses_fig5_runs(self, fig5):
+        timing = timing_overhead(fig5=fig5)
+        rows = timing.rows()
+        assert len(rows) == len(fig5.outcomes)
+        violations = timing.violations()
+        assert all(strategy == "hw-mitigation" for _, strategy, _ in violations)
+        assert "Section III-B" in timing.render()
+
+    def test_requires_at_least_one_seed(self):
+        with pytest.raises(ValueError):
+            fig5_energy(applications=["adpcm-encode"], seeds=())
+
+
+class TestAblations:
+    def test_error_rate_ablation_shrinks_chunks(self):
+        from repro.apps.g721 import G721DecodeApp
+
+        result = ablation_error_rate(
+            rates=[1e-7, 5e-6], application=G721DecodeApp(frame_samples=800)
+        )
+        rows = result.rows()
+        assert len(rows) == 2
+        assert rows[1][1] <= rows[0][1]
+        assert "Ablation" in result.render()
+
+    def test_area_budget_ablation_monotone(self):
+        result = ablation_area_budget(budgets=[0.02, 0.10])
+        rows = result.rows()
+        assert rows[1][1] >= rows[0][1]
+
+    def test_correction_strength_ablation(self):
+        from repro.apps.adpcm import AdpcmEncodeApp
+
+        result = ablation_correction_strength(
+            strengths=[1, 8], application=AdpcmEncodeApp(frame_samples=640)
+        )
+        assert len(result.rows()) == 2
+
+    def test_drain_latency_ablation(self):
+        from repro.apps.adpcm import AdpcmEncodeApp
+
+        result = ablation_drain_latency(
+            latencies=[500, 2000], application=AdpcmEncodeApp(frame_samples=640)
+        )
+        rows = result.rows()
+        assert len(rows) == 2

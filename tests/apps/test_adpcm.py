@@ -1,0 +1,147 @@
+"""Tests for the IMA ADPCM codec and its streaming wrappers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.adpcm import (
+    AdpcmDecodeApp,
+    AdpcmEncodeApp,
+    AdpcmState,
+    STEP_SIZE_TABLE,
+    decode_block,
+    decode_sample,
+    encode_block,
+    encode_sample,
+    pack_codes_to_words,
+    unpack_words_to_codes,
+)
+from repro.apps.datagen import speech_like_pcm, tonal_pcm
+
+SAMPLES = st.integers(min_value=-32768, max_value=32767)
+
+
+class TestTables:
+    def test_step_size_table_is_the_standard_89_entry_table(self):
+        assert len(STEP_SIZE_TABLE) == 89
+        assert STEP_SIZE_TABLE[0] == 7
+        assert STEP_SIZE_TABLE[-1] == 32767
+        assert list(STEP_SIZE_TABLE) == sorted(STEP_SIZE_TABLE)
+
+
+class TestSampleCodec:
+    def test_codes_are_4_bit(self):
+        state = AdpcmState()
+        for sample in (-30000, -5, 0, 5, 30000):
+            code, state = encode_sample(sample, state)
+            assert 0 <= code <= 15
+
+    def test_decode_rejects_invalid_code(self):
+        with pytest.raises(ValueError):
+            decode_sample(16, AdpcmState())
+
+    @given(SAMPLES)
+    def test_encoder_and_decoder_states_track(self, sample):
+        # Encoding then decoding a single sample with synchronized states
+        # must leave both sides with identical predictor state.
+        code, enc_state = encode_sample(sample, AdpcmState())
+        value, dec_state = decode_sample(code, AdpcmState())
+        assert enc_state == dec_state
+        assert value == enc_state.predictor
+
+    def test_state_clamping(self):
+        clamped = AdpcmState(predictor=99_999, index=200).clamped()
+        assert clamped.predictor == 32767
+        assert clamped.index == 88
+
+
+class TestBlockCodec:
+    def test_roundtrip_snr_on_speech(self):
+        pcm = speech_like_pcm(2000, seed=0)
+        codes, _ = encode_block(pcm, AdpcmState())
+        decoded, _ = decode_block(codes, AdpcmState())
+        x = np.array(pcm, dtype=float)
+        y = np.array(decoded, dtype=float)
+        snr = 10 * np.log10(np.sum(x**2) / np.sum((x - y) ** 2))
+        assert snr > 15.0  # IMA ADPCM delivers ~16-20 dB on speech-like input
+
+    def test_roundtrip_on_pure_tone(self):
+        pcm = tonal_pcm(1000)
+        codes, _ = encode_block(pcm, AdpcmState())
+        decoded, _ = decode_block(codes, AdpcmState())
+        x = np.array(pcm, dtype=float)
+        y = np.array(decoded, dtype=float)
+        assert np.mean(np.abs(x - y)) < 1500
+
+    def test_determinism(self):
+        pcm = speech_like_pcm(500, seed=7)
+        first, _ = encode_block(pcm, AdpcmState())
+        second, _ = encode_block(pcm, AdpcmState())
+        assert first == second
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=64))
+    def test_code_packing_roundtrip(self, codes):
+        words = pack_codes_to_words(codes)
+        assert unpack_words_to_codes(words, len(codes)) == codes
+        assert len(words) == (len(codes) + 7) // 8
+
+
+class TestEncodeApp:
+    def test_characterization(self, small_adpcm_encode):
+        task_input = small_adpcm_encode.generate_input(0)
+        char = small_adpcm_encode.characterize(task_input)
+        assert char.steps == 20
+        assert char.output_words == 40  # 2 words per 16-sample step
+        assert char.compute_cycles > 0
+        assert char.state_words == 2
+
+    def test_step_determinism_supports_rollback(self, small_adpcm_encode):
+        app = small_adpcm_encode
+        task_input = app.generate_input(1)
+        state = app.initial_state(task_input)
+        first = app.run_step(task_input, 0, state)
+        again = app.run_step(task_input, 0, state)
+        assert first.output_words == again.output_words
+        assert first.state == again.state
+
+    def test_golden_output_matches_direct_encoding(self, small_adpcm_encode):
+        app = small_adpcm_encode
+        task_input = app.generate_input(2)
+        golden = app.golden_output(task_input)
+        codes, _ = encode_block(task_input, AdpcmState())
+        assert golden == pack_codes_to_words(codes)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            AdpcmEncodeApp(frame_samples=100, samples_per_step=3)
+        with pytest.raises(ValueError):
+            AdpcmEncodeApp(frame_samples=0)
+        with pytest.raises(ValueError):
+            AdpcmEncodeApp(frame_samples=100, samples_per_step=16)
+
+
+class TestDecodeApp:
+    def test_decode_app_consumes_real_bitstream(self, small_adpcm_decode):
+        app = small_adpcm_decode
+        codes = app.generate_input(0)
+        assert all(0 <= code <= 15 for code in codes)
+        char = app.characterize(codes)
+        assert char.steps == len(codes) // app.codes_per_step
+        assert char.output_words == char.steps * 4  # 8 samples -> 4 words
+
+    def test_decode_golden_reconstructs_waveform(self, small_adpcm_decode):
+        app = small_adpcm_decode
+        codes = app.generate_input(3)
+        golden = app.golden_output(codes)
+        decoded, _ = decode_block(codes, AdpcmState())
+        from repro.apps.base import unpack_words_to_samples
+
+        assert unpack_words_to_samples(golden, len(decoded)) == decoded
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            AdpcmDecodeApp(frame_samples=100, codes_per_step=7)

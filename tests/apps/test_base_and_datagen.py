@@ -1,0 +1,99 @@
+"""Tests for the streaming-application base helpers and data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import (
+    pack_bytes_to_words,
+    pack_samples_to_words,
+    unpack_words_to_samples,
+)
+from repro.apps.datagen import flat_image, natural_image, speech_like_pcm, tonal_pcm
+
+
+class TestPacking:
+    def test_pack_bytes_little_endian(self):
+        assert pack_bytes_to_words(b"\x01\x02\x03\x04") == [0x04030201]
+        assert pack_bytes_to_words(b"\x01") == [0x01]
+        assert pack_bytes_to_words(b"") == []
+
+    def test_pack_samples_two_per_word(self):
+        words = pack_samples_to_words([1, -1], bits=16)
+        assert words == [(0xFFFF << 16) | 1]
+
+    def test_pack_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            pack_samples_to_words([1], bits=12)
+        with pytest.raises(ValueError):
+            unpack_words_to_samples([1], 1, bits=24)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=-32768, max_value=32767), min_size=1, max_size=64))
+    def test_samples_roundtrip(self, samples):
+        words = pack_samples_to_words(samples, bits=16)
+        assert unpack_words_to_samples(words, len(samples), bits=16) == samples
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=-128, max_value=127), min_size=1, max_size=64))
+    def test_8bit_samples_roundtrip(self, samples):
+        words = pack_samples_to_words(samples, bits=8)
+        assert unpack_words_to_samples(words, len(samples), bits=8) == samples
+
+
+class TestSpeechGenerator:
+    def test_length_and_range(self):
+        pcm = speech_like_pcm(1000, seed=0)
+        assert len(pcm) == 1000
+        assert all(-32768 <= s <= 32767 for s in pcm)
+
+    def test_deterministic_per_seed(self):
+        assert speech_like_pcm(256, seed=5) == speech_like_pcm(256, seed=5)
+        assert speech_like_pcm(256, seed=5) != speech_like_pcm(256, seed=6)
+
+    def test_signal_has_energy_and_structure(self):
+        pcm = np.array(speech_like_pcm(4000, seed=1), dtype=float)
+        assert np.std(pcm) > 1000  # not silence
+        # Autocorrelation at a small lag should be high (low-frequency content).
+        lag = 10
+        corr = np.corrcoef(pcm[:-lag], pcm[lag:])[0, 1]
+        assert corr > 0.5
+
+    def test_rejects_non_positive_length(self):
+        with pytest.raises(ValueError):
+            speech_like_pcm(0)
+
+    def test_tonal_generator(self):
+        pcm = tonal_pcm(800, frequency_hz=400.0)
+        assert len(pcm) == 800
+        assert max(pcm) > 6000
+
+
+class TestImageGenerator:
+    def test_shape_dtype_and_range(self):
+        image = natural_image(64, 48, seed=0)
+        assert image.shape == (48, 64)
+        assert image.dtype == np.uint8
+
+    def test_dimensions_must_be_multiples_of_8(self):
+        with pytest.raises(ValueError):
+            natural_image(60, 64)
+        with pytest.raises(ValueError):
+            flat_image(10, 8)
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(natural_image(32, 32, seed=3), natural_image(32, 32, seed=3))
+        assert not np.array_equal(natural_image(32, 32, seed=3), natural_image(32, 32, seed=4))
+
+    def test_natural_image_has_texture(self):
+        image = natural_image(64, 64, seed=2).astype(float)
+        assert image.std() > 10.0
+
+    def test_flat_image_is_uniform(self):
+        image = flat_image(16, 16, value=77)
+        assert np.all(image == 77)
+        with pytest.raises(ValueError):
+            flat_image(16, 16, value=300)

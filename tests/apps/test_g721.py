@@ -1,0 +1,124 @@
+"""Tests for the G.721-style adaptive-predictor ADPCM codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.g721 import (
+    G721DecodeApp,
+    G721EncodeApp,
+    G721State,
+    STATE_WORDS,
+    decode_block,
+    decode_sample,
+    encode_block,
+    encode_sample,
+)
+from repro.apps.datagen import speech_like_pcm, tonal_pcm
+
+
+class TestSampleCodec:
+    def test_codes_are_4_bit(self):
+        state = G721State()
+        for sample in (-20000, -3, 0, 3, 20000):
+            code, state = encode_sample(sample, state)
+            assert 0 <= code <= 15
+
+    def test_decode_rejects_invalid_code(self):
+        with pytest.raises(ValueError):
+            decode_sample(31, G721State())
+
+    def test_encoder_decoder_states_stay_synchronized(self):
+        pcm = speech_like_pcm(400, seed=0)
+        enc_state = G721State()
+        dec_state = G721State()
+        for sample in pcm:
+            code, enc_state = encode_sample(sample, enc_state)
+            _, dec_state = decode_sample(code, dec_state)
+        assert enc_state.step == pytest.approx(dec_state.step)
+        assert enc_state.a1 == pytest.approx(dec_state.a1)
+        assert enc_state.b == pytest.approx(dec_state.b)
+
+    def test_predictor_stability_clamps(self):
+        # Feed a pathological constant-extreme input; the pole coefficients
+        # must stay inside the stability region.
+        state = G721State()
+        for _ in range(2000):
+            _, state = encode_sample(32767, state)
+        assert abs(state.a2) <= 0.75
+        assert abs(state.a1) <= 0.95
+        assert state.step <= 8192.0
+
+
+class TestBlockCodec:
+    def test_roundtrip_snr_on_speech(self):
+        pcm = speech_like_pcm(2000, seed=1)
+        codes, _ = encode_block(pcm, G721State())
+        decoded, _ = decode_block(codes, G721State())
+        x = np.array(pcm, dtype=float)
+        y = np.array(decoded, dtype=float)
+        snr = 10 * np.log10(np.sum(x**2) / np.sum((x - y) ** 2))
+        assert snr > 12.0
+
+    def test_adaptive_predictor_beats_flat_prediction_on_tone(self):
+        # On a periodic tone the adaptive predictor should keep the coded
+        # difference small, so the reconstruction error stays bounded.
+        pcm = tonal_pcm(1500, frequency_hz=250.0)
+        codes, _ = encode_block(pcm, G721State())
+        decoded, _ = decode_block(codes, G721State())
+        tail_error = np.mean(
+            np.abs(np.array(pcm[500:], dtype=float) - np.array(decoded[500:], dtype=float))
+        )
+        assert tail_error < 2000
+
+    def test_determinism(self):
+        pcm = speech_like_pcm(300, seed=4)
+        assert encode_block(pcm, G721State())[0] == encode_block(pcm, G721State())[0]
+
+
+class TestStreamingApps:
+    def test_state_words_constant_matches_state_size(self):
+        state = G721State()
+        flat = [state.step, state.a1, state.a2, *state.b, *state.dq_history, *state.sr_history]
+        assert len(flat) == STATE_WORDS
+
+    def test_encode_app_characterization(self, small_g721_encode):
+        task_input = small_g721_encode.generate_input(0)
+        char = small_g721_encode.characterize(task_input)
+        assert char.steps == 20
+        assert char.output_words == 20  # 1 word per 8-sample step
+        assert char.state_words == STATE_WORDS
+        assert char.compute_cycles > 20_000  # heavier than IMA ADPCM
+
+    def test_decode_app_reconstructs_golden(self, small_g721_decode):
+        app = small_g721_decode
+        codes = app.generate_input(0)
+        golden = app.golden_output(codes)
+        decoded, _ = decode_block(codes, G721State())
+        from repro.apps.base import unpack_words_to_samples
+
+        assert unpack_words_to_samples(golden, len(decoded)) == decoded
+
+    def test_step_determinism_supports_rollback(self, small_g721_decode):
+        app = small_g721_decode
+        codes = app.generate_input(5)
+        state = app.initial_state(codes)
+        first = app.run_step(codes, 0, state)
+        again = app.run_step(codes, 0, state)
+        assert first.output_words == again.output_words
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            G721EncodeApp(frame_samples=100, samples_per_step=6)
+        with pytest.raises(ValueError):
+            G721DecodeApp(frame_samples=0)
+
+    def test_g721_costs_more_cycles_per_sample_than_adpcm(
+        self, small_g721_encode, small_adpcm_encode
+    ):
+        g721_char = small_g721_encode.characterize(small_g721_encode.generate_input(0))
+        adpcm_char = small_adpcm_encode.characterize(small_adpcm_encode.generate_input(0))
+        g721_per_sample = g721_char.compute_cycles / small_g721_encode.frame_samples
+        adpcm_per_sample = adpcm_char.compute_cycles / small_adpcm_encode.frame_samples
+        assert g721_per_sample > 2.5 * adpcm_per_sample

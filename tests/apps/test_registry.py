@@ -1,0 +1,63 @@
+"""Tests for the application registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    PAPER_BENCHMARK_ORDER,
+    StreamingApplication,
+    available_applications,
+    canonical_name,
+    get_application,
+    paper_benchmarks,
+    register_application,
+)
+
+
+class TestLookup:
+    def test_all_five_paper_benchmarks_registered(self):
+        assert set(PAPER_BENCHMARK_ORDER) <= set(available_applications())
+        assert len(PAPER_BENCHMARK_ORDER) == 5
+
+    @pytest.mark.parametrize(
+        "alias, canonical",
+        [
+            ("ADPCM encode", "adpcm-encode"),
+            ("g721 decode", "g721-decode"),
+            ("JPG decode", "jpeg-decode"),
+            ("jpeg-decode", "jpeg-decode"),
+        ],
+    )
+    def test_paper_aliases_resolve(self, alias, canonical):
+        assert canonical_name(alias) == canonical
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="known applications"):
+            get_application("mpeg2-decode")
+
+    def test_get_application_returns_fresh_instances(self):
+        first = get_application("adpcm-encode")
+        second = get_application("adpcm-encode")
+        assert first is not second
+        assert isinstance(first, StreamingApplication)
+
+    def test_paper_benchmarks_order(self):
+        names = [app.name for app in paper_benchmarks()]
+        assert names == list(PAPER_BENCHMARK_ORDER)
+
+
+class TestRegistration:
+    def test_register_and_use_custom_application(self, small_adpcm_encode):
+        name = "custom-test-app"
+        if name not in available_applications():
+            register_application(name, lambda: small_adpcm_encode)
+        assert get_application(name) is small_adpcm_encode
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_application("adpcm-encode", lambda: None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_application("  ", lambda: None)

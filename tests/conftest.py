@@ -1,0 +1,57 @@
+"""Shared pytest fixtures: small workloads and operating points.
+
+The unit and integration tests deliberately use reduced frame sizes so the
+whole suite stays fast; the full paper-scale workloads are exercised by
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.adpcm import AdpcmDecodeApp, AdpcmEncodeApp
+from repro.apps.g721 import G721DecodeApp, G721EncodeApp
+from repro.apps.jpeg import JpegDecodeApp
+from repro.core.config import DesignConstraints, PAPER_OPERATING_POINT
+
+
+@pytest.fixture
+def paper_constraints() -> DesignConstraints:
+    """The paper's exact operating point (OV1=5 %, OV2=10 %, 1e-6)."""
+    return PAPER_OPERATING_POINT
+
+
+@pytest.fixture
+def stress_constraints() -> DesignConstraints:
+    """An elevated error rate that makes upsets frequent in small tasks."""
+    return PAPER_OPERATING_POINT.with_overrides(error_rate=5e-5)
+
+
+@pytest.fixture
+def small_adpcm_encode() -> AdpcmEncodeApp:
+    """ADPCM encoder on a short frame (fast unit-test workload)."""
+    return AdpcmEncodeApp(frame_samples=320)
+
+
+@pytest.fixture
+def small_adpcm_decode() -> AdpcmDecodeApp:
+    """ADPCM decoder on a short frame."""
+    return AdpcmDecodeApp(frame_samples=320)
+
+
+@pytest.fixture
+def small_g721_encode() -> G721EncodeApp:
+    """G.721 encoder on a short frame."""
+    return G721EncodeApp(frame_samples=160)
+
+
+@pytest.fixture
+def small_g721_decode() -> G721DecodeApp:
+    """G.721 decoder on a short frame."""
+    return G721DecodeApp(frame_samples=160)
+
+
+@pytest.fixture
+def small_jpeg_decode() -> JpegDecodeApp:
+    """JPEG decoder on a 32x32 image (16 blocks)."""
+    return JpegDecodeApp(width=32, height=32)

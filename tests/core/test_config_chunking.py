@@ -1,0 +1,112 @@
+"""Tests for the design constraints and the chunking / checkpoint scheduler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunking import (
+    plan_schedule,
+    plan_schedule_from_profile,
+    profile_step_outputs,
+    uniform_schedule,
+)
+from repro.core.config import DesignConstraints, PAPER_OPERATING_POINT
+
+
+class TestDesignConstraints:
+    def test_paper_operating_point(self):
+        assert PAPER_OPERATING_POINT.area_overhead == pytest.approx(0.05)
+        assert PAPER_OPERATING_POINT.cycle_overhead == pytest.approx(0.10)
+        assert PAPER_OPERATING_POINT.error_rate == pytest.approx(1e-6)
+        assert PAPER_OPERATING_POINT.word_bytes == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesignConstraints(area_overhead=0.0)
+        with pytest.raises(ValueError):
+            DesignConstraints(cycle_overhead=1.5)
+        with pytest.raises(ValueError):
+            DesignConstraints(error_rate=-1.0)
+        with pytest.raises(ValueError):
+            DesignConstraints(word_bytes=0)
+        with pytest.raises(ValueError):
+            DesignConstraints(correctable_bits=0)
+        with pytest.raises(ValueError):
+            DesignConstraints(drain_latency_cycles=0)
+
+    def test_with_overrides_creates_new_instance(self):
+        strict = PAPER_OPERATING_POINT.with_overrides(area_overhead=0.02)
+        assert strict.area_overhead == pytest.approx(0.02)
+        assert PAPER_OPERATING_POINT.area_overhead == pytest.approx(0.05)
+        assert strict.cycle_overhead == PAPER_OPERATING_POINT.cycle_overhead
+
+
+class TestScheduleFromProfile:
+    def test_groups_steps_until_chunk_is_full(self):
+        schedule = plan_schedule_from_profile([2, 2, 2, 2, 2, 2], chunk_words=4)
+        assert schedule.num_checkpoints == 3
+        assert [p.output_words for p in schedule.phases] == [4, 4, 4]
+        assert [p.steps for p in schedule.phases] == [2, 2, 2]
+
+    def test_final_partial_phase_is_kept(self):
+        schedule = plan_schedule_from_profile([3, 3, 3], chunk_words=4)
+        assert schedule.num_checkpoints == 2
+        assert [p.output_words for p in schedule.phases] == [6, 3]
+        assert schedule.total_output_words == 9
+
+    def test_phase_lookup_by_step(self):
+        schedule = plan_schedule_from_profile([1, 1, 1, 1], chunk_words=2)
+        assert schedule.phase_of_step(0).index == 0
+        assert schedule.phase_of_step(3).index == 1
+        with pytest.raises(IndexError):
+            schedule.phase_of_step(10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_schedule_from_profile([], chunk_words=4)
+        with pytest.raises(ValueError):
+            plan_schedule_from_profile([1, 2], chunk_words=0)
+        with pytest.raises(ValueError):
+            plan_schedule_from_profile([1, -2], chunk_words=4)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=100),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_schedule_invariants(self, step_words, chunk_words):
+        schedule = plan_schedule_from_profile(step_words, chunk_words)
+        # Every step is covered exactly once and in order.
+        covered = []
+        for phase in schedule.phases:
+            covered.extend(range(phase.first_step, phase.last_step + 1))
+        if sum(step_words) == 0:
+            assert schedule.num_checkpoints <= 1
+        else:
+            assert covered == list(range(len(step_words)))
+        # Output words are conserved.
+        assert schedule.total_output_words == sum(step_words)
+        # Every phase except the last reaches the nominal chunk size.
+        for phase in schedule.phases[:-1]:
+            assert phase.output_words >= chunk_words
+
+    def test_max_phase_words_bounds_buffer_sizing(self):
+        schedule = plan_schedule_from_profile([5, 5, 5, 1], chunk_words=6)
+        assert schedule.max_phase_words == max(p.output_words for p in schedule.phases)
+
+
+class TestScheduleFromApplication:
+    def test_profile_and_plan_for_real_app(self, small_adpcm_encode):
+        task_input = small_adpcm_encode.generate_input(0)
+        step_words = profile_step_outputs(small_adpcm_encode, task_input)
+        assert all(words == 2 for words in step_words)
+        schedule = plan_schedule(small_adpcm_encode, task_input, chunk_words=6)
+        assert schedule.total_output_words == sum(step_words)
+        assert schedule.num_checkpoints == pytest.approx(len(step_words) * 2 / 6, abs=1)
+
+    def test_uniform_schedule_matches_characterization(self, small_adpcm_encode):
+        char = small_adpcm_encode.characterize(small_adpcm_encode.generate_input(0))
+        schedule = uniform_schedule(char, chunk_words=8)
+        assert schedule.total_output_words == pytest.approx(char.output_words, rel=0.2)

@@ -1,0 +1,129 @@
+"""Tests for the chunk-size optimizer (Eq. 3–7) and the Fig. 4 feasibility sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PAPER_OPERATING_POINT
+from repro.core.cost_model import PlatformCostParameters
+from repro.core.feasibility import feasible_region
+from repro.core.optimizer import ChunkSizeOptimizer, optimize_chunk_size
+
+
+@pytest.fixture(scope="module")
+def platform_params() -> PlatformCostParameters:
+    return PlatformCostParameters.from_defaults()
+
+
+@pytest.fixture(scope="module")
+def optimizer(platform_params) -> ChunkSizeOptimizer:
+    return ChunkSizeOptimizer(PAPER_OPERATING_POINT, platform_params)
+
+
+class TestOptimizer:
+    def test_optimum_is_feasible_and_minimal(self, optimizer, small_adpcm_encode):
+        result = optimizer.optimize(small_adpcm_encode, seed=0)
+        assert result.best.feasible
+        for candidate in result.feasible_candidates:
+            assert result.best.objective_pj <= candidate.objective_pj
+
+    def test_optimum_is_interior(self, optimizer, small_adpcm_encode):
+        result = optimizer.optimize(small_adpcm_encode, seed=0)
+        char = small_adpcm_encode.characterize(small_adpcm_encode.generate_input(0))
+        assert 1 < result.chunk_words < char.output_words
+
+    def test_checkpoints_cover_all_output(self, optimizer, small_adpcm_encode):
+        result = optimizer.optimize(small_adpcm_encode, seed=0)
+        char = small_adpcm_encode.characterize(small_adpcm_encode.generate_input(0))
+        assert result.chunk_words * result.num_checkpoints >= char.output_words
+
+    def test_constraints_respected(self, optimizer, small_g721_decode):
+        result = optimizer.optimize(small_g721_decode, seed=0)
+        assert result.best.area_fraction <= PAPER_OPERATING_POINT.area_overhead
+        assert result.best.cycle_overhead_fraction <= PAPER_OPERATING_POINT.cycle_overhead
+
+    def test_suboptimal_point_is_feasible_but_worse(self, optimizer, small_adpcm_encode):
+        result = optimizer.optimize(small_adpcm_encode, seed=0)
+        suboptimal = result.suboptimal(4.0)
+        assert suboptimal.feasible
+        assert suboptimal.objective_pj >= result.best.objective_pj
+
+    def test_suboptimal_rejects_bad_factor(self, optimizer, small_adpcm_encode):
+        result = optimizer.optimize(small_adpcm_encode, seed=0)
+        with pytest.raises(ValueError):
+            result.suboptimal(0.0)
+
+    def test_impossible_constraints_raise(self, small_adpcm_encode, platform_params):
+        # An absurdly small area budget leaves no feasible buffer at all.
+        impossible = PAPER_OPERATING_POINT.with_overrides(area_overhead=0.0001)
+        optimizer = ChunkSizeOptimizer(impossible, platform_params)
+        with pytest.raises(ValueError, match="no feasible chunk size"):
+            optimizer.optimize(small_adpcm_encode, seed=0)
+
+    def test_convenience_wrapper(self, small_adpcm_encode):
+        result = optimize_chunk_size(small_adpcm_encode)
+        assert result.chunk_words >= 1
+        assert result.application == "adpcm-encode"
+
+    def test_max_chunk_cap_validated(self):
+        with pytest.raises(ValueError):
+            ChunkSizeOptimizer(PAPER_OPERATING_POINT, max_chunk_words=0)
+
+    def test_higher_error_rate_shrinks_the_optimal_chunk(self, platform_params):
+        from repro.apps.g721 import G721DecodeApp
+
+        app = G721DecodeApp(frame_samples=800)
+        low = ChunkSizeOptimizer(
+            PAPER_OPERATING_POINT.with_overrides(error_rate=1e-7), platform_params
+        ).optimize(app, seed=0)
+        high = ChunkSizeOptimizer(
+            PAPER_OPERATING_POINT.with_overrides(error_rate=5e-6), platform_params
+        ).optimize(app, seed=0)
+        assert high.chunk_words < low.chunk_words
+
+
+class TestFeasibleRegion:
+    @pytest.fixture(scope="class")
+    def region(self):
+        return feasible_region(chunk_sizes=range(1, 513, 8), correctable_bits=range(1, 19))
+
+    def test_boundary_is_monotonically_non_increasing(self, region):
+        boundary = region.boundary()
+        bits = [b for _, b in boundary]
+        assert all(later <= earlier for earlier, later in zip(bits, bits[1:]))
+
+    def test_small_buffers_support_strong_correction(self, region):
+        assert region.max_correctable_bits(1) >= 8
+
+    def test_large_buffers_only_weak_correction(self, region):
+        assert region.max_correctable_bits(505) <= 4
+
+    def test_region_contains_the_papers_operating_points(self, region):
+        # Every Table I optimum (11..44 words) with the proposal's 4-bit
+        # correction must lie inside the feasible region.
+        for chunk in (9, 17, 33, 41):
+            assert region.max_correctable_bits(chunk) >= 4
+
+    def test_max_chunk_at_fixed_strength(self, region):
+        strong = region.max_chunk_words(12)
+        weak = region.max_chunk_words(2)
+        assert weak > strong
+
+    def test_feasible_points_subset(self, region):
+        feasible = region.feasible_points()
+        assert feasible
+        assert all(p.feasible for p in feasible)
+        assert all(p.area_fraction <= region.area_budget for p in feasible)
+
+    def test_budget_scales_the_region(self):
+        tight = feasible_region(
+            constraints=PAPER_OPERATING_POINT.with_overrides(area_overhead=0.01),
+            chunk_sizes=range(1, 257, 8),
+            correctable_bits=range(1, 9),
+        )
+        loose = feasible_region(
+            constraints=PAPER_OPERATING_POINT.with_overrides(area_overhead=0.10),
+            chunk_sizes=range(1, 257, 8),
+            correctable_bits=range(1, 9),
+        )
+        assert loose.max_chunk_words(4) > tight.max_chunk_words(4)

@@ -1,0 +1,87 @@
+"""Tests for the mitigation strategies compared in Fig. 5."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategies import (
+    DefaultStrategy,
+    HwMitigationStrategy,
+    HybridStrategy,
+    RecoveryPolicy,
+    SwMitigationStrategy,
+    paper_strategies,
+)
+
+
+class TestStrategyConfiguration:
+    def test_default_strategy(self):
+        strategy = DefaultStrategy()
+        assert strategy.recovery == RecoveryPolicy.NONE
+        assert not strategy.uses_checkpoints
+        platform = strategy.build_platform()
+        assert platform.l1.code.check_bits == 0
+        assert platform.l1p is None
+
+    def test_hw_strategy(self):
+        strategy = HwMitigationStrategy(correctable_bits=8)
+        assert strategy.recovery == RecoveryPolicy.INLINE
+        platform = strategy.build_platform()
+        assert platform.l1.code.correctable_bits == 8
+        with pytest.raises(ValueError):
+            HwMitigationStrategy(correctable_bits=0)
+
+    def test_sw_strategy(self):
+        strategy = SwMitigationStrategy(max_restarts=3)
+        assert strategy.recovery == RecoveryPolicy.RESTART
+        assert strategy.max_restarts == 3
+        platform = strategy.build_platform()
+        assert platform.l1.code.correctable_bits == 0
+        assert platform.l1.code.detectable_bits >= 4
+        with pytest.raises(ValueError):
+            SwMitigationStrategy(max_restarts=0)
+
+    def test_hybrid_strategy(self):
+        strategy = HybridStrategy(chunk_words=16, label="hybrid-optimal")
+        assert strategy.recovery == RecoveryPolicy.ROLLBACK
+        assert strategy.uses_checkpoints
+        assert strategy.chunk_words_for(10_000) == 16
+        platform = strategy.build_platform()
+        assert platform.l1p is not None
+        assert platform.l1p.code.correctable_bits >= 4
+
+    def test_hybrid_buffer_resizing_request(self):
+        strategy = HybridStrategy(chunk_words=16)
+        larger = strategy.build_platform(required_buffer_words=64)
+        default = strategy.build_platform()
+        assert larger.l1p.capacity_words > default.l1p.capacity_words
+
+    def test_hybrid_validation(self):
+        with pytest.raises(ValueError):
+            HybridStrategy(chunk_words=0)
+        with pytest.raises(ValueError):
+            HybridStrategy(chunk_words=8, extra_buffer_words=-1)
+
+    def test_non_checkpointing_strategies_use_stream_granularity(self):
+        assert DefaultStrategy().chunk_words_for(1000) == 16
+        assert DefaultStrategy().chunk_words_for(4) == 4
+
+
+class TestPaperStrategySet:
+    def test_five_configurations_in_order(self):
+        strategies = paper_strategies(optimal_chunk=12, suboptimal_chunk=48)
+        names = [s.name for s in strategies]
+        assert names == [
+            "default",
+            "sw-mitigation",
+            "hw-mitigation",
+            "hybrid-optimal",
+            "hybrid-suboptimal",
+        ]
+
+    def test_hybrid_variants_use_requested_chunks(self):
+        strategies = paper_strategies(optimal_chunk=12, suboptimal_chunk=48)
+        optimal = next(s for s in strategies if s.name == "hybrid-optimal")
+        suboptimal = next(s for s in strategies if s.name == "hybrid-suboptimal")
+        assert optimal.chunk_words == 12
+        assert suboptimal.chunk_words == 48

@@ -1,0 +1,117 @@
+"""Tests for the Hamming SEC and SECDED codes."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import (
+    DecodeStatus,
+    HammingCode,
+    SecDedCode,
+    hamming_check_bits,
+    secded_check_bits,
+)
+from repro.utils.bitops import flip_bit
+
+WORDS = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestCheckBitCounts:
+    @pytest.mark.parametrize(
+        "data_bits, expected",
+        [(4, 3), (8, 4), (16, 5), (32, 6), (64, 7)],
+    )
+    def test_hamming_check_bits(self, data_bits, expected):
+        assert hamming_check_bits(data_bits) == expected
+        assert HammingCode(data_bits).check_bits == expected
+
+    def test_secded_adds_one(self):
+        assert secded_check_bits(32) == 7
+        assert SecDedCode(32).check_bits == 7
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            hamming_check_bits(0)
+        with pytest.raises(ValueError):
+            HammingCode(-1)
+
+
+class TestHammingSec:
+    @given(WORDS)
+    def test_clean_roundtrip(self, data):
+        result = HammingCode(32).roundtrip(data)
+        assert result.data == data
+        assert result.status is DecodeStatus.CLEAN
+
+    @given(WORDS, st.integers(min_value=0, max_value=37))
+    def test_corrects_every_single_bit_flip(self, data, position):
+        code = HammingCode(32)
+        corrupted = flip_bit(code.encode(data), position)
+        result = code.decode(corrupted)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+        assert result.corrected_bits == 1
+
+    def test_exhaustive_single_error_correction_small_code(self):
+        code = HammingCode(8)
+        for data in range(256):
+            encoded = code.encode(data)
+            for position in range(code.codeword_bits):
+                result = code.decode(flip_bit(encoded, position))
+                assert result.data == data
+
+    def test_rejects_oversized_codeword(self):
+        code = HammingCode(8)
+        with pytest.raises(ValueError):
+            code.decode(1 << code.codeword_bits)
+
+
+class TestSecDed:
+    @given(WORDS)
+    def test_clean_roundtrip(self, data):
+        result = SecDedCode(32).roundtrip(data)
+        assert result.data == data
+        assert result.status is DecodeStatus.CLEAN
+
+    @given(WORDS, st.integers(min_value=0, max_value=38))
+    def test_corrects_single_errors(self, data, position):
+        code = SecDedCode(32)
+        corrupted = flip_bit(code.encode(data), position)
+        result = code.decode(corrupted)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        WORDS,
+        st.tuples(
+            st.integers(min_value=0, max_value=38), st.integers(min_value=0, max_value=38)
+        ).filter(lambda pair: pair[0] != pair[1]),
+    )
+    def test_detects_double_errors_without_miscorrection(self, data, positions):
+        code = SecDedCode(32)
+        corrupted = code.encode(data)
+        for position in positions:
+            corrupted = flip_bit(corrupted, position)
+        result = code.decode(corrupted)
+        assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+    def test_exhaustive_double_error_detection_small_code(self):
+        code = SecDedCode(8)
+        data = 0xA5
+        encoded = code.encode(data)
+        for a, b in itertools.combinations(range(code.codeword_bits), 2):
+            corrupted = flip_bit(flip_bit(encoded, a), b)
+            result = code.decode(corrupted)
+            assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+    def test_secded_is_the_smu_victim(self):
+        # The motivating failure of the paper: SECDED cannot *correct* a
+        # double (multi-bit) upset, it can only flag it.
+        code = SecDedCode(32)
+        assert code.correctable_bits == 1
+        assert code.detectable_bits == 2

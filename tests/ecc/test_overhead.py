@@ -1,0 +1,69 @@
+"""Tests for the ECC circuitry / protected-macro overhead model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecc import EccOverheadModel
+from repro.memmodel import estimate_sram
+
+
+@pytest.fixture(scope="module")
+def model() -> EccOverheadModel:
+    return EccOverheadModel()
+
+
+class TestLogicEstimate:
+    def test_no_protection_costs_nothing(self, model):
+        logic = model.logic_estimate(32, 0, "bch")
+        assert logic.gates == 0
+        assert logic.area_mm2 == 0
+        assert logic.latency_ns == 0
+
+    def test_logic_grows_with_correction_strength(self, model):
+        weak = model.logic_estimate(32, 1)
+        strong = model.logic_estimate(32, 8)
+        assert strong.gates > weak.gates
+        assert strong.area_mm2 > weak.area_mm2
+        assert strong.decode_energy_pj > weak.decode_energy_pj
+        assert strong.latency_ns > weak.latency_ns
+
+    def test_secded_decoder_is_small_and_fast(self, model):
+        logic = model.logic_estimate(32, 1, "secded")
+        assert logic.gates < 2000
+        assert logic.latency_ns < 1.0
+
+
+class TestProtectedMemory:
+    def test_totals_combine_array_and_logic(self, model):
+        protected = model.protected_memory(4096, t=4)
+        assert protected.area_mm2 > protected.sram.area_mm2
+        assert protected.read_energy_pj > protected.sram.read_energy_pj
+        assert protected.write_energy_pj > protected.sram.write_energy_pj
+        assert protected.access_time_ns > protected.sram.access_time_ns
+        assert protected.correctable_bits == 4
+
+    def test_area_grows_with_strength(self, model):
+        areas = [model.protected_memory(4096, t=t).area_mm2 for t in (1, 2, 4, 8)]
+        assert areas == sorted(areas)
+
+
+class TestPaperAnchors:
+    """The introduction's quantitative claims about ECC overheads."""
+
+    def test_secded_l1_overhead_in_the_reported_range(self, model):
+        # Pyo et al.: SECDED on an L1 SRAM costs about 15 % extra area.
+        overhead = model.area_overhead_fraction(64 * 1024, 64 * 1024, t=1, scheme="secded") - 1.0
+        assert 0.10 <= overhead <= 0.35
+
+    def test_8bit_ecc_on_64kb_is_prohibitive(self, model):
+        # Kim et al.: 8-bit-correcting ECC on a 64 KB SRAM costs >80 % area.
+        overhead = model.area_overhead_fraction(64 * 1024, 64 * 1024, t=8, scheme="bch") - 1.0
+        assert overhead > 0.80
+
+    def test_small_l1prime_is_within_the_5_percent_budget(self, model):
+        # The proposal's point: a tens-of-words multi-bit-protected buffer
+        # fits comfortably inside the 5 % area budget.
+        l1 = estimate_sram(64 * 1024)
+        buffer = model.protected_memory(44 * 4, t=4)
+        assert buffer.area_mm2 <= 0.05 * l1.area_mm2

@@ -1,0 +1,90 @@
+"""Tests for the code base interface, NoCode and the parity code."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ecc import DecodeStatus, NoCode, ParityCode, code_for_scheme
+from repro.utils.bitops import flip_bit
+
+WORDS = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestNoCode:
+    def test_roundtrip_is_identity(self):
+        code = NoCode(32)
+        assert code.encode(0xDEADBEEF) == 0xDEADBEEF
+        assert code.decode(0xDEADBEEF).data == 0xDEADBEEF
+        assert code.decode(0xDEADBEEF).status is DecodeStatus.CLEAN
+
+    def test_no_detection_capability(self):
+        code = NoCode(32)
+        assert code.correctable_bits == 0
+        assert code.detectable_bits == 0
+        assert code.check_bits == 0
+
+    def test_rejects_oversized_data(self):
+        with pytest.raises(ValueError):
+            NoCode(8).encode(256)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            NoCode(0)
+
+
+class TestParityCode:
+    def test_check_bit_count(self):
+        assert ParityCode(32).check_bits == 1
+        assert ParityCode(32).codeword_bits == 33
+
+    @given(WORDS)
+    def test_clean_roundtrip(self, data):
+        code = ParityCode(32)
+        result = code.roundtrip(data)
+        assert result.data == data
+        assert result.status is DecodeStatus.CLEAN
+
+    @given(WORDS, st.integers(min_value=0, max_value=32))
+    def test_single_flip_is_detected(self, data, position):
+        code = ParityCode(32)
+        corrupted = flip_bit(code.encode(data), position)
+        result = code.decode(corrupted)
+        assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+        assert result.error_detected
+
+    @given(WORDS, st.integers(min_value=0, max_value=31))
+    def test_double_flip_escapes_parity(self, data, position):
+        # The classic parity weakness: an even number of flips is invisible.
+        code = ParityCode(32)
+        corrupted = flip_bit(flip_bit(code.encode(data), position), (position + 1) % 32)
+        assert code.decode(corrupted).status is DecodeStatus.CLEAN
+
+    def test_status_usability_flags(self):
+        assert DecodeStatus.CLEAN.is_usable
+        assert DecodeStatus.CORRECTED.is_usable
+        assert not DecodeStatus.DETECTED_UNCORRECTABLE.is_usable
+
+
+class TestCodeForScheme:
+    @pytest.mark.parametrize(
+        "scheme, check_bits",
+        [
+            ("none", 0),
+            ("parity", 1),
+            ("hamming", 6),
+            ("secded", 7),
+        ],
+    )
+    def test_known_schemes(self, scheme, check_bits):
+        assert code_for_scheme(scheme, 32).check_bits == check_bits
+
+    def test_interleaved_schemes_honour_t(self):
+        assert code_for_scheme("interleaved-parity", 32, t=4).check_bits == 4
+        code = code_for_scheme("interleaved-secded", 32, t=4)
+        assert code.correctable_bits == 4
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ValueError, match="unknown code scheme"):
+            code_for_scheme("reed-solomon", 32)

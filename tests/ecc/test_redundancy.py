@@ -1,0 +1,87 @@
+"""Tests for the check-bit sizing rules used by the Fig. 4 analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecc import (
+    available_schemes,
+    bch_check_bits,
+    check_bits_for_correction,
+    interleaved_check_bits,
+)
+
+
+class TestBchBound:
+    @pytest.mark.parametrize(
+        "t, expected",
+        [(1, 6), (2, 12), (4, 24), (8, 56)],
+    )
+    def test_32bit_word_values(self, t, expected):
+        assert bch_check_bits(32, t) == expected
+
+    def test_zero_correction_needs_no_bits(self):
+        assert bch_check_bits(32, 0) == 0
+
+    def test_monotone_in_t(self):
+        values = [bch_check_bits(32, t) for t in range(1, 19)]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bch_check_bits(0, 1)
+        with pytest.raises(ValueError):
+            bch_check_bits(32, -1)
+
+
+class TestInterleavedSizing:
+    def test_matches_concrete_codes(self):
+        # 4 lanes of 8 bits, SECDED needs 5 bits per lane.
+        assert interleaved_check_bits(32, 4, secded=True) == 20
+        assert interleaved_check_bits(32, 4, secded=False) == 16
+
+    def test_uneven_split(self):
+        assert interleaved_check_bits(30, 4, secded=True) > 0
+
+    def test_rejects_too_many_ways(self):
+        with pytest.raises(ValueError):
+            interleaved_check_bits(4, 8)
+
+
+class TestSchemeDispatch:
+    def test_all_schemes_listed(self):
+        assert set(available_schemes()) == {
+            "bch",
+            "interleaved-secded",
+            "interleaved-hamming",
+            "secded",
+            "parity",
+            "none",
+        }
+
+    @pytest.mark.parametrize("scheme", ["bch", "interleaved-secded", "interleaved-hamming"])
+    def test_zero_t_means_zero_bits(self, scheme):
+        assert check_bits_for_correction(32, 0, scheme) == 0
+
+    def test_fixed_capability_schemes_validate_t(self):
+        assert check_bits_for_correction(32, 0, "parity") == 1
+        assert check_bits_for_correction(32, 1, "secded") == 7
+        with pytest.raises(ValueError):
+            check_bits_for_correction(32, 1, "parity")
+        with pytest.raises(ValueError):
+            check_bits_for_correction(32, 2, "secded")
+        with pytest.raises(ValueError):
+            check_bits_for_correction(32, 1, "none")
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ValueError):
+            check_bits_for_correction(32, 2, "turbo")
+
+    def test_interleaved_not_costlier_than_bch_for_clusters(self):
+        # For the adjacent-cluster failure mode, interleaving never needs
+        # more stored bits than a general t-error-correcting BCH code, and
+        # is strictly cheaper at the higher strengths.
+        for t in (2, 4, 8):
+            assert check_bits_for_correction(32, t, "interleaved-secded") <= bch_check_bits(32, t)
+        assert check_bits_for_correction(32, 8, "interleaved-secded") < bch_check_bits(32, 8)

@@ -1,0 +1,50 @@
+"""Tests for the fault-injection campaign aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultCampaign, run_campaign
+
+
+class TestCampaignAggregation:
+    def test_aggregates_mean_min_max(self):
+        report = run_campaign(lambda seed: {"value": float(seed)}, seeds=[1, 2, 3, 4])
+        result = report["value"]
+        assert result.mean == pytest.approx(2.5)
+        assert result.minimum == 1.0
+        assert result.maximum == 4.0
+        assert report.runs == 4
+        assert report.mean("value") == pytest.approx(2.5)
+
+    def test_stdev_zero_for_single_run(self):
+        report = run_campaign(lambda seed: {"value": 3.0}, seeds=[0])
+        assert report["value"].stdev == 0.0
+
+    def test_multiple_metrics(self):
+        report = run_campaign(
+            lambda seed: {"energy": seed * 2.0, "cycles": seed + 10.0}, runs=5
+        )
+        assert set(report.metrics) == {"energy", "cycles"}
+        assert report["cycles"].mean == pytest.approx(12.0)
+
+    def test_raw_results_preserved(self):
+        report = run_campaign(lambda seed: {"value": float(seed)}, seeds=[5, 6])
+        assert report.raw == [{"value": 5.0}, {"value": 6.0}]
+
+
+class TestCampaignValidation:
+    def test_requires_at_least_one_seed(self):
+        with pytest.raises(ValueError):
+            FaultCampaign(lambda seed: {"v": 1.0}, seeds=[])
+        with pytest.raises(ValueError):
+            FaultCampaign(lambda seed: {"v": 1.0}, runs=0)
+
+    def test_empty_experiment_result_rejected(self):
+        campaign = FaultCampaign(lambda seed: {}, seeds=[0])
+        with pytest.raises(ValueError):
+            campaign.run()
+
+    def test_default_seeds_are_range_of_runs(self):
+        campaign = FaultCampaign(lambda seed: {"v": float(seed)}, runs=3)
+        assert campaign.seeds == (0, 1, 2)

@@ -1,0 +1,78 @@
+"""Tests for the rate-based fault injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import PAPER_ERROR_RATE, ExposureWindow, FaultInjector
+
+
+class TestExposureWindow:
+    def test_word_cycles_product(self):
+        assert ExposureWindow(live_words=10, cycles=100).word_cycles == 1000
+        assert ExposureWindow(live_words=0, cycles=100).word_cycles == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ExposureWindow(live_words=-1, cycles=10)
+        with pytest.raises(ValueError):
+            ExposureWindow(live_words=1, cycles=-10)
+
+
+class TestFaultInjector:
+    def test_paper_rate_constant(self):
+        assert PAPER_ERROR_RATE == pytest.approx(1e-6)
+
+    def test_expected_upsets(self):
+        injector = FaultInjector(rate_per_word_cycle=1e-6, seed=0)
+        window = ExposureWindow(live_words=200, cycles=5000)
+        assert injector.expected_upsets(window) == pytest.approx(1.0)
+
+    def test_zero_rate_produces_no_events(self):
+        injector = FaultInjector(rate_per_word_cycle=0.0, seed=0)
+        window = ExposureWindow(live_words=1000, cycles=10_000)
+        assert injector.sample_events(window) == []
+        assert injector.events_generated == 0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            FaultInjector(rate_per_word_cycle=-1e-6)
+
+    def test_reproducible_with_same_seed(self):
+        window = ExposureWindow(live_words=64, cycles=50_000)
+        events_a = FaultInjector(1e-4, seed=7).sample_events(window)
+        events_b = FaultInjector(1e-4, seed=7).sample_events(window)
+        assert [(e.word_index, e.bit_positions) for e in events_a] == [
+            (e.word_index, e.bit_positions) for e in events_b
+        ]
+
+    def test_events_sorted_by_cycle_and_within_window(self):
+        injector = FaultInjector(1e-3, seed=2)
+        window = ExposureWindow(live_words=32, cycles=10_000)
+        events = injector.sample_events(window, start_cycle=500)
+        assert len(events) > 0
+        cycles = [e.cycle for e in events]
+        assert cycles == sorted(cycles)
+        assert all(500 <= c < 500 + 10_000 for c in cycles)
+        assert all(0 <= e.word_index < 32 for e in events)
+
+    def test_poisson_mean_close_to_expectation(self):
+        injector = FaultInjector(1e-5, seed=3)
+        window = ExposureWindow(live_words=100, cycles=10_000)  # mean 10
+        counts = [injector.sample_upset_count(window) for _ in range(400)]
+        mean = sum(counts) / len(counts)
+        assert 8.5 <= mean <= 11.5
+
+    def test_bernoulli_and_poisson_agree_statistically(self):
+        window = ExposureWindow(live_words=50, cycles=200)  # mean 1.0 at 1e-4
+        poisson = FaultInjector(1e-4, seed=11)
+        bernoulli = FaultInjector(1e-4, seed=13)
+        poisson_total = sum(len(poisson.sample_events(window)) for _ in range(300))
+        bernoulli_total = sum(len(bernoulli.sample_events_bernoulli(window)) for _ in range(300))
+        assert abs(poisson_total - bernoulli_total) < 0.35 * max(poisson_total, bernoulli_total)
+
+    def test_events_generated_counter(self):
+        injector = FaultInjector(1e-3, seed=4)
+        window = ExposureWindow(live_words=64, cycles=5_000)
+        produced = len(injector.sample_events(window))
+        assert injector.events_generated == produced

@@ -1,0 +1,94 @@
+"""End-to-end checks of the paper's headline claims (on reduced workloads).
+
+These tests assert the *shape* of the published results — who wins, by
+roughly what factor, and which constraints hold — not the absolute
+numbers, per the reproduction policy in DESIGN.md.  The full-scale
+versions of the same comparisons are produced by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import fig5_energy, table1_optimal_chunks, timing_overhead
+from repro.apps.adpcm import AdpcmDecodeApp, AdpcmEncodeApp
+from repro.apps.g721 import G721EncodeApp
+from repro.apps.jpeg import JpegDecodeApp
+from repro.core.config import PAPER_OPERATING_POINT
+
+
+@pytest.fixture(scope="module")
+def reduced_apps():
+    """Reduced-size versions of three paper benchmarks (keeps the suite fast)."""
+    return [
+        AdpcmEncodeApp(frame_samples=960),
+        AdpcmDecodeApp(frame_samples=960),
+        JpegDecodeApp(width=48, height=48),
+    ]
+
+
+@pytest.fixture(scope="module")
+def fig5(reduced_apps):
+    return fig5_energy(applications=reduced_apps, seeds=(0, 1, 2))
+
+
+class TestTableIClaims:
+    def test_optimum_buffers_are_tens_of_words(self):
+        apps = [
+            AdpcmEncodeApp(frame_samples=960),
+            G721EncodeApp(frame_samples=640),
+            JpegDecodeApp(width=48, height=48),
+        ]
+        result = table1_optimal_chunks(applications=apps)
+        for row in result.rows_by_app.values():
+            assert 4 <= row.chunk_words <= 128
+            assert row.area_fraction <= PAPER_OPERATING_POINT.area_overhead
+            assert row.predicted_cycle_overhead <= PAPER_OPERATING_POINT.cycle_overhead + 1e-9
+
+    def test_jpeg_needs_a_larger_buffer_than_adpcm(self):
+        apps = [AdpcmEncodeApp(frame_samples=960), JpegDecodeApp(width=48, height=48)]
+        result = table1_optimal_chunks(applications=apps)
+        assert (
+            result.rows_by_app["jpeg-decode"].chunk_words
+            > result.rows_by_app["adpcm-encode"].chunk_words
+        )
+
+
+class TestFig5Claims:
+    def test_proposed_scheme_has_single_digit_to_low_tens_overhead(self, fig5):
+        for app in fig5.applications():
+            overhead = fig5.outcome(app, "hybrid-optimal").normalized_energy - 1.0
+            assert 0.0 <= overhead <= 0.30  # paper: 10.1 % average, 22 % max
+
+    def test_hw_and_sw_baselines_cost_far_more_than_the_proposal(self, fig5):
+        avg_hybrid = fig5.average_normalized_energy("hybrid-optimal")
+        avg_hw = fig5.average_normalized_energy("hw-mitigation")
+        assert avg_hw > avg_hybrid + 0.5
+        assert fig5.max_normalized_energy("hw-mitigation") > 2.0  # >100 % overhead
+
+    def test_proposal_fully_mitigates_errors(self, fig5):
+        for app in fig5.applications():
+            assert fig5.outcome(app, "hybrid-optimal").fully_mitigated_fraction == 1.0
+            assert fig5.outcome(app, "hw-mitigation").fully_mitigated_fraction == 1.0
+
+    def test_default_case_is_the_cheapest_but_unprotected(self, fig5):
+        for app in fig5.applications():
+            default = fig5.outcome(app, "default")
+            assert default.normalized_energy == pytest.approx(1.0)
+            for strategy in ("hybrid-optimal", "hw-mitigation", "sw-mitigation"):
+                assert fig5.outcome(app, strategy).normalized_energy >= 0.999
+
+
+class TestTimingClaims:
+    def test_proposal_meets_the_cycle_budget_and_hw_does_not(self, fig5):
+        timing = timing_overhead(fig5=fig5)
+        budget = 1.0 + PAPER_OPERATING_POINT.cycle_overhead
+        for app in fig5.applications():
+            # The optimally-sized proposal honours the 10 % cycle budget on
+            # every benchmark; the sub-optimal sizing may exceed it on an
+            # unlucky fault placement, which is exactly why the optimization
+            # matters and is not asserted here.
+            assert fig5.outcome(app, "hybrid-optimal").normalized_cycles <= budget
+        violating = {strategy for _, strategy, _ in timing.violations()}
+        assert "hw-mitigation" in violating
+        assert "hybrid-optimal" not in violating

@@ -1,0 +1,53 @@
+"""Tests for the SRAM array geometry planner."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memmodel.geometry import (
+    MAX_COLS_PER_SUBARRAY,
+    MAX_ROWS_PER_SUBARRAY,
+    plan_geometry,
+)
+
+
+class TestPlanGeometry:
+    def test_tiny_buffer_single_subarray(self):
+        geometry = plan_geometry(44 * 32, 32)
+        assert geometry.subarrays == 1
+        assert geometry.rows * geometry.cols >= 44 * 32
+
+    def test_64kb_is_folded_within_row_cap(self):
+        geometry = plan_geometry(64 * 1024 * 8, 32)
+        assert geometry.rows <= MAX_ROWS_PER_SUBARRAY
+        assert geometry.cols <= MAX_COLS_PER_SUBARRAY
+        assert geometry.column_mux >= 1
+
+    def test_capacity_is_covered(self):
+        capacity = 12_345 * 32
+        geometry = plan_geometry(capacity, 32)
+        assert geometry.rows * geometry.cols * geometry.subarrays >= capacity
+
+    def test_rejects_non_positive_inputs(self):
+        with pytest.raises(ValueError):
+            plan_geometry(0, 32)
+        with pytest.raises(ValueError):
+            plan_geometry(1024, 0)
+
+    def test_aspect_ratio_reasonable_for_large_arrays(self):
+        geometry = plan_geometry(64 * 1024 * 8, 32)
+        assert geometry.aspect_ratio <= 4.0
+
+    @given(
+        st.integers(min_value=1, max_value=5000),
+        st.sampled_from([8, 16, 32, 40, 64]),
+    )
+    def test_properties_hold_for_arbitrary_sizes(self, words, line_bits):
+        geometry = plan_geometry(words * line_bits, line_bits)
+        assert geometry.rows >= 1
+        assert geometry.cols >= line_bits
+        assert geometry.rows <= MAX_ROWS_PER_SUBARRAY
+        assert geometry.rows * geometry.cols * geometry.subarrays >= words * line_bits
+        assert geometry.bits_per_subarray == geometry.rows * geometry.cols

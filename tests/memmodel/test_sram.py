@@ -1,0 +1,94 @@
+"""Tests for the analytical SRAM macro model (the CACTI substitute)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memmodel import NODE_90NM, SramMacro, estimate_sram
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SramMacro(0)
+        with pytest.raises(ValueError):
+            SramMacro(10, word_bits=32)  # not a multiple of the word size
+
+    def test_rejects_bad_word_width(self):
+        with pytest.raises(ValueError):
+            SramMacro(1024, word_bits=12)
+        with pytest.raises(ValueError):
+            SramMacro(1024, word_bits=0)
+
+    def test_rejects_negative_check_bits(self):
+        with pytest.raises(ValueError):
+            SramMacro(1024, check_bits=-1)
+
+    def test_capacity_words(self):
+        assert SramMacro(64 * 1024, word_bits=32).capacity_words == 16384
+        assert SramMacro(256, word_bits=32).capacity_words == 64
+
+
+class TestPaperCalibration:
+    """The absolute values only need to be in the plausible 65 nm range."""
+
+    def test_64kb_l1_characteristics(self):
+        estimate = estimate_sram(64 * 1024)
+        assert 0.2 <= estimate.area_mm2 <= 1.5
+        assert 10.0 <= estimate.read_energy_pj <= 80.0
+        assert 0.3 <= estimate.access_time_ns <= 2.5
+        assert 0.05 <= estimate.leakage_mw <= 0.5
+
+    def test_small_protected_buffer_is_tiny_fraction_of_l1(self):
+        l1 = estimate_sram(64 * 1024)
+        buffer = estimate_sram(44 * 4, check_bits=28)
+        assert buffer.area_mm2 < 0.05 * l1.area_mm2
+        assert buffer.read_energy_pj < 0.2 * l1.read_energy_pj
+
+    def test_access_fits_one_cycle_at_200mhz(self):
+        # The paper's platform runs at 200 MHz (5 ns period); the plain L1
+        # must be single-cycle.
+        assert estimate_sram(64 * 1024).access_time_ns < 5.0
+
+
+class TestScalingTrends:
+    def test_area_grows_with_capacity(self):
+        small = estimate_sram(4 * 1024).area_mm2
+        large = estimate_sram(64 * 1024).area_mm2
+        assert large > 8 * small  # roughly linear in capacity
+
+    def test_energy_grows_with_capacity(self):
+        assert estimate_sram(64 * 1024).read_energy_pj > estimate_sram(4 * 1024).read_energy_pj
+
+    def test_check_bits_increase_all_figures(self):
+        plain = estimate_sram(16 * 1024)
+        protected = estimate_sram(16 * 1024, check_bits=16)
+        assert protected.area_mm2 > plain.area_mm2
+        assert protected.read_energy_pj > plain.read_energy_pj
+        assert protected.leakage_mw > plain.leakage_mw
+        assert protected.storage_overhead == 16 / 32
+
+    def test_older_node_is_larger_and_hungrier(self):
+        node65 = estimate_sram(16 * 1024)
+        node90 = estimate_sram(16 * 1024, technology=NODE_90NM)
+        assert node90.area_mm2 > node65.area_mm2
+        assert node90.read_energy_pj > node65.read_energy_pj
+
+    def test_write_energy_slightly_above_read(self):
+        estimate = estimate_sram(32 * 1024)
+        assert estimate.write_energy_pj > estimate.read_energy_pj
+        assert estimate.write_energy_pj < 1.5 * estimate.read_energy_pj
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=4096))
+    def test_monotone_area_in_capacity(self, words):
+        smaller = estimate_sram(words * 4).area_mm2
+        larger = estimate_sram((words + 64) * 4).area_mm2
+        assert larger > smaller
+
+    def test_estimate_exposes_geometry_and_line_bits(self):
+        estimate = estimate_sram(1024, check_bits=7)
+        assert estimate.line_bits == 39
+        assert estimate.geometry.total_bits == estimate.capacity_words * 39

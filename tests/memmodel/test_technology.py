@@ -1,0 +1,45 @@
+"""Tests for the technology-node parameter sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memmodel import NODE_45NM, NODE_65NM, NODE_90NM, available_nodes, get_node
+
+
+class TestNodeLookup:
+    def test_paper_node_is_65nm(self):
+        node = get_node("65nm")
+        assert node is NODE_65NM
+        assert node.feature_nm == 65.0
+
+    def test_available_nodes_sorted(self):
+        nodes = available_nodes()
+        assert nodes == sorted(nodes)
+        assert {"45nm", "65nm", "90nm"} <= set(nodes)
+
+    def test_unknown_node_raises_with_hint(self):
+        with pytest.raises(KeyError, match="known nodes"):
+            get_node("28nm")
+
+
+class TestScalingTrends:
+    def test_cell_area_shrinks_with_feature_size(self):
+        assert NODE_45NM.sram_cell_area_um2 < NODE_65NM.sram_cell_area_um2
+        assert NODE_65NM.sram_cell_area_um2 < NODE_90NM.sram_cell_area_um2
+
+    def test_leakage_density_grows_with_scaling(self):
+        # Leakage per KB worsens at smaller nodes (the reliability trend the
+        # paper's introduction discusses).
+        assert NODE_45NM.leakage_uw_per_kb > NODE_65NM.leakage_uw_per_kb
+        assert NODE_65NM.leakage_uw_per_kb > NODE_90NM.leakage_uw_per_kb
+
+    def test_scaled_override_produces_new_node(self):
+        pessimistic = NODE_65NM.scaled(leakage_uw_per_kb=5.0)
+        assert pessimistic.leakage_uw_per_kb == 5.0
+        assert NODE_65NM.leakage_uw_per_kb != 5.0
+        assert pessimistic.feature_nm == NODE_65NM.feature_nm
+
+    def test_scaled_rejects_unknown_field(self):
+        with pytest.raises(KeyError):
+            NODE_65NM.scaled(not_a_field=1.0)

@@ -1,0 +1,68 @@
+"""Tests for the Read Error Interrupt service routine and the trace container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecc import InterleavedSecDedCode
+from repro.runtime.isr import ReadErrorServiceRoutine
+from repro.runtime.trace import EventKind, ExecutionTrace
+from repro.soc.memory import make_protected_buffer
+from repro.soc.processor import ProcessorSpec
+
+
+class TestReadErrorServiceRoutine:
+    def _make_isr(self, state_words: int = 8):
+        buffer = make_protected_buffer(64, InterleavedSecDedCode(32, ways=4))
+        spec = ProcessorSpec()
+        return ReadErrorServiceRoutine(
+            protected_buffer=buffer, processor_spec=spec, state_words=state_words
+        ), buffer, spec
+
+    def test_reports_cycles_covering_all_steps(self):
+        isr, buffer, spec = self._make_isr(state_words=8)
+        cycles = isr(payload=None)
+        expected_minimum = (
+            spec.pipeline_flush_cycles
+            + spec.context_restore_cycles
+            + 8 * buffer.access_cycles
+        )
+        assert cycles >= expected_minimum
+        assert isr.invocations == 1
+
+    def test_reads_the_saved_state_from_l1_prime(self):
+        isr, buffer, _ = self._make_isr(state_words=12)
+        before = buffer.stats.reads
+        isr(payload="phase-3")
+        assert buffer.stats.reads == before + 12
+
+    def test_repeated_invocations_accumulate(self):
+        isr, _, _ = self._make_isr()
+        isr(None)
+        isr(None)
+        assert isr.invocations == 2
+
+
+class TestExecutionTrace:
+    def test_record_and_query(self):
+        trace = ExecutionTrace()
+        trace.record(EventKind.PHASE_START, cycle=10, phase=0)
+        trace.record(EventKind.ERROR_DETECTED, cycle=20, phase=0)
+        trace.record(EventKind.ROLLBACK, cycle=25, phase=0)
+        trace.record(EventKind.ROLLBACK, cycle=60, phase=2)
+        assert trace.count(EventKind.ROLLBACK) == 2
+        assert trace.phases_rolled_back() == [0, 2]
+        assert [e.cycle for e in trace.of_kind(EventKind.ROLLBACK)] == [25, 60]
+
+    def test_disabled_trace_records_nothing(self):
+        trace = ExecutionTrace(enabled=False)
+        trace.record(EventKind.PHASE_START, cycle=1)
+        assert trace.events == []
+
+    def test_summary_lines_are_readable(self):
+        trace = ExecutionTrace()
+        trace.record(EventKind.CHECKPOINT_COMMIT, cycle=123, phase=4, detail="words=8")
+        lines = trace.summary_lines()
+        assert len(lines) == 1
+        assert "checkpoint_commit" in lines[0]
+        assert "P4" in lines[0]

@@ -1,0 +1,150 @@
+"""Tests for the bus, interrupt controller and processor models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecc import ParityCode
+from repro.faults import UpsetEvent
+from repro.soc import (
+    Bus,
+    Clock,
+    EnergyAccount,
+    InterruptController,
+    Processor,
+    ProcessorSpec,
+    READ_ERROR_INTERRUPT,
+)
+from repro.soc.memory import MemoryDevice
+
+
+class TestBus:
+    def _devices(self, energy=None):
+        source = MemoryDevice("src", capacity_words=32, energy=energy)
+        dest = MemoryDevice("dst", capacity_words=32, energy=energy)
+        return source, dest
+
+    def test_copy_block_moves_data(self):
+        source, dest = self._devices()
+        source.write_block(0, [10, 11, 12, 13])
+        bus = Bus(clock=Clock())
+        result = bus.copy_block(source, 0, dest, 4, 4)
+        assert [dest.read_word(4 + i).data for i in range(4)] == [10, 11, 12, 13]
+        assert result.words == 4
+        assert not result.had_uncorrectable
+        assert bus.words_transferred == 4
+        assert bus.transfers == 1
+
+    def test_transfer_cycles_formula(self):
+        source, dest = self._devices()
+        bus = Bus(setup_cycles=4, cycles_per_word=1)
+        per_word = source.access_cycles + dest.access_cycles + 1
+        assert bus.transfer_cycles(10, source, dest) == 4 + 10 * per_word
+        assert bus.transfer_cycles(0, source, dest) == 0
+
+    def test_clock_advances_by_transfer_cycles(self):
+        source, dest = self._devices()
+        source.write_block(0, [1] * 8)
+        clock = Clock()
+        bus = Bus(clock=clock)
+        result = bus.copy_block(source, 0, dest, 0, 8)
+        assert clock.cycles == result.cycles > 0
+
+    def test_detects_corruption_during_copy(self):
+        energy = EnergyAccount()
+        source = MemoryDevice("src", capacity_words=8, code=ParityCode(32), energy=energy)
+        dest = MemoryDevice("dst", capacity_words=8, energy=energy)
+        source.write_block(0, [5, 6, 7])
+        source.inject(UpsetEvent(word_index=1, bit_positions=(2,)))
+        result = Bus().copy_block(source, 0, dest, 0, 3)
+        assert result.had_uncorrectable
+
+    def test_rejects_negative_word_count(self):
+        source, dest = self._devices()
+        with pytest.raises(ValueError):
+            Bus().copy_block(source, 0, dest, 0, -1)
+        with pytest.raises(ValueError):
+            Bus(setup_cycles=-1)
+
+
+class TestInterruptController:
+    def test_dispatch_runs_handler_and_counts(self):
+        clock = Clock()
+        controller = InterruptController(clock=clock, entry_cycles=10, exit_cycles=5)
+        seen = []
+        controller.register(READ_ERROR_INTERRUPT, lambda payload: seen.append(payload) or 20)
+        record = controller.raise_interrupt(READ_ERROR_INTERRUPT, payload="chunk-3")
+        assert seen == ["chunk-3"]
+        assert record.handler_cycles == 20
+        assert clock.cycles == 10 + 20 + 5
+        assert controller.count(READ_ERROR_INTERRUPT) == 1
+        assert controller.total_serviced() == 1
+        assert controller.history[0].line == READ_ERROR_INTERRUPT
+
+    def test_unregistered_line_raises(self):
+        controller = InterruptController()
+        with pytest.raises(KeyError):
+            controller.raise_interrupt("dma_done")
+
+    def test_handler_must_report_non_negative_cycles(self):
+        controller = InterruptController()
+        controller.register("x", lambda payload: -1)
+        with pytest.raises(ValueError):
+            controller.raise_interrupt("x")
+
+    def test_energy_charged_for_isr(self):
+        energy = EnergyAccount()
+        controller = InterruptController(
+            clock=Clock(), energy=energy, core_energy_per_cycle_pj=0.5
+        )
+        controller.register("x", lambda payload: 10)
+        controller.raise_interrupt("x")
+        assert energy.category_total_pj("isr") > 0
+
+    def test_register_validation_and_unregister(self):
+        controller = InterruptController()
+        with pytest.raises(TypeError):
+            controller.register("x", "not-callable")
+        controller.register("x", lambda payload: 0)
+        assert controller.is_registered("x")
+        controller.unregister("x")
+        assert not controller.is_registered("x")
+
+
+class TestProcessor:
+    def test_execute_advances_clock_and_charges_energy(self):
+        cpu = Processor()
+        cpu.execute(1000)
+        assert cpu.clock.cycles == 1000
+        assert cpu.busy_cycles == 1000
+        assert cpu.energy.total_pj() == pytest.approx(
+            1000 * cpu.spec.dynamic_energy_per_cycle_pj
+        )
+
+    def test_stall_is_cheaper_than_execute(self):
+        active = Processor()
+        active.execute(100)
+        stalled = Processor()
+        stalled.stall(100)
+        assert stalled.energy.total_pj() < active.energy.total_pj()
+        assert stalled.total_cycles == 100
+
+    def test_negative_cycles_rejected(self):
+        cpu = Processor()
+        with pytest.raises(ValueError):
+            cpu.execute(-1)
+        with pytest.raises(ValueError):
+            cpu.stall(-1)
+        with pytest.raises(ValueError):
+            cpu.charge_leakage(-1)
+
+    def test_leakage_scales_with_time_and_power(self):
+        cpu = Processor()
+        cpu.charge_leakage(200_000_000, extra_leakage_mw=0.88)  # 1 s at 200 MHz
+        expected_pj = (cpu.spec.static_power_mw + 0.88) * 1e-3 * 1e12
+        assert cpu.energy.category_total_pj("leakage") == pytest.approx(expected_pj, rel=1e-6)
+
+    def test_spec_defaults_match_paper_platform(self):
+        spec = ProcessorSpec()
+        assert spec.frequency_hz == pytest.approx(200e6)
+        assert spec.name.startswith("ARM9")

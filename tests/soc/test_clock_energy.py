@@ -1,0 +1,97 @@
+"""Tests for the clock and the energy ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.soc import Clock, EnergyAccount
+
+
+class TestClock:
+    def test_advance_and_elapsed_time(self):
+        clock = Clock(frequency_hz=200e6)
+        clock.advance(200)
+        assert clock.cycles == 200
+        assert clock.elapsed_seconds == pytest.approx(1e-6)
+        assert clock.elapsed_ns == pytest.approx(1000.0)
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1)
+
+    def test_cycles_for_time_rounds_up(self):
+        clock = Clock(frequency_hz=200e6)  # 5 ns period
+        assert clock.cycles_for_time_ns(0.0) == 0
+        assert clock.cycles_for_time_ns(4.9) == 1
+        assert clock.cycles_for_time_ns(5.1) == 2
+
+    def test_marks_and_since(self):
+        clock = Clock()
+        clock.advance(10)
+        clock.mark("phase")
+        clock.advance(25)
+        assert clock.since("phase") == 25
+        with pytest.raises(KeyError):
+            clock.since("unknown")
+
+    def test_reset_clears_marks(self):
+        clock = Clock()
+        clock.advance(5)
+        clock.mark("a")
+        clock.reset()
+        assert clock.cycles == 0
+        with pytest.raises(KeyError):
+            clock.since("a")
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            Clock(frequency_hz=0)
+
+
+class TestEnergyAccount:
+    def test_charges_accumulate_by_component_and_category(self):
+        account = EnergyAccount()
+        account.charge("L1", "memory_read", 10.0)
+        account.charge("L1", "memory_read", 5.0)
+        account.charge("L1", "memory_write", 2.0)
+        account.charge("cpu", "compute", 3.0)
+        assert account.component_total_pj("L1") == pytest.approx(17.0)
+        assert account.category_total_pj("memory_read") == pytest.approx(15.0)
+        assert account.total_pj() == pytest.approx(20.0)
+        assert account.total_nj() == pytest.approx(0.020)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyAccount().charge("L1", "memory_read", -1.0)
+
+    def test_components_and_categories_listing(self):
+        account = EnergyAccount()
+        account.charge("b", "x", 1.0)
+        account.charge("a", "y", 1.0)
+        assert account.components() == ["a", "b"]
+        assert account.categories() == ["x", "y"]
+
+    def test_merge_and_reset(self):
+        a = EnergyAccount()
+        b = EnergyAccount()
+        a.charge("cpu", "compute", 1.0)
+        b.charge("cpu", "compute", 2.0)
+        b.charge("L1", "memory_read", 4.0)
+        a.merge(b)
+        assert a.total_pj() == pytest.approx(7.0)
+        a.reset()
+        assert a.total_pj() == 0.0
+
+    def test_breakdown_is_a_copy(self):
+        account = EnergyAccount()
+        account.charge("cpu", "compute", 1.0)
+        breakdown = account.breakdown()
+        breakdown["cpu"]["compute"] = 999.0
+        assert account.component_total_pj("cpu") == pytest.approx(1.0)
+
+    def test_summary_lines_include_total(self):
+        account = EnergyAccount()
+        account.charge("cpu", "compute", 1500.0)
+        lines = account.summary_lines()
+        assert any("TOTAL" in line for line in lines)
+        assert any("cpu" in line for line in lines)

@@ -1,0 +1,150 @@
+"""Tests for the behavioural memory devices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecc import DecodeStatus, InterleavedSecDedCode, NoCode, ParityCode, SecDedCode
+from repro.faults import UpsetEvent
+from repro.soc import EnergyAccount
+from repro.soc.memory import (
+    MemoryDevice,
+    make_protected_buffer,
+    make_scratchpad,
+    make_stream_buffer,
+)
+
+
+class TestBasicAccess:
+    def test_write_then_read_roundtrip(self):
+        device = MemoryDevice("mem", capacity_words=16)
+        device.write_word(3, 0xCAFEBABE)
+        result = device.read_word(3)
+        assert result.data == 0xCAFEBABE
+        assert result.status is DecodeStatus.CLEAN
+
+    def test_unwritten_word_reads_as_clean_zero(self):
+        device = MemoryDevice("mem", capacity_words=4)
+        result = device.read_word(0)
+        assert result.data == 0
+        assert result.status is DecodeStatus.CLEAN
+
+    def test_out_of_range_access_raises(self):
+        device = MemoryDevice("mem", capacity_words=4)
+        with pytest.raises(IndexError):
+            device.read_word(4)
+        with pytest.raises(IndexError):
+            device.write_word(-1, 0)
+
+    def test_block_operations(self):
+        device = MemoryDevice("mem", capacity_words=8)
+        device.write_block(2, [1, 2, 3])
+        values = [r.data for r in device.read_block(2, 3)]
+        assert values == [1, 2, 3]
+        assert device.written_words() == 3
+        device.clear()
+        assert device.written_words() == 0
+
+    def test_code_word_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryDevice("mem", capacity_words=4, code=ParityCode(16), word_bits=32)
+
+    def test_stats_count_accesses(self):
+        device = MemoryDevice("mem", capacity_words=4)
+        device.write_word(0, 1)
+        device.read_word(0)
+        device.read_word(1)
+        assert device.stats.writes == 1
+        assert device.stats.reads == 2
+        assert device.stats.as_dict()["reads"] == 2
+
+
+class TestEnergyCharging:
+    def test_access_energy_goes_to_ledger(self):
+        energy = EnergyAccount()
+        device = MemoryDevice("L1", capacity_words=64, energy=energy)
+        device.write_word(0, 5)
+        device.read_word(0)
+        assert energy.category_total_pj("memory_write") == pytest.approx(device.write_energy_pj)
+        assert energy.category_total_pj("memory_read") == pytest.approx(device.read_energy_pj)
+
+    def test_protected_device_costs_more_per_access(self):
+        plain = MemoryDevice("plain", capacity_words=1024)
+        protected = MemoryDevice(
+            "prot", capacity_words=1024, code=InterleavedSecDedCode(32, ways=8)
+        )
+        assert protected.read_energy_pj > plain.read_energy_pj
+        assert protected.area_mm2 > plain.area_mm2
+        assert protected.access_cycles > plain.access_cycles
+
+
+class TestFaultInjectionAndEcc:
+    def test_upset_on_unwritten_word_has_no_effect(self):
+        device = MemoryDevice("mem", capacity_words=8)
+        landed = device.inject(UpsetEvent(word_index=2, bit_positions=(0, 1)))
+        assert not landed
+        assert device.stats.upsets_injected == 1
+        assert device.stats.bit_flips_injected == 0
+
+    def test_unprotected_memory_corrupts_silently(self):
+        device = MemoryDevice("mem", capacity_words=8, code=NoCode(32))
+        device.write_word(1, 0)
+        device.inject(UpsetEvent(word_index=1, bit_positions=(3,)))
+        result = device.read_word(1)
+        assert result.data == 8
+        assert result.status is DecodeStatus.CLEAN  # nothing notices
+
+    def test_parity_memory_detects_single_flip(self):
+        device = MemoryDevice("mem", capacity_words=8, code=ParityCode(32))
+        device.write_word(1, 0xFFFF)
+        device.inject(UpsetEvent(word_index=1, bit_positions=(5,)))
+        result = device.read_word(1)
+        assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+        assert device.stats.errors_detected == 1
+        assert device.stats.errors_uncorrectable == 1
+
+    def test_secded_memory_corrects_and_scrubs(self):
+        device = MemoryDevice("mem", capacity_words=8, code=SecDedCode(32))
+        device.write_word(0, 0x1234)
+        device.inject(UpsetEvent(word_index=0, bit_positions=(7,)))
+        first = device.read_word(0)
+        assert first.status is DecodeStatus.CORRECTED
+        assert first.data == 0x1234
+        # Scrub-on-read: the second read sees a clean word again.
+        second = device.read_word(0)
+        assert second.status is DecodeStatus.CLEAN
+        assert device.stats.errors_corrected == 1
+
+    def test_multibit_memory_corrects_adjacent_cluster(self):
+        device = MemoryDevice("mem", capacity_words=8, code=InterleavedSecDedCode(32, ways=4))
+        device.write_word(2, 0xDEADBEEF)
+        device.inject(UpsetEvent(word_index=2, bit_positions=(10, 11, 12)))
+        result = device.read_word(2)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == 0xDEADBEEF
+
+    def test_flips_outside_codeword_are_ignored(self):
+        device = MemoryDevice("mem", capacity_words=4, code=ParityCode(32))
+        device.write_word(0, 1)
+        landed = device.inject(UpsetEvent(word_index=0, bit_positions=(200,)))
+        assert not landed
+        assert device.read_word(0).status is DecodeStatus.CLEAN
+
+
+class TestFactories:
+    def test_scratchpad_matches_paper_platform(self):
+        l1 = make_scratchpad()
+        assert l1.capacity_bytes == 64 * 1024
+        assert l1.capacity_words == 16384
+        assert l1.name == "L1"
+
+    def test_protected_buffer_requires_correction(self):
+        with pytest.raises(ValueError):
+            make_protected_buffer(32, ParityCode(32))
+        buffer = make_protected_buffer(32, InterleavedSecDedCode(32, ways=4))
+        assert buffer.capacity_words == 32
+
+    def test_stream_buffer_is_unprotected(self):
+        l1x = make_stream_buffer()
+        assert l1x.code.check_bits == 0
+        assert l1x.name == "L1X"

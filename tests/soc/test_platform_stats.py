@@ -1,0 +1,123 @@
+"""Tests for platform assembly and simulation statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.soc import (
+    PAPER_L1_BYTES,
+    Platform,
+    PlatformConfig,
+    SimulationStats,
+    default_platform,
+    hw_mitigation_platform,
+    hybrid_platform,
+    sw_mitigation_platform,
+)
+
+
+class TestPlatformAssembly:
+    def test_default_platform_shape(self):
+        platform = default_platform()
+        assert platform.l1.capacity_bytes == PAPER_L1_BYTES
+        assert platform.l1.code.check_bits == 0
+        assert platform.l1p is None
+        assert platform.clock.frequency_hz == pytest.approx(200e6)
+        assert len(platform.memories) == 2
+
+    def test_hw_platform_protects_whole_l1(self):
+        platform = hw_mitigation_platform(correctable_bits=8)
+        assert platform.l1.code.correctable_bits == 8
+        assert platform.l1p is None
+        assert platform.total_area_mm2() > default_platform().total_area_mm2()
+
+    def test_sw_platform_detects_but_does_not_correct(self):
+        platform = sw_mitigation_platform()
+        assert platform.l1.code.correctable_bits == 0
+        assert platform.l1.code.detectable_bits >= 4
+
+    def test_hybrid_platform_has_protected_buffer(self):
+        platform = hybrid_platform(l1p_words=44)
+        assert platform.l1p is not None
+        assert platform.l1p.code.correctable_bits >= 4
+        # Capacity covers the chunk plus the status-register region.
+        assert platform.l1p.capacity_words >= 44
+
+    def test_hybrid_requires_positive_buffer(self):
+        with pytest.raises(ValueError):
+            hybrid_platform(l1p_words=0)
+
+    def test_hybrid_buffer_area_is_within_the_5_percent_budget(self):
+        # Eq. 4 constrains the *added protected buffer* against the L1 area;
+        # the cheap interleaved-parity detection bits on L1 are accounted
+        # separately (they are shared with the SW baseline).
+        hybrid = hybrid_platform(l1p_words=44)
+        sw = sw_mitigation_platform()
+        assert hybrid.l1p.area_mm2 < 0.05 * hybrid.l1.area_mm2
+        assert hybrid.area_overhead_vs(sw) < 0.05
+
+    def test_hw_area_overhead_is_large(self):
+        base = default_platform()
+        hw = hw_mitigation_platform(correctable_bits=8)
+        assert hw.area_overhead_vs(base) > 0.5
+
+    def test_leakage_sums_over_memories(self):
+        platform = hybrid_platform(l1p_words=32)
+        total = platform.total_memory_leakage_mw()
+        assert total == pytest.approx(sum(m.leakage_mw for m in platform.memories))
+
+    def test_finalize_leakage_charges_energy(self):
+        platform = default_platform()
+        platform.clock.advance(1_000_000)
+        platform.finalize_leakage()
+        assert platform.energy.category_total_pj("leakage") > 0
+
+    def test_custom_config_frequency(self):
+        platform = Platform(PlatformConfig(frequency_hz=100e6))
+        assert platform.clock.frequency_hz == pytest.approx(100e6)
+        assert platform.processor.spec.frequency_hz == pytest.approx(100e6)
+
+
+class TestSimulationStats:
+    def _stats(self, **overrides) -> SimulationStats:
+        stats = SimulationStats(configuration="test", application="app")
+        for key, value in overrides.items():
+            setattr(stats, key, value)
+        return stats
+
+    def test_overhead_fractions(self):
+        stats = self._stats(total_cycles=110, useful_cycles=100)
+        assert stats.overhead_cycles == 10
+        assert stats.cycle_overhead_fraction == pytest.approx(0.10)
+
+    def test_deadline_logic(self):
+        assert self._stats(total_cycles=100, deadline_cycles=0).deadline_met
+        assert self._stats(total_cycles=100, deadline_cycles=100).deadline_met
+        assert not self._stats(total_cycles=101, deadline_cycles=100).deadline_met
+
+    def test_fully_mitigated_requires_correct_output(self):
+        assert self._stats(output_correct=True, silent_corruptions=0).fully_mitigated
+        assert not self._stats(output_correct=False, silent_corruptions=3).fully_mitigated
+
+    def test_relative_energy_and_cycles(self):
+        baseline = self._stats(total_cycles=100)
+        baseline.energy.charge("cpu", "compute", 100.0)
+        other = self._stats(total_cycles=150)
+        other.energy.charge("cpu", "compute", 120.0)
+        assert other.energy_relative_to(baseline) == pytest.approx(1.2)
+        assert other.cycles_relative_to(baseline) == pytest.approx(1.5)
+
+    def test_relative_to_zero_baseline_raises(self):
+        baseline = self._stats(total_cycles=0)
+        other = self._stats(total_cycles=10)
+        with pytest.raises(ValueError):
+            other.cycles_relative_to(baseline)
+        with pytest.raises(ValueError):
+            other.energy_relative_to(baseline)
+
+    def test_as_dict_and_summary(self):
+        stats = self._stats(total_cycles=10, rollbacks=2)
+        flat = stats.as_dict()
+        assert flat["total_cycles"] == 10.0
+        assert flat["rollbacks"] == 2.0
+        assert "rollbacks" in stats.summary()

@@ -1,0 +1,32 @@
+"""Tests for the repro-experiments command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_fig4_runs_and_prints_table(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "chunk size" in out
+
+    def test_table1_accepts_overrides(self, capsys):
+        assert main(["table1", "--error-rate", "1e-6", "--area-budget", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "adpcm-encode" in out
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_help_mentions_all_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for name in ("fig4", "table1", "fig5", "timing", "ablations", "all"):
+            assert name in out

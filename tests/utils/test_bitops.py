@@ -1,0 +1,122 @@
+"""Unit and property tests for the bit-manipulation helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bit_positions,
+    bits_to_int,
+    chunks_of_bits,
+    flip_bit,
+    flip_bits,
+    get_bit,
+    hamming_distance,
+    int_to_bits,
+    join_bit_chunks,
+    mask,
+    parity,
+    popcount,
+    rotate_left,
+    set_bit,
+)
+
+WORDS = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestPopcountAndParity:
+    def test_popcount_known_values(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount(0xFFFFFFFF) == 32
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_parity_even_and_odd(self):
+        assert parity(0) == 0
+        assert parity(0b111) == 1
+        assert parity(0b11) == 0
+
+    @given(WORDS)
+    def test_parity_matches_popcount(self, value):
+        assert parity(value) == popcount(value) % 2
+
+
+class TestBitAccess:
+    def test_get_and_set_bit(self):
+        assert get_bit(0b1010, 1) == 1
+        assert get_bit(0b1010, 0) == 0
+        assert set_bit(0, 3, 1) == 0b1000
+        assert set_bit(0b1111, 2, 0) == 0b1011
+
+    def test_set_bit_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            set_bit(0, 0, 2)
+
+    def test_flip_bit_and_bits(self):
+        assert flip_bit(0, 4) == 16
+        assert flip_bit(16, 4) == 0
+        assert flip_bits(0, [0, 1, 2]) == 0b111
+
+    @given(WORDS, st.integers(min_value=0, max_value=31))
+    def test_flip_twice_is_identity(self, value, position):
+        assert flip_bit(flip_bit(value, position), position) == value
+
+    def test_bit_positions(self):
+        assert list(bit_positions(0b10110)) == [1, 2, 4]
+        assert list(bit_positions(0)) == []
+
+    @given(WORDS)
+    def test_bit_positions_consistent_with_popcount(self, value):
+        assert len(list(bit_positions(value))) == popcount(value)
+
+
+class TestMaskAndDistance:
+    def test_mask_values(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+
+    def test_mask_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    @given(WORDS, WORDS)
+    def test_hamming_distance_symmetric(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(WORDS)
+    def test_hamming_distance_to_self_is_zero(self, a):
+        assert hamming_distance(a, a) == 0
+
+
+class TestConversions:
+    @given(WORDS)
+    def test_int_bits_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 32)) == value
+
+    def test_int_to_bits_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(256, 8)
+
+    def test_bits_to_int_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+    @given(WORDS, st.integers(min_value=1, max_value=31))
+    def test_rotate_left_inverse(self, value, amount):
+        rotated = rotate_left(value, amount, 32)
+        assert rotate_left(rotated, 32 - amount, 32) == value
+
+    @given(WORDS, st.sampled_from([1, 2, 4, 8, 16]))
+    def test_chunk_join_roundtrip(self, value, chunk):
+        pieces = chunks_of_bits(value, 32, chunk)
+        assert join_bit_chunks(pieces, chunk) == value
+
+    def test_chunks_of_bits_handles_partial_tail(self):
+        pieces = chunks_of_bits(0b1_0000_0001, 9, 4)
+        assert pieces == [0b0001, 0b0000, 0b1]

@@ -1,0 +1,36 @@
+"""Tests for the deterministic RNG helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).integers(0, 1_000_000, size=16)
+        b = make_rng(42).integers(0, 1_000_000, size=16)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1_000_000, size=16)
+        b = make_rng(2).integers(0, 1_000_000, size=16)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(7, 5)) == 5
+        assert spawn_rngs(7, 0) == []
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(7, -1)
+
+    def test_spawned_streams_are_independent_and_reproducible(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(123, 4)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(123, 4)]
+        assert first == second
+        assert len(set(first)) > 1
