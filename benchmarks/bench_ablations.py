@@ -18,7 +18,7 @@ from repro.analysis import (
 
 def test_ablation_error_rate(benchmark, save_result):
     result = benchmark.pedantic(ablation_error_rate, rounds=1, iterations=1)
-    save_result("ablation_error_rate", result.render())
+    save_result("ablation_error_rate", result)
     chunks = [row[1] for row in result.rows()]
     # Higher upset rates shrink the optimum chunk (recomputation dominates).
     assert chunks[0] >= chunks[-1]
@@ -26,7 +26,7 @@ def test_ablation_error_rate(benchmark, save_result):
 
 def test_ablation_area_budget(benchmark, save_result):
     result = benchmark.pedantic(ablation_area_budget, rounds=1, iterations=1)
-    save_result("ablation_area_budget", result.render())
+    save_result("ablation_area_budget", result)
     max_chunks = [row[1] for row in result.rows()]
     # A looser area budget always admits at least as large a buffer.
     assert all(later >= earlier for earlier, later in zip(max_chunks, max_chunks[1:]))
@@ -34,7 +34,7 @@ def test_ablation_area_budget(benchmark, save_result):
 
 def test_ablation_correction_strength(benchmark, save_result):
     result = benchmark.pedantic(ablation_correction_strength, rounds=1, iterations=1)
-    save_result("ablation_correction_strength", result.render())
+    save_result("ablation_correction_strength", result)
     areas = [float(row[2].rstrip("%")) for row in result.rows()]
     # Stronger L1' codes cost more area for the same optimum-sized buffer.
     assert areas[-1] > areas[0]
@@ -42,7 +42,7 @@ def test_ablation_correction_strength(benchmark, save_result):
 
 def test_ablation_drain_latency(benchmark, save_result):
     result = benchmark.pedantic(ablation_drain_latency, rounds=1, iterations=1)
-    save_result("ablation_drain_latency", result.render())
+    save_result("ablation_drain_latency", result)
     errs = [float(row[2]) for row in result.rows()]
     # Longer exposure windows mean more expected faulty chunks.
     assert errs == sorted(errs)

@@ -13,7 +13,7 @@ from repro.analysis import fig4_feasible_region
 
 def test_fig4_feasible_region(benchmark, save_result):
     result = benchmark.pedantic(fig4_feasible_region, rounds=1, iterations=1)
-    save_result("fig4_feasible_region", result.render())
+    save_result("fig4_feasible_region", result)
 
     boundary = result.series()
     # Shape checks mirroring the published figure.

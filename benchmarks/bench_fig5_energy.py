@@ -22,7 +22,7 @@ def _run_fig5():
 def test_fig5_normalized_energy(benchmark, save_result, fig5_cache):
     result = benchmark.pedantic(_run_fig5, rounds=1, iterations=1)
     fig5_cache["fig5"] = result
-    save_result("fig5_normalized_energy", result.render())
+    save_result("fig5_normalized_energy", result)
 
     # Normalization sanity: the Default case is 1.0 everywhere.
     for app in result.applications():

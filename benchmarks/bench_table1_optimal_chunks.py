@@ -15,7 +15,7 @@ from repro.analysis import table1_optimal_chunks
 
 def test_table1_optimal_chunks(benchmark, save_result):
     result = benchmark.pedantic(table1_optimal_chunks, rounds=1, iterations=1)
-    save_result("table1_optimal_chunks", result.render())
+    save_result("table1_optimal_chunks", result)
 
     rows = result.rows_by_app
     assert set(rows) == {

@@ -23,7 +23,7 @@ def test_timing_overhead(benchmark, save_result, fig5_cache):
         return timing_overhead(fig5=fig5)
 
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    save_result("timing_overhead", result.render())
+    save_result("timing_overhead", result)
 
     fig5 = result.fig5
     budget = 1.0 + fig5.constraints.cycle_overhead

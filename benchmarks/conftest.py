@@ -3,7 +3,9 @@
 Every benchmark regenerates one of the paper's tables/figures; the rendered
 text table is both printed (visible with ``pytest -s``) and written to
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference the exact
-output of the last run.
+output of the last run.  Results that pass through the unified results
+layer (anything with a ``to_result_set()``) are additionally written as
+``benchmarks/results/<name>.json`` — the machine-readable artefact mirror.
 
 The behavioural Fig. 5 simulation is shared between the energy and timing
 benchmarks through a session-scoped cache so the expensive runs happen once.
@@ -20,12 +22,23 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 @pytest.fixture(scope="session")
 def save_result():
-    """Return a callable persisting a rendered table under benchmarks/results/."""
+    """Return a callable persisting a result under benchmarks/results/.
 
-    def _save(name: str, text: str) -> Path:
+    Accepts either a pre-rendered string (legacy) or any harness result
+    object exposing ``render()`` — the latter is also serialized to JSON
+    when it exposes ``to_result_set()``.
+    """
+
+    def _save(name: str, result) -> Path:
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        text = result if isinstance(result, str) else result.render()
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
+        if not isinstance(result, str) and hasattr(result, "to_result_set"):
+            json_path = RESULTS_DIR / f"{name}.json"
+            json_path.write_text(
+                result.to_result_set().to_json() + "\n", encoding="utf-8"
+            )
         print(f"\n{text}\n[saved to {path}]")
         return path
 

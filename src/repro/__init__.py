@@ -13,10 +13,32 @@ The package is organized as:
 * :mod:`repro.core` — the paper's contribution: chunked checkpointing,
   cost model, chunk-size optimizer, feasibility analysis, strategies;
 * :mod:`repro.runtime` — the execution engine tying it all together;
-* :mod:`repro.analysis` — harnesses regenerating every table and figure.
+* :mod:`repro.api` — the unified experiment API: declarative
+  :class:`ExperimentSpec` / :class:`SweepSpec` / :class:`CampaignSpec`,
+  the :class:`Session` facade, serial/parallel executors and the
+  machine-readable :class:`ResultSet`;
+* :mod:`repro.analysis` — harnesses regenerating every table and figure
+  through the API.
 
 Quickstart
 ----------
+>>> from repro import ExperimentSpec, Session
+>>> session = Session()
+>>> outcome = session.run(ExperimentSpec(app="adpcm-encode", strategy="hybrid-optimal"))
+>>> outcome.record["output_correct"]
+1.0
+
+Multi-seed campaigns fan out across cores with bit-identical aggregates:
+
+>>> from repro import CampaignSpec, ParallelExecutor
+>>> spec = CampaignSpec(base=ExperimentSpec(app="jpeg-decode", strategy="hybrid-optimal"),
+...                     seeds=range(8))
+>>> report = session.campaign(spec, executor=ParallelExecutor(jobs=4))
+>>> report["energy_nj"].p95 >= report["energy_nj"].median
+True
+
+The lower-level building blocks remain available for single runs:
+
 >>> from repro.apps import get_application
 >>> from repro.core import optimize_chunk_size, HybridStrategy
 >>> from repro.runtime import run_task
@@ -27,6 +49,15 @@ Quickstart
 True
 """
 
+from .api import (
+    CampaignSpec,
+    ExperimentSpec,
+    ParallelExecutor,
+    ResultSet,
+    SerialExecutor,
+    Session,
+    SweepSpec,
+)
 from .core import (
     DesignConstraints,
     HybridStrategy,
@@ -35,14 +66,21 @@ from .core import (
 )
 from .runtime import TaskExecutor, run_task
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CampaignSpec",
     "DesignConstraints",
+    "ExperimentSpec",
     "HybridStrategy",
     "PAPER_OPERATING_POINT",
-    "optimize_chunk_size",
+    "ParallelExecutor",
+    "ResultSet",
+    "SerialExecutor",
+    "Session",
+    "SweepSpec",
     "TaskExecutor",
+    "optimize_chunk_size",
     "run_task",
     "__version__",
 ]

@@ -14,8 +14,13 @@ Each public function reproduces one evaluation artefact:
 * the ``ablation_*`` functions — sensitivity studies supporting the design
   choices called out in DESIGN.md.
 
-All functions return plain dataclasses with ``rows()`` and ``render()``
-helpers so the benchmark harness and the CLI can print the same tables.
+Every harness expresses its workload as declarative
+:class:`~repro.api.spec.ExperimentSpec` runs executed through a
+:class:`~repro.api.session.Session` — pass ``session=`` or ``jobs=`` to
+fan the underlying simulations out across cores.  All functions return
+plain dataclasses with ``rows()`` / ``render()`` helpers plus a
+``to_result_set()`` bridge into the machine-readable results layer shared
+by the CLI and the benchmarks.
 """
 
 from __future__ import annotations
@@ -23,27 +28,49 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
+from ..api.results import ResultSet
+from ..api.session import Session
+from ..api.spec import ExperimentSpec, SweepSpec
 from ..apps.base import StreamingApplication
-from ..apps.registry import PAPER_BENCHMARK_ORDER, get_application
+from ..apps.registry import PAPER_BENCHMARK_ORDER, canonical_name, get_application
 from ..core.config import DesignConstraints, PAPER_OPERATING_POINT
-from ..core.feasibility import FeasibleRegion, feasible_region
+from ..core.feasibility import FeasibleRegion
 from ..core.optimizer import ChunkSizeOptimizer, OptimizationResult
-from ..core.strategies import MitigationStrategy, paper_strategies
-from ..runtime.executor import TaskExecutor
+from ..core.strategies import HybridStrategy, MitigationStrategy, paper_strategies
 from . import paper_data
 from .tables import render_table
+
+
+def _session(session: Session | None) -> Session:
+    return session if session is not None else Session()
+
+
+def _resolve_app_refs(
+    applications: list[StreamingApplication] | list[str] | None,
+) -> list[tuple[str | StreamingApplication, StreamingApplication]]:
+    """Resolve apps to (spec reference, instance) pairs.
+
+    Registry names stay strings so the resulting specs remain fully
+    serializable; live instances (the tests' reduced-size workloads) are
+    passed through and ride along via pickling.
+    """
+    if applications is None:
+        return [(name, get_application(name)) for name in PAPER_BENCHMARK_ORDER]
+    refs: list[tuple[str | StreamingApplication, StreamingApplication]] = []
+    for app in applications:
+        if isinstance(app, str):
+            name = canonical_name(app)
+            refs.append((name, get_application(name)))
+        else:
+            refs.append((app, app))
+    return refs
 
 
 def _resolve_apps(
     applications: list[StreamingApplication] | list[str] | None,
 ) -> list[StreamingApplication]:
     """Accept application instances, names, or None (= the paper's five)."""
-    if applications is None:
-        return [get_application(name) for name in PAPER_BENCHMARK_ORDER]
-    resolved: list[StreamingApplication] = []
-    for app in applications:
-        resolved.append(get_application(app) if isinstance(app, str) else app)
-    return resolved
+    return [app for _, app in _resolve_app_refs(applications)]
 
 
 # ---------------------------------------------------------------------- #
@@ -67,15 +94,45 @@ class Fig4Result:
         """The boundary as a mapping chunk size -> max correctable bits."""
         return dict(self.region.boundary())
 
+    def _title(self) -> str:
+        return (
+            f"Fig. 4 — feasible protected-buffer configurations under a "
+            f"{self.constraints.area_overhead:.0%} area budget of the 64 KB L1"
+        )
+
+    def to_result_set(self) -> ResultSet:
+        """The full boundary as a machine-readable result set."""
+        return ResultSet.from_records(
+            self._title(),
+            [
+                {"chunk_words": chunk, "max_correctable_bits": bits}
+                for chunk, bits in self.rows()
+            ],
+        )
+
     def render(self) -> str:
         """ASCII rendering of the Fig. 4 boundary (subsampled for width)."""
         rows = [row for row in self.rows() if row[0] % 32 == 1 or row[0] in (16, 512)]
         table = render_table(["chunk size (words)", "max correctable bits/word"], rows)
-        header = (
-            f"Fig. 4 — feasible protected-buffer configurations under a "
-            f"{self.constraints.area_overhead:.0%} area budget of the 64 KB L1\n"
-        )
-        return header + table
+        return self._title() + "\n" + table
+
+
+def fig4_spec(
+    constraints: DesignConstraints,
+    max_chunk_words: int,
+    max_correctable_bits: int,
+    chunk_stride: int,
+) -> ExperimentSpec:
+    """The declarative form of the Fig. 4 sweep."""
+    return ExperimentSpec(
+        kind="feasibility",
+        constraints=constraints,
+        params={
+            "max_chunk_words": max_chunk_words,
+            "max_correctable_bits": max_correctable_bits,
+            "chunk_stride": chunk_stride,
+        },
+    )
 
 
 def fig4_feasible_region(
@@ -83,18 +140,16 @@ def fig4_feasible_region(
     max_chunk_words: int = paper_data.PAPER_FIG4_MAX_CHUNK_WORDS,
     max_correctable_bits: int = paper_data.PAPER_FIG4_MAX_CORRECTABLE_BITS,
     chunk_stride: int = 1,
+    session: Session | None = None,
 ) -> Fig4Result:
     """Reproduce the Fig. 4 sweep.
 
     ``chunk_stride`` subsamples the x-axis (use >1 to speed up smoke runs).
     """
     constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
-    region = feasible_region(
-        constraints=constraints,
-        chunk_sizes=range(1, max_chunk_words + 1, chunk_stride),
-        correctable_bits=range(1, max_correctable_bits + 1),
-    )
-    return Fig4Result(region=region, constraints=constraints)
+    spec = fig4_spec(constraints, max_chunk_words, max_correctable_bits, chunk_stride)
+    outcome = _session(session).run(spec)
+    return Fig4Result(region=outcome.artifact, constraints=constraints)
 
 
 # ---------------------------------------------------------------------- #
@@ -136,6 +191,38 @@ class Table1Result:
             for row in self.rows_by_app.values()
         ]
 
+    def to_result_set(self) -> ResultSet:
+        """Per-benchmark optimization outcomes, machine-readable."""
+        records = []
+        for row in self.rows_by_app.values():
+            record = {
+                "application": row.application,
+                "chunk_words": row.chunk_words,
+                "num_checkpoints": row.num_checkpoints,
+                "predicted_energy_overhead": row.predicted_energy_overhead,
+                "predicted_cycle_overhead": row.predicted_cycle_overhead,
+                "buffer_capacity_words": row.buffer_capacity_words,
+                "area_fraction": row.area_fraction,
+            }
+            if row.paper_chunk_words is not None:
+                record["paper_chunk_words"] = row.paper_chunk_words
+            records.append(record)
+        columns = (
+            "application",
+            "chunk_words",
+            "paper_chunk_words",
+            "num_checkpoints",
+            "predicted_energy_overhead",
+            "predicted_cycle_overhead",
+            "buffer_capacity_words",
+            "area_fraction",
+        )
+        return ResultSet.from_records(
+            "Table I — optimum protected-buffer size per benchmark",
+            records,
+            columns=columns,
+        )
+
     def render(self) -> str:
         table = render_table(
             [
@@ -156,25 +243,31 @@ def table1_optimal_chunks(
     constraints: DesignConstraints | None = None,
     applications: list[StreamingApplication] | list[str] | None = None,
     seed: int = 0,
+    session: Session | None = None,
+    jobs: int | None = None,
 ) -> Table1Result:
     """Reproduce Table I by running the chunk-size optimizer per benchmark."""
     constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
-    apps = _resolve_apps(applications)
-    optimizer = ChunkSizeOptimizer(constraints)
+    refs = _resolve_app_refs(applications)
+    specs = [
+        ExperimentSpec(app=ref, kind="optimize", constraints=constraints, seed=seed)
+        for ref, _ in refs
+    ]
+    outcomes = _session(session).run_all(specs, jobs=jobs)
     rows: dict[str, Table1Row] = {}
     optimizations: dict[str, OptimizationResult] = {}
-    for app in apps:
-        result = optimizer.optimize(app, seed=seed)
-        optimizations[app.name] = result
+    for (_, app), outcome in zip(refs, outcomes):
+        record = outcome.record
+        optimizations[app.name] = outcome.artifact
         rows[app.name] = Table1Row(
             application=app.name,
-            chunk_words=result.chunk_words,
-            num_checkpoints=result.num_checkpoints,
+            chunk_words=record["chunk_words"],
+            num_checkpoints=record["num_checkpoints"],
             paper_chunk_words=paper_data.PAPER_TABLE1_OPTIMUM_WORDS.get(app.name),
-            predicted_energy_overhead=result.best.energy_overhead_fraction,
-            predicted_cycle_overhead=result.best.cycle_overhead_fraction,
-            buffer_capacity_words=result.best.buffer_capacity_words,
-            area_fraction=result.best.area_fraction,
+            predicted_energy_overhead=record["energy_overhead_fraction"],
+            predicted_cycle_overhead=record["cycle_overhead_fraction"],
+            buffer_capacity_words=record["buffer_capacity_words"],
+            area_fraction=record["area_fraction"],
         )
     return Table1Result(rows_by_app=rows, optimizations=optimizations, constraints=constraints)
 
@@ -284,6 +377,67 @@ class Fig5Result:
             )
         return rows
 
+    def _footer(self) -> str:
+        avg = self.average_normalized_energy("hybrid-optimal") - 1.0
+        worst = self.max_normalized_energy("hybrid-optimal") - 1.0
+        return (
+            f"Proposed (optimal): average energy overhead {avg:.1%} "
+            f"(paper: {paper_data.PAPER_PROPOSED_AVG_ENERGY_OVERHEAD:.1%}), "
+            f"maximum {worst:.1%} (paper: {paper_data.PAPER_PROPOSED_MAX_ENERGY_OVERHEAD:.0%})"
+        )
+
+    def to_result_set(self) -> ResultSet:
+        """Full-precision Fig. 5 numbers (incl. the AVERAGE rows)."""
+        records = []
+        for entry in self.outcomes:
+            record = {
+                "application": entry.application,
+                "strategy": entry.strategy,
+                "normalized_energy": entry.normalized_energy,
+                "normalized_cycles": entry.normalized_cycles,
+                "energy_nj": entry.energy_nj,
+                "cycles": entry.cycles,
+                "upsets": entry.upsets,
+                "errors_detected": entry.errors_detected,
+                "rollbacks": entry.rollbacks,
+                "task_restarts": entry.task_restarts,
+                "fully_mitigated_fraction": entry.fully_mitigated_fraction,
+                "deadline_met_fraction": entry.deadline_met_fraction,
+            }
+            if entry.paper_normalized_energy is not None:
+                record["paper_normalized_energy"] = entry.paper_normalized_energy
+            records.append(record)
+        for strategy in self.strategies():
+            records.append(
+                {
+                    "application": "AVERAGE",
+                    "strategy": strategy,
+                    "normalized_energy": self.average_normalized_energy(strategy),
+                    "normalized_cycles": self.average_normalized_cycles(strategy),
+                }
+            )
+        columns = (
+            "application",
+            "strategy",
+            "normalized_energy",
+            "paper_normalized_energy",
+            "normalized_cycles",
+            "energy_nj",
+            "cycles",
+            "upsets",
+            "errors_detected",
+            "rollbacks",
+            "task_restarts",
+            "fully_mitigated_fraction",
+            "deadline_met_fraction",
+        )
+        return ResultSet.from_records(
+            "Fig. 5 — normalized energy consumption per benchmark",
+            records,
+            columns=columns,
+            footer=self._footer(),
+        )
+
     def render(self) -> str:
         table = render_table(
             [
@@ -298,18 +452,61 @@ class Fig5Result:
             ],
             self.rows(),
         )
-        avg = self.average_normalized_energy("hybrid-optimal") - 1.0
-        worst = self.max_normalized_energy("hybrid-optimal") - 1.0
-        footer = (
-            f"\nProposed (optimal): average energy overhead {avg:.1%} "
-            f"(paper: {paper_data.PAPER_PROPOSED_AVG_ENERGY_OVERHEAD:.1%}), "
-            f"maximum {worst:.1%} (paper: {paper_data.PAPER_PROPOSED_MAX_ENERGY_OVERHEAD:.0%})"
+        return (
+            "Fig. 5 — normalized energy consumption per benchmark\n"
+            + table
+            + "\n"
+            + self._footer()
         )
-        return "Fig. 5 — normalized energy consumption per benchmark\n" + table + footer
 
 
 def _average(values: list[float]) -> float:
     return statistics.fmean(values) if values else 0.0
+
+
+def _spec_for_strategy(strategy: MitigationStrategy) -> tuple[str, dict]:
+    """Translate a built strategy into its (registry name, params) spec form."""
+    if isinstance(strategy, HybridStrategy):
+        return "hybrid", {
+            "chunk_words": strategy.chunk_words,
+            "extra_buffer_words": strategy.extra_buffer_words,
+            "label": strategy.name,
+        }
+    return strategy.name, {}
+
+
+def fig5_specs(
+    app_ref: str | StreamingApplication,
+    app: StreamingApplication,
+    optimal_chunk: int,
+    suboptimal_chunk: int,
+    constraints: DesignConstraints,
+    seed: int,
+) -> list[ExperimentSpec]:
+    """The five Fig. 5 configurations of one benchmark as declarative specs.
+
+    The configuration set, ordering and labels come straight from
+    :func:`repro.core.strategies.paper_strategies` — the single source of
+    truth for the paper's comparison.
+    """
+    specs = []
+    for strategy in paper_strategies(
+        optimal_chunk,
+        suboptimal_chunk,
+        extra_buffer_words=app.state_words(),
+        constraints=constraints,
+    ):
+        name, params = _spec_for_strategy(strategy)
+        specs.append(
+            ExperimentSpec(
+                app=app_ref,
+                strategy=name,
+                strategy_params=params,
+                constraints=constraints,
+                seed=seed,
+            )
+        )
+    return specs
 
 
 def fig5_energy(
@@ -317,65 +514,82 @@ def fig5_energy(
     applications: list[StreamingApplication] | list[str] | None = None,
     seeds: tuple[int, ...] = (0, 1, 2),
     suboptimal_factor: float = 4.0,
+    session: Session | None = None,
+    jobs: int | None = None,
 ) -> Fig5Result:
     """Reproduce Fig. 5 by behavioural simulation under fault injection.
 
     For every benchmark the chunk size is first optimized (Table I), then
     the five configurations are executed on the behavioural platform for
     each seed; energies and cycle counts are normalized per-seed to the
-    Default run of the same seed and averaged.
+    Default run of the same seed and averaged.  The per-run simulations
+    are independent specs, so ``jobs=N`` (or a parallel session executor)
+    fans the whole campaign out across cores with bit-identical results.
     """
     constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
-    apps = _resolve_apps(applications)
+    refs = _resolve_app_refs(applications)
     if not seeds:
         raise ValueError("at least one seed is required")
     optimizer = ChunkSizeOptimizer(constraints)
 
-    outcomes: list[StrategyOutcome] = []
-    for app in apps:
+    # Design-time sizing stays serial: one optimization per benchmark.
+    chunk_plan: list[tuple[int, int]] = []
+    for _, app in refs:
         optimization = optimizer.optimize(app, seed=seeds[0])
         suboptimal = optimization.suboptimal(suboptimal_factor)
-        strategies = paper_strategies(
-            optimal_chunk=optimization.chunk_words,
-            suboptimal_chunk=suboptimal.chunk_words,
-            extra_buffer_words=app.state_words(),
-            constraints=constraints,
-        )
+        chunk_plan.append((optimization.chunk_words, suboptimal.chunk_words))
 
-        per_strategy: dict[str, list[dict[str, float]]] = {s.name: [] for s in strategies}
+    specs: list[ExperimentSpec] = []
+    strategy_labels: list[str] = []
+    for (ref, app), (optimal_chunk, suboptimal_chunk) in zip(refs, chunk_plan):
         for seed in seeds:
-            task_input = app.generate_input(seed)
-            baseline_stats = None
-            for strategy in strategies:
-                executor = TaskExecutor(app, strategy, constraints=constraints, seed=seed)
-                result = executor.run(task_input)
-                stats = result.stats
-                if strategy.name == "default":
-                    baseline_stats = stats
-                if baseline_stats is None:
-                    raise RuntimeError("the Default strategy must run first")
-                per_strategy[strategy.name].append(
+            spec_block = fig5_specs(
+                ref, app, optimal_chunk, suboptimal_chunk, constraints, seed
+            )
+            if not strategy_labels:
+                strategy_labels = [
+                    s.strategy_params.get("label", s.strategy) for s in spec_block
+                ]
+            specs.extend(spec_block)
+    results = _session(session).run_all(specs, jobs=jobs)
+    records = [outcome.record for outcome in results]
+
+    outcomes: list[StrategyOutcome] = []
+    cursor = 0
+    for (_, app), _plan in zip(refs, chunk_plan):
+        per_strategy: dict[str, list[dict[str, float]]] = {
+            name: [] for name in strategy_labels
+        }
+        for _seed in seeds:
+            block = records[cursor : cursor + len(strategy_labels)]
+            cursor += len(strategy_labels)
+            baseline = block[0]
+            if baseline["strategy"] != "default":
+                raise RuntimeError("the Default strategy must run first")
+            for record in block:
+                per_strategy[record["strategy"]].append(
                     {
-                        "normalized_energy": stats.energy_relative_to(baseline_stats),
-                        "normalized_cycles": stats.cycles_relative_to(baseline_stats),
-                        "energy_nj": stats.total_energy_nj,
-                        "cycles": float(stats.total_cycles),
-                        "upsets": float(stats.upsets_injected),
-                        "errors_detected": float(stats.errors_detected),
-                        "rollbacks": float(stats.rollbacks),
-                        "task_restarts": float(stats.task_restarts),
-                        "fully_mitigated": 1.0 if stats.fully_mitigated else 0.0,
-                        "deadline_met": 1.0 if stats.deadline_met else 0.0,
+                        "normalized_energy": record["energy_pj"] / baseline["energy_pj"],
+                        "normalized_cycles": record["total_cycles"]
+                        / baseline["total_cycles"],
+                        "energy_nj": record["energy_nj"],
+                        "cycles": record["total_cycles"],
+                        "upsets": record["upsets_injected"],
+                        "errors_detected": record["errors_detected"],
+                        "rollbacks": record["rollbacks"],
+                        "task_restarts": record["task_restarts"],
+                        "fully_mitigated": record["fully_mitigated"],
+                        "deadline_met": record["deadline_met"],
                     }
                 )
 
         paper_reference = paper_data.PAPER_FIG5_NORMALIZED_ENERGY.get(app.name, {})
-        for strategy in strategies:
-            samples = per_strategy[strategy.name]
+        for strategy in strategy_labels:
+            samples = per_strategy[strategy]
             outcomes.append(
                 StrategyOutcome(
                     application=app.name,
-                    strategy=strategy.name,
+                    strategy=strategy,
                     normalized_energy=_average([s["normalized_energy"] for s in samples]),
                     normalized_cycles=_average([s["normalized_cycles"] for s in samples]),
                     energy_nj=_average([s["energy_nj"] for s in samples]),
@@ -386,7 +600,7 @@ def fig5_energy(
                     task_restarts=_average([s["task_restarts"] for s in samples]),
                     fully_mitigated_fraction=_average([s["fully_mitigated"] for s in samples]),
                     deadline_met_fraction=_average([s["deadline_met"] for s in samples]),
-                    paper_normalized_energy=paper_reference.get(strategy.name),
+                    paper_normalized_energy=paper_reference.get(strategy),
                 )
             )
     return Fig5Result(outcomes=outcomes, constraints=constraints, seeds=tuple(seeds))
@@ -424,6 +638,23 @@ class TimingResult:
             if e.normalized_cycles > budget
         ]
 
+    def to_result_set(self) -> ResultSet:
+        """Full-precision timing data, machine-readable."""
+        budget = 1.0 + self.fig5.constraints.cycle_overhead
+        records = [
+            {
+                "application": entry.application,
+                "strategy": entry.strategy,
+                "normalized_cycles": entry.normalized_cycles,
+                "within_budget": entry.normalized_cycles <= budget,
+            }
+            for entry in self.fig5.outcomes
+        ]
+        return ResultSet.from_records(
+            "Section III-B — execution-time overhead per configuration",
+            records,
+        )
+
     def render(self) -> str:
         table = render_table(
             ["benchmark", "configuration", "norm. execution time", "within 10% budget"],
@@ -437,6 +668,8 @@ def timing_overhead(
     applications: list[StreamingApplication] | list[str] | None = None,
     seeds: tuple[int, ...] = (0, 1, 2),
     fig5: Fig5Result | None = None,
+    session: Session | None = None,
+    jobs: int | None = None,
 ) -> TimingResult:
     """Reproduce the execution-time observation of Section III-B.
 
@@ -444,7 +677,13 @@ def timing_overhead(
     simulations are identical) and runs them otherwise.
     """
     if fig5 is None:
-        fig5 = fig5_energy(constraints=constraints, applications=applications, seeds=seeds)
+        fig5 = fig5_energy(
+            constraints=constraints,
+            applications=applications,
+            seeds=seeds,
+            session=session,
+            jobs=jobs,
+        )
     return TimingResult(fig5=fig5)
 
 
@@ -458,9 +697,20 @@ class AblationResult:
     parameter: str
     headers: tuple[str, ...]
     table_rows: tuple[tuple, ...]
+    records: tuple[dict, ...] = field(default=())
 
     def rows(self) -> list[tuple]:
         return list(self.table_rows)
+
+    def to_result_set(self) -> ResultSet:
+        """Machine-readable sweep records (raw values, not table strings)."""
+        title = f"Ablation — sensitivity to {self.parameter}"
+        if self.records:
+            return ResultSet.from_records(title, self.records)
+        return ResultSet.from_records(
+            title,
+            [dict(zip(self.headers, row)) for row in self.table_rows],
+        )
 
     def render(self) -> str:
         return (
@@ -469,11 +719,22 @@ class AblationResult:
         )
 
 
+def _ablation_app_ref(
+    application: str | StreamingApplication,
+) -> tuple[str | StreamingApplication, StreamingApplication]:
+    if isinstance(application, str):
+        name = canonical_name(application)
+        return name, get_application(name)
+    return application, application
+
+
 def ablation_error_rate(
     rates: list[float] | None = None,
     application: str | StreamingApplication = "g721-decode",
     constraints: DesignConstraints | None = None,
     seed: int = 0,
+    session: Session | None = None,
+    jobs: int | None = None,
 ) -> AblationResult:
     """How the optimum chunk size and overhead move with the upset rate."""
     constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
@@ -482,46 +743,64 @@ def ablation_error_rate(
         # OV2 budget for every benchmark; rates much beyond 2e-6 make the
         # expected recovery time alone exceed 10 % on the long decoders.
         rates = [1e-8, 1e-7, 5e-7, 1e-6, 2e-6]
-    app = get_application(application) if isinstance(application, str) else application
-    rows = []
-    for rate in rates:
-        point = constraints.with_overrides(error_rate=rate)
-        result = ChunkSizeOptimizer(point).optimize(app, seed=seed)
-        rows.append(
-            (
-                f"{rate:.0e}",
-                result.chunk_words,
-                result.num_checkpoints,
-                f"{result.best.expected_faulty_chunks:.2f}",
-                f"{result.best.energy_overhead_fraction:.1%}",
-            )
+    ref, app = _ablation_app_ref(application)
+    sweep = SweepSpec(
+        base=ExperimentSpec(app=ref, kind="optimize", constraints=constraints, seed=seed),
+        parameters={"constraints.error_rate": tuple(rates)},
+    )
+    result_set = _session(session).sweep(sweep, jobs=jobs)
+    rows = [
+        (
+            f"{record['constraints.error_rate']:.0e}",
+            record["chunk_words"],
+            record["num_checkpoints"],
+            f"{record['expected_faulty_chunks']:.2f}",
+            f"{record['energy_overhead_fraction']:.1%}",
         )
+        for record in result_set.records
+    ]
     return AblationResult(
         parameter=f"error rate ({app.name})",
         headers=("error rate (/word/cycle)", "optimum chunk", "N_CH", "err", "energy ovh"),
         table_rows=tuple(rows),
+        records=tuple(result_set.records),
     )
 
 
 def ablation_area_budget(
     budgets: list[float] | None = None,
     constraints: DesignConstraints | None = None,
+    session: Session | None = None,
+    jobs: int | None = None,
 ) -> AblationResult:
     """How the feasible buffer space shrinks as the area budget OV1 tightens."""
     constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
     if budgets is None:
         budgets = [0.01, 0.02, 0.05, 0.10, 0.20]
+    sweep = SweepSpec(
+        base=ExperimentSpec(
+            kind="feasibility",
+            constraints=constraints,
+            params={"max_chunk_words": 513, "chunk_stride": 4},
+        ),
+        parameters={"constraints.area_overhead": tuple(budgets)},
+    )
+    outcomes = _session(session).run_all(sweep.expand(), jobs=jobs)
     rows = []
-    for budget in budgets:
-        point = constraints.with_overrides(area_overhead=budget)
-        region = feasible_region(constraints=point, chunk_sizes=range(1, 514, 4))
-        rows.append(
-            (
-                f"{budget:.0%}",
-                region.max_chunk_words(point.correctable_bits),
-                region.max_chunk_words(8),
-                region.max_correctable_bits(65),
-            )
+    records = []
+    for budget, outcome in zip(budgets, outcomes):
+        region = outcome.artifact
+        max_at_t = region.max_chunk_words(constraints.correctable_bits)
+        max_at_8 = region.max_chunk_words(8)
+        max_t_at_65 = region.max_correctable_bits(65)
+        rows.append((f"{budget:.0%}", max_at_t, max_at_8, max_t_at_65))
+        records.append(
+            {
+                "area_budget": budget,
+                f"max_chunk_at_t{constraints.correctable_bits}": max_at_t,
+                "max_chunk_at_t8": max_at_8,
+                "max_t_at_65_words": max_t_at_65,
+            }
         )
     return AblationResult(
         parameter="area budget OV1",
@@ -532,6 +811,7 @@ def ablation_area_budget(
             "max t @ 65 words",
         ),
         table_rows=tuple(rows),
+        records=tuple(records),
     )
 
 
@@ -540,28 +820,33 @@ def ablation_correction_strength(
     application: str | StreamingApplication = "jpeg-decode",
     constraints: DesignConstraints | None = None,
     seed: int = 0,
+    session: Session | None = None,
+    jobs: int | None = None,
 ) -> AblationResult:
     """Impact of the L1' correction strength on the optimum and its area."""
     constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
     if strengths is None:
         strengths = [1, 2, 4, 8]
-    app = get_application(application) if isinstance(application, str) else application
-    rows = []
-    for t in strengths:
-        point = constraints.with_overrides(correctable_bits=t)
-        result = ChunkSizeOptimizer(point).optimize(app, seed=seed)
-        rows.append(
-            (
-                t,
-                result.chunk_words,
-                f"{result.best.area_fraction:.2%}",
-                f"{result.best.energy_overhead_fraction:.1%}",
-            )
+    ref, app = _ablation_app_ref(application)
+    sweep = SweepSpec(
+        base=ExperimentSpec(app=ref, kind="optimize", constraints=constraints, seed=seed),
+        parameters={"constraints.correctable_bits": tuple(strengths)},
+    )
+    result_set = _session(session).sweep(sweep, jobs=jobs)
+    rows = [
+        (
+            record["constraints.correctable_bits"],
+            record["chunk_words"],
+            f"{record['area_fraction']:.2%}",
+            f"{record['energy_overhead_fraction']:.1%}",
         )
+        for record in result_set.records
+    ]
     return AblationResult(
         parameter=f"L1' correction strength ({app.name})",
         headers=("correctable bits", "optimum chunk", "L1' area / L1", "energy ovh"),
         table_rows=tuple(rows),
+        records=tuple(result_set.records),
     )
 
 
@@ -570,26 +855,31 @@ def ablation_drain_latency(
     application: str | StreamingApplication = "adpcm-encode",
     constraints: DesignConstraints | None = None,
     seed: int = 0,
+    session: Session | None = None,
+    jobs: int | None = None,
 ) -> AblationResult:
     """Sensitivity to the exposure window of produced data (calibration knob)."""
     constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
     if latencies is None:
         latencies = [250, 500, 1000, 2000, 4000]
-    app = get_application(application) if isinstance(application, str) else application
-    rows = []
-    for latency in latencies:
-        point = constraints.with_overrides(drain_latency_cycles=latency)
-        result = ChunkSizeOptimizer(point).optimize(app, seed=seed)
-        rows.append(
-            (
-                latency,
-                result.chunk_words,
-                f"{result.best.expected_faulty_chunks:.2f}",
-                f"{result.best.energy_overhead_fraction:.1%}",
-            )
+    ref, app = _ablation_app_ref(application)
+    sweep = SweepSpec(
+        base=ExperimentSpec(app=ref, kind="optimize", constraints=constraints, seed=seed),
+        parameters={"constraints.drain_latency_cycles": tuple(latencies)},
+    )
+    result_set = _session(session).sweep(sweep, jobs=jobs)
+    rows = [
+        (
+            record["constraints.drain_latency_cycles"],
+            record["chunk_words"],
+            f"{record['expected_faulty_chunks']:.2f}",
+            f"{record['energy_overhead_fraction']:.1%}",
         )
+        for record in result_set.records
+    ]
     return AblationResult(
         parameter=f"drain latency ({app.name})",
         headers=("drain latency (cycles)", "optimum chunk", "err", "energy ovh"),
         table_rows=tuple(rows),
+        records=tuple(result_set.records),
     )

@@ -1,0 +1,70 @@
+"""Unified experiment API: declarative specs, a Session facade, results.
+
+This package is the single entry point for running experiments at any
+scale.  It separates *what* to run from *how* to run it:
+
+* :mod:`repro.api.spec` — frozen, serializable experiment descriptions
+  (:class:`ExperimentSpec`) plus :class:`SweepSpec` / :class:`CampaignSpec`
+  composites for parameter grids and multi-seed campaigns.  Every
+  ingredient (application, strategy, fault model) is addressable by a
+  string through the registries in :mod:`repro.api.registry`, so specs
+  round-trip to dicts/JSON and pickle cleanly across process boundaries.
+* :mod:`repro.api.executors` — pluggable execution backends: the
+  :class:`SerialExecutor` runs in-process, the :class:`ParallelExecutor`
+  fans a batch of specs out across CPU cores.
+* :mod:`repro.api.session` — the :class:`Session` facade with
+  ``run`` / ``sweep`` / ``campaign`` entry points used by the figure
+  harnesses, the benchmarks and the CLI.
+* :mod:`repro.api.results` — the uniform :class:`ResultSet` container
+  with ``rows()`` / ``to_dict()`` / ``to_json()`` / ``to_csv()`` /
+  ``render()`` so every consumer shares one machine-readable shape.
+
+Quickstart
+----------
+>>> from repro.api import ExperimentSpec, Session
+>>> session = Session()
+>>> outcome = session.run(ExperimentSpec(app="adpcm-encode", strategy="hybrid-optimal"))
+>>> outcome.record["output_correct"]
+1.0
+"""
+
+from .executors import (
+    Executor,
+    ParallelExecutor,
+    RunOutcome,
+    SerialExecutor,
+    execute_spec,
+    make_executor,
+)
+from .registry import (
+    available_fault_models,
+    available_strategies,
+    build_fault_model,
+    build_strategy,
+    register_fault_model,
+    register_strategy,
+)
+from .results import ResultSet
+from .session import Session
+from .spec import KINDS, CampaignSpec, ExperimentSpec, SweepSpec
+
+__all__ = [
+    "CampaignSpec",
+    "Executor",
+    "ExperimentSpec",
+    "KINDS",
+    "ParallelExecutor",
+    "ResultSet",
+    "RunOutcome",
+    "SerialExecutor",
+    "Session",
+    "SweepSpec",
+    "available_fault_models",
+    "available_strategies",
+    "build_fault_model",
+    "build_strategy",
+    "execute_spec",
+    "make_executor",
+    "register_fault_model",
+    "register_strategy",
+]

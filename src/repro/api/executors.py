@@ -1,0 +1,202 @@
+"""Pluggable execution backends for experiment specs.
+
+:func:`execute_spec` is the single worker function turning one
+:class:`~repro.api.spec.ExperimentSpec` into a :class:`RunOutcome`; it is
+a module-level function precisely so :class:`ParallelExecutor` can ship it
+to :class:`concurrent.futures.ProcessPoolExecutor` workers (specs are
+picklable by construction).
+
+Both executors preserve input order — ``map(specs)[i]`` is always the
+outcome of ``specs[i]`` — so any aggregate computed over the outcomes is
+bit-identical regardless of the backend or the number of workers.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.feasibility import feasible_region
+from ..core.optimizer import ChunkSizeOptimizer
+from ..runtime.executor import TaskExecutor
+from .registry import build_fault_model, build_strategy
+from .spec import ExperimentSpec
+
+
+@dataclass
+class RunOutcome:
+    """Everything one spec execution produced.
+
+    Attributes
+    ----------
+    spec:
+        The spec that was executed.
+    records:
+        Flat, JSON-able metric rows (usually exactly one; feasibility
+        sweeps yield one row per boundary point).
+    artifact:
+        Optional rich result object for in-process consumers — the
+        :class:`~repro.core.optimizer.OptimizationResult` of an
+        ``optimize`` run, the :class:`~repro.core.feasibility.FeasibleRegion`
+        of a ``feasibility`` run.  Always picklable, never JSON-serialized.
+    """
+
+    spec: ExperimentSpec
+    records: list[dict[str, Any]] = field(default_factory=list)
+    artifact: Any = None
+
+    @property
+    def record(self) -> dict[str, Any]:
+        """The single record of a one-row outcome."""
+        if len(self.records) != 1:
+            raise ValueError(f"outcome has {len(self.records)} records, expected exactly 1")
+        return self.records[0]
+
+
+# ---------------------------------------------------------------------- #
+# The worker function
+# ---------------------------------------------------------------------- #
+def _execute_behavioural(spec: ExperimentSpec) -> RunOutcome:
+    app = spec.resolve_app()
+    strategy = build_strategy(spec.strategy, app, spec.constraints, **spec.strategy_params)
+    fault_model = build_fault_model(spec.fault_model, **spec.fault_params)
+    executor = TaskExecutor(
+        app,
+        strategy,
+        constraints=spec.constraints,
+        seed=spec.seed,
+        fault_model=fault_model,
+        collect_trace=spec.collect_trace,
+    )
+    result = executor.run()
+    stats = result.stats
+    record: dict[str, Any] = {
+        "application": stats.application,
+        "strategy": stats.configuration,
+        "seed": spec.seed,
+        **stats.as_dict(),
+        "energy_nj": stats.total_energy_nj,
+        "deadline_met": 1.0 if stats.deadline_met else 0.0,
+        "fully_mitigated": 1.0 if stats.fully_mitigated else 0.0,
+    }
+    return RunOutcome(spec=spec, records=[record])
+
+
+def _execute_optimization(spec: ExperimentSpec) -> RunOutcome:
+    app = spec.resolve_app()
+    result = ChunkSizeOptimizer(spec.constraints).optimize(app, seed=spec.seed)
+    best = result.best
+    record: dict[str, Any] = {
+        "application": app.name,
+        "seed": spec.seed,
+        "chunk_words": result.chunk_words,
+        "num_checkpoints": result.num_checkpoints,
+        "expected_faulty_chunks": best.expected_faulty_chunks,
+        "energy_overhead_fraction": best.energy_overhead_fraction,
+        "cycle_overhead_fraction": best.cycle_overhead_fraction,
+        "area_fraction": best.area_fraction,
+        "buffer_capacity_words": best.buffer_capacity_words,
+    }
+    return RunOutcome(spec=spec, records=[record], artifact=result)
+
+
+def _execute_feasibility(spec: ExperimentSpec) -> RunOutcome:
+    params = dict(spec.params)
+    max_chunk_words = int(params.pop("max_chunk_words", 512))
+    max_correctable_bits = int(params.pop("max_correctable_bits", 18))
+    chunk_stride = int(params.pop("chunk_stride", 1))
+    if params:
+        raise ValueError(f"unknown feasibility params: {sorted(params)}")
+    region = feasible_region(
+        constraints=spec.constraints,
+        chunk_sizes=range(1, max_chunk_words + 1, chunk_stride),
+        correctable_bits=range(1, max_correctable_bits + 1),
+    )
+    records = [
+        {"chunk_words": chunk, "max_correctable_bits": bits}
+        for chunk, bits in region.boundary()
+    ]
+    return RunOutcome(spec=spec, records=records, artifact=region)
+
+
+_KIND_HANDLERS = {
+    "execute": _execute_behavioural,
+    "optimize": _execute_optimization,
+    "feasibility": _execute_feasibility,
+}
+
+
+def execute_spec(spec: ExperimentSpec) -> RunOutcome:
+    """Execute one spec in the current process and return its outcome."""
+    return _KIND_HANDLERS[spec.kind](spec)
+
+
+# ---------------------------------------------------------------------- #
+# Executors
+# ---------------------------------------------------------------------- #
+class Executor(abc.ABC):
+    """Backend turning a batch of specs into outcomes, preserving order."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def map(self, specs: Sequence[ExperimentSpec]) -> list[RunOutcome]:
+        """Execute every spec and return outcomes in input order."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """Runs every spec sequentially in the calling process."""
+
+    name = "serial"
+
+    def map(self, specs: Sequence[ExperimentSpec]) -> list[RunOutcome]:
+        return [execute_spec(spec) for spec in specs]
+
+
+class ParallelExecutor(Executor):
+    """Fans specs out across worker processes.
+
+    Results are returned in input order, so aggregates computed from them
+    are bit-identical to a :class:`SerialExecutor` run of the same specs.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes; defaults to the machine's CPU count.
+        Batches smaller than two specs (or ``jobs=1``) run serially to
+        avoid pointless process start-up cost.
+    """
+
+    name = "parallel"
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = int(jobs)
+
+    def map(self, specs: Sequence[ExperimentSpec]) -> list[RunOutcome]:
+        specs = list(specs)
+        if len(specs) < 2 or self.jobs == 1:
+            return [execute_spec(spec) for spec in specs]
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_spec, specs))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParallelExecutor(jobs={self.jobs})"
+
+
+def make_executor(jobs: int | None) -> Executor:
+    """Executor for a ``--jobs N`` style request (``None``/``0``/``1`` = serial)."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs=jobs)

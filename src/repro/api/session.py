@@ -1,0 +1,144 @@
+"""The Session facade: one front door for running experiments.
+
+A :class:`Session` binds a default operating point and execution backend,
+and exposes the three workload shapes every harness reduces to:
+
+* :meth:`Session.run` — one spec, one outcome;
+* :meth:`Session.sweep` — a parameter grid, merged into one
+  :class:`~repro.api.results.ResultSet` with the swept coordinates as
+  leading columns;
+* :meth:`Session.campaign` — the same experiment over many fault seeds,
+  aggregated through :func:`repro.faults.campaign.aggregate_runs` into a
+  :class:`~repro.faults.campaign.CampaignReport` (mean / stdev / median /
+  p95 / min / max per metric).
+
+Every entry point accepts an ``executor`` (or ``jobs``) override, so the
+same code runs serially or fans out across cores; outcome ordering — and
+therefore every aggregate — is identical either way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.config import DesignConstraints, PAPER_OPERATING_POINT
+from ..faults.campaign import CampaignReport, aggregate_runs
+from .executors import Executor, RunOutcome, SerialExecutor, make_executor
+from .results import ResultSet
+from .spec import CampaignSpec, ExperimentSpec, SweepSpec
+
+
+class Session:
+    """Runs experiment specs against a chosen execution backend.
+
+    Parameters
+    ----------
+    constraints:
+        Default operating point for specs built via :meth:`spec`
+        (defaults to the paper's).
+    executor:
+        Default execution backend (defaults to :class:`SerialExecutor`).
+    """
+
+    def __init__(
+        self,
+        constraints: DesignConstraints | None = None,
+        executor: Executor | None = None,
+    ) -> None:
+        self.constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
+        self.executor = executor if executor is not None else SerialExecutor()
+
+    def _resolve_executor(self, executor: Executor | None, jobs: int | None) -> Executor:
+        if executor is not None:
+            return executor
+        if jobs is not None:
+            return make_executor(jobs)
+        return self.executor
+
+    # ------------------------------------------------------------------ #
+    # Spec construction sugar
+    # ------------------------------------------------------------------ #
+    def spec(self, app, **kwargs) -> ExperimentSpec:
+        """Build a spec carrying this session's default constraints."""
+        kwargs.setdefault("constraints", self.constraints)
+        return ExperimentSpec(app=app, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Execution entry points
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        spec: ExperimentSpec,
+        executor: Executor | None = None,
+        jobs: int | None = None,
+    ) -> RunOutcome:
+        """Execute one spec and return its outcome."""
+        return self.run_all([spec], executor=executor, jobs=jobs)[0]
+
+    def run_all(
+        self,
+        specs: Sequence[ExperimentSpec],
+        executor: Executor | None = None,
+        jobs: int | None = None,
+    ) -> list[RunOutcome]:
+        """Execute a batch of specs, preserving input order."""
+        return self._resolve_executor(executor, jobs).map(list(specs))
+
+    def sweep(
+        self,
+        spec: SweepSpec,
+        executor: Executor | None = None,
+        jobs: int | None = None,
+        title: str | None = None,
+    ) -> ResultSet:
+        """Execute a parameter grid and merge it into one result set.
+
+        Each outcome record is prefixed with its swept coordinates (axis
+        name → value), so the returned :class:`ResultSet` is directly
+        renderable and machine-readable.
+        """
+        points = spec.points()
+        outcomes = self.run_all(spec.expand(), executor=executor, jobs=jobs)
+        records = []
+        for point, outcome in zip(points, outcomes):
+            for record in outcome.records:
+                records.append({**point, **record})
+        axes = ", ".join(spec.parameters)
+        return ResultSet.from_records(
+            title if title is not None else f"Sweep over {axes}",
+            records,
+        )
+
+    def campaign(
+        self,
+        spec: CampaignSpec | ExperimentSpec,
+        seeds: Sequence[int] | None = None,
+        executor: Executor | None = None,
+        jobs: int | None = None,
+    ) -> CampaignReport:
+        """Run a multi-seed campaign and aggregate its metrics.
+
+        Accepts a :class:`CampaignSpec`, or a bare :class:`ExperimentSpec`
+        plus ``seeds`` (defaulting to ``range(10)``) for convenience.  The
+        aggregation is order-stable: serial and parallel executors produce
+        bit-identical reports for the same seed set.
+        """
+        if isinstance(spec, ExperimentSpec):
+            spec = CampaignSpec(base=spec, seeds=tuple(seeds) if seeds is not None else ())
+        elif seeds is not None:
+            raise ValueError("pass seeds inside the CampaignSpec, not alongside it")
+        outcomes = self.run_all(spec.expand(), executor=executor, jobs=jobs)
+        raw = [outcome.record for outcome in outcomes]
+        metrics: Sequence[str] = spec.metrics
+        if not metrics:
+            # The seed is a run identity, not an outcome — aggregating it
+            # would report noise statistics. It stays available through
+            # report.raw and can be requested explicitly via spec.metrics.
+            observed = {
+                name
+                for row in raw
+                for name, value in row.items()
+                if name != "seed" and isinstance(value, (bool, int, float))
+            }
+            metrics = sorted(observed)
+        return aggregate_runs(raw, metrics=metrics, allow_ragged=spec.allow_ragged)

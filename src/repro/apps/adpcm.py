@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .base import (
-    AppCharacterization,
     StepResult,
     StreamingApplication,
     pack_samples_to_words,

@@ -22,7 +22,7 @@ sufficient for the paper's relative comparisons.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 

@@ -19,7 +19,7 @@ which is why the optimizer selects larger chunks for G.721 (Table I).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 from .base import StepResult, StreamingApplication, pack_samples_to_words
 from .datagen import speech_like_pcm

@@ -1,16 +1,23 @@
 """Command-line front-end: ``repro-experiments``.
 
-Regenerates the paper's tables and figures from the terminal::
+Regenerates the paper's artefacts and runs ad-hoc experiments from the
+terminal through the unified experiment API::
 
     repro-experiments fig4
-    repro-experiments table1
-    repro-experiments fig5 --seeds 0 1 2
+    repro-experiments table1 --format csv --output table1.csv
+    repro-experiments fig5 --seeds 0 1 2 --jobs 4 --format json
     repro-experiments timing
     repro-experiments ablations
     repro-experiments all
 
-The same harness functions back the pytest benchmarks; the CLI exists so a
-user can reproduce individual artefacts without invoking pytest.
+    repro-experiments run --app adpcm-encode --strategy hybrid-optimal
+    repro-experiments campaign --app jpeg-decode --strategy hybrid-optimal --runs 20 --jobs 4
+    repro-experiments sweep --app g721-decode --param constraints.error_rate \
+        --values 1e-8 1e-7 1e-6
+
+Every subcommand accepts ``--format table|json|csv`` and ``--output PATH``
+for machine-readable results, and the behavioural workloads accept
+``--jobs N`` to fan the underlying simulations out across CPU cores.
 """
 
 from __future__ import annotations
@@ -28,27 +35,53 @@ from .analysis import (
     table1_optimal_chunks,
     timing_overhead,
 )
+from .api.registry import available_fault_models, available_strategies
+from .api.results import FORMATS, ResultSet, render_result_sets
+from .api.session import Session
+from .api.spec import CampaignSpec, ExperimentSpec, SweepSpec
+from .apps.registry import available_applications
 from .core.config import PAPER_OPERATING_POINT
 
+#: The paper artefacts and the composite ``all``.
+ARTEFACTS: tuple[str, ...] = ("fig4", "table1", "fig5", "timing", "ablations", "all")
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Reproduce the tables and figures of the DATE 2012 hybrid "
-        "HW-SW intermittent error mitigation paper.",
+
+def _parse_value(text: str):
+    """Parse a CLI sweep/strategy value: int, then float, then bare string."""
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _add_output_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="table",
+        help="output format (default: table)",
     )
     parser.add_argument(
-        "experiment",
-        choices=["fig4", "table1", "fig5", "timing", "ablations", "all"],
-        help="which artefact to regenerate",
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the report to PATH instead of stdout",
     )
+
+
+def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--seeds",
+        "--jobs",
         type=int,
-        nargs="+",
-        default=[0, 1, 2],
-        help="fault-injection seeds for the behavioural experiments (fig5/timing)",
+        default=1,
+        metavar="N",
+        help="worker processes for the underlying simulations (default: 1)",
     )
+
+
+def _add_constraint_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--error-rate",
         type=float,
@@ -67,37 +100,243 @@ def _build_parser() -> argparse.ArgumentParser:
         default=PAPER_OPERATING_POINT.cycle_overhead,
         help="affordable cycle overhead OV2 (default: 0.10)",
     )
+
+
+def _add_spec_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--app",
+        required=True,
+        metavar="NAME",
+        help=f"application to run (one of: {', '.join(available_applications())})",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="default",
+        metavar="NAME",
+        help=f"mitigation strategy (one of: {', '.join(available_strategies())})",
+    )
+    parser.add_argument(
+        "--chunk-words",
+        type=int,
+        default=None,
+        metavar="N",
+        help="explicit chunk size for the 'hybrid' strategy",
+    )
+    parser.add_argument(
+        "--fault-model",
+        default=None,
+        metavar="NAME",
+        help=f"upset model (one of: {', '.join(available_fault_models())}; "
+        "default: the SMU-dominated mixture)",
+    )
+
+
+def _add_seeds_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[0, 1, 2],
+        help="fault-injection seeds for the behavioural experiments",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of the DATE 2012 hybrid "
+        "HW-SW intermittent error mitigation paper, or run ad-hoc experiments "
+        "through the unified spec/session API.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    # --- paper artefacts ------------------------------------------------ #
+    artefact_help = {
+        "fig4": "Fig. 4 feasible (chunk size, correctable bits) region",
+        "table1": "Table I optimum protected-buffer size per benchmark",
+        "fig5": "Fig. 5 normalized energy under fault injection",
+        "timing": "Section III-B execution-time overhead",
+        "ablations": "sensitivity studies (error rate, area, ECC strength, drain)",
+        "all": "every artefact above, in paper order",
+    }
+    for name in ARTEFACTS:
+        sub = subparsers.add_parser(name, help=artefact_help[name])
+        _add_constraint_options(sub)
+        _add_output_options(sub)
+        if name in ("fig5", "timing", "all"):
+            _add_seeds_option(sub)
+        if name in ("table1", "fig5", "timing", "ablations", "all"):
+            _add_jobs_option(sub)
+
+    # --- ad-hoc spec execution ------------------------------------------ #
+    run = subparsers.add_parser("run", help="execute one experiment spec")
+    _add_spec_options(run)
+    run.add_argument("--seed", type=int, default=0, help="workload/fault seed (default: 0)")
+    _add_constraint_options(run)
+    _add_output_options(run)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="repeat one experiment over many fault seeds and aggregate"
+    )
+    _add_spec_options(campaign)
+    campaign.add_argument(
+        "--seeds", type=int, nargs="+", default=None, help="explicit campaign seeds"
+    )
+    campaign.add_argument(
+        "--runs", type=int, default=10, help="number of runs when --seeds is not given"
+    )
+    campaign.add_argument(
+        "--allow-ragged",
+        action="store_true",
+        help="tolerate runs that miss some metrics (aggregate over reporters only)",
+    )
+    _add_constraint_options(campaign)
+    _add_jobs_option(campaign)
+    _add_output_options(campaign)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="sweep spec parameters on a cartesian grid"
+    )
+    _add_spec_options(sweep)
+    sweep.add_argument(
+        "--kind",
+        choices=("optimize", "execute"),
+        default="optimize",
+        help="what each grid point runs (default: optimize)",
+    )
+    sweep.add_argument(
+        "--param",
+        required=True,
+        metavar="NAME",
+        help="swept parameter, e.g. constraints.error_rate or seed",
+    )
+    sweep.add_argument(
+        "--values",
+        required=True,
+        nargs="+",
+        metavar="VALUE",
+        help="values of the swept parameter",
+    )
+    sweep.add_argument("--seed", type=int, default=0, help="base seed (default: 0)")
+    _add_constraint_options(sweep)
+    _add_jobs_option(sweep)
+    _add_output_options(sweep)
+
     return parser
+
+
+def _constraints_from_args(args: argparse.Namespace):
+    return PAPER_OPERATING_POINT.with_overrides(
+        error_rate=args.error_rate,
+        area_overhead=args.area_budget,
+        cycle_overhead=args.cycle_budget,
+    )
+
+
+def _spec_from_args(args: argparse.Namespace, kind: str = "execute") -> ExperimentSpec:
+    strategy_params = {}
+    if args.chunk_words is not None:
+        strategy_params["chunk_words"] = args.chunk_words
+    return ExperimentSpec(
+        app=args.app,
+        strategy=args.strategy,
+        kind=kind,
+        strategy_params=strategy_params,
+        constraints=_constraints_from_args(args),
+        fault_model=args.fault_model,
+        seed=getattr(args, "seed", 0),
+    )
+
+
+def _artefact_sections(args: argparse.Namespace, session: Session) -> list:
+    constraints = _constraints_from_args(args)
+    jobs = getattr(args, "jobs", 1)
+    seeds = tuple(getattr(args, "seeds", (0, 1, 2)))
+    name = args.command
+
+    sections: list[ResultSet] = []
+    if name in ("fig4", "all"):
+        sections.append(fig4_feasible_region(constraints, session=session))
+    if name in ("table1", "all"):
+        sections.append(table1_optimal_chunks(constraints, session=session, jobs=jobs))
+    if name in ("fig5", "timing", "all"):
+        fig5 = fig5_energy(constraints, seeds=seeds, session=session, jobs=jobs)
+        if name in ("fig5", "all"):
+            sections.append(fig5)
+        if name in ("timing", "all"):
+            sections.append(timing_overhead(fig5=fig5))
+    if name in ("ablations", "all"):
+        sections.append(ablation_error_rate(constraints=constraints, session=session, jobs=jobs))
+        sections.append(ablation_area_budget(constraints=constraints, session=session, jobs=jobs))
+        sections.append(
+            ablation_correction_strength(constraints=constraints, session=session, jobs=jobs)
+        )
+        sections.append(
+            ablation_drain_latency(constraints=constraints, session=session, jobs=jobs)
+        )
+    return sections
+
+
+def _run_sections(args: argparse.Namespace) -> list:
+    session = Session()
+    if args.command in ARTEFACTS:
+        return _artefact_sections(args, session)
+
+    if args.command == "run":
+        spec = _spec_from_args(args)
+        outcome = session.run(spec)
+        title = f"Run — {spec.app_name} / {spec.strategy} (seed {spec.seed})"
+        return [ResultSet.from_records(title, outcome.records)]
+
+    if args.command == "campaign":
+        spec = CampaignSpec(
+            base=_spec_from_args(args),
+            seeds=tuple(args.seeds) if args.seeds is not None else (),
+            runs=args.runs,
+            allow_ragged=args.allow_ragged,
+        )
+        report = session.campaign(spec, jobs=args.jobs)
+        title = f"Campaign — {spec.base.app_name} / {spec.base.strategy}"
+        return [report.to_result_set(title)]
+
+    if args.command == "sweep":
+        sweep = SweepSpec(
+            base=_spec_from_args(args, kind=args.kind),
+            parameters={args.param: tuple(_parse_value(v) for v in args.values)},
+        )
+        title = f"Sweep — {sweep.base.app_name} / {args.param}"
+        return [session.sweep(sweep, jobs=args.jobs, title=title)]
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point used by the ``repro-experiments`` console script."""
     args = _build_parser().parse_args(argv)
-    constraints = PAPER_OPERATING_POINT.with_overrides(
-        error_rate=args.error_rate,
-        area_overhead=args.area_budget,
-        cycle_overhead=args.cycle_budget,
-    )
-    seeds = tuple(args.seeds)
-
-    sections: list[str] = []
-    if args.experiment in ("fig4", "all"):
-        sections.append(fig4_feasible_region(constraints).render())
-    if args.experiment in ("table1", "all"):
-        sections.append(table1_optimal_chunks(constraints).render())
-    if args.experiment in ("fig5", "timing", "all"):
-        fig5 = fig5_energy(constraints, seeds=seeds)
-        if args.experiment in ("fig5", "all"):
-            sections.append(fig5.render())
-        if args.experiment in ("timing", "all"):
-            sections.append(timing_overhead(fig5=fig5).render())
-    if args.experiment in ("ablations", "all"):
-        sections.append(ablation_error_rate(constraints=constraints).render())
-        sections.append(ablation_area_budget(constraints=constraints).render())
-        sections.append(ablation_correction_strength(constraints=constraints).render())
-        sections.append(ablation_drain_latency(constraints=constraints).render())
-
-    print("\n\n".join(sections))
+    try:
+        sections = _run_sections(args)
+    except (KeyError, ValueError) as error:
+        # Spec construction / registry lookup problems carry a readable
+        # message; surface it as a CLI error instead of a traceback.
+        message = error.args[0] if error.args else str(error)
+        print(f"repro-experiments: error: {message}", file=sys.stderr)
+        return 2
+    if args.format == "table":
+        # Human output keeps each artefact's curated rendering (subsampled
+        # Fig. 4 boundary, percent-formatted Table I/Fig. 5 columns, ...).
+        text = "\n\n".join(section.render() for section in sections)
+    else:
+        result_sets = [
+            section if isinstance(section, ResultSet) else section.to_result_set()
+            for section in sections
+        ]
+        text = render_result_sets(result_sets, fmt=args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.format} report to {args.output}")
+    else:
+        print(text)
     return 0
 
 

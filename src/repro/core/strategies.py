@@ -20,7 +20,6 @@ the runtime reacts to a detected error:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
 
 from ..soc.platform import (
     Platform,

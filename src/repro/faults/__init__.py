@@ -1,6 +1,12 @@
 """Fault-injection substrate: upset models, rate-based injector, campaigns."""
 
-from .campaign import CampaignReport, CampaignResult, FaultCampaign, run_campaign
+from .campaign import (
+    CampaignReport,
+    CampaignResult,
+    FaultCampaign,
+    aggregate_runs,
+    run_campaign,
+)
 from .injector import PAPER_ERROR_RATE, ExposureWindow, FaultInjector
 from .models import (
     FaultModel,
@@ -15,6 +21,7 @@ __all__ = [
     "CampaignReport",
     "CampaignResult",
     "FaultCampaign",
+    "aggregate_runs",
     "run_campaign",
     "PAPER_ERROR_RATE",
     "ExposureWindow",

@@ -4,6 +4,12 @@ A *campaign* repeats the same experiment under many independent fault
 streams (different seeds) and aggregates the outcomes.  The Fig. 5 energy
 comparison and the timing-overhead analysis are averages over such
 campaigns, because the number and placement of upsets varies run to run.
+
+:func:`aggregate_runs` is the single aggregation path: the legacy
+seed-callable :class:`FaultCampaign` and the spec-driven
+:meth:`repro.api.session.Session.campaign` both route their raw per-run
+metric rows through it, and :meth:`CampaignReport.to_result_set` exposes
+the aggregates through the uniform machine-readable results layer.
 """
 
 from __future__ import annotations
@@ -11,7 +17,22 @@ from __future__ import annotations
 import statistics
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..api.results import ResultSet
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile (numpy's default method)."""
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = rank - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
 
 
 @dataclass(frozen=True)
@@ -20,6 +41,11 @@ class CampaignResult:
 
     metric: str
     values: tuple[float, ...]
+
+    @property
+    def count(self) -> int:
+        """Number of runs that reported this metric."""
+        return len(self.values)
 
     @property
     def mean(self) -> float:
@@ -43,6 +69,16 @@ class CampaignResult:
             return 0.0
         return statistics.stdev(self.values)
 
+    @property
+    def median(self) -> float:
+        """Median across runs (production traffic is judged on tails)."""
+        return statistics.median(self.values)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile value (linear interpolation between runs)."""
+        return _percentile(self.values, 0.95)
+
 
 @dataclass
 class CampaignReport:
@@ -59,6 +95,91 @@ class CampaignReport:
         """Shortcut for ``report[metric].mean``."""
         return self.metrics[metric].mean
 
+    def to_result_set(self, title: str = "Campaign summary") -> "ResultSet":
+        """Expose the aggregates through the uniform results layer."""
+        from ..api.results import ResultSet
+
+        records = [
+            {
+                "metric": result.metric,
+                "count": result.count,
+                "mean": result.mean,
+                "stdev": result.stdev,
+                "median": result.median,
+                "p95": result.p95,
+                "min": result.minimum,
+                "max": result.maximum,
+            }
+            for result in self.metrics.values()
+        ]
+        return ResultSet.from_records(
+            f"{title} ({self.runs} runs)",
+            records,
+            columns=("metric", "count", "mean", "stdev", "median", "p95", "min", "max"),
+        )
+
+    def render(self, title: str = "Campaign summary") -> str:
+        """ASCII table of the per-metric aggregates (incl. median / p95)."""
+        return self.to_result_set(title).render()
+
+
+def aggregate_runs(
+    raw: Sequence[Mapping[str, Any]],
+    metrics: Sequence[str] = (),
+    allow_ragged: bool = False,
+) -> CampaignReport:
+    """Aggregate per-run metric mappings into a :class:`CampaignReport`.
+
+    Parameters
+    ----------
+    raw:
+        One mapping of metric name to numeric value per run.  Non-numeric
+        entries (labels such as an application name) are ignored.
+    metrics:
+        Restrict aggregation to these metric names (empty = every numeric
+        metric observed in any run).
+    allow_ragged:
+        By default a metric missing from some runs raises ``ValueError``
+        — silently averaging over a subset of runs would misreport the
+        campaign.  Pass ``True`` to aggregate over the reporting runs only
+        (each :class:`CampaignResult` records its own ``count``).
+    """
+    if not raw:
+        raise ValueError("at least one run is required")
+    numeric_rows: list[dict[str, float]] = []
+    for outcome in raw:
+        numeric_rows.append(
+            {
+                name: float(value)
+                for name, value in outcome.items()
+                if isinstance(value, (bool, int, float))
+            }
+        )
+
+    if metrics:
+        names: Sequence[str] = list(metrics)
+    else:
+        seen: list[str] = []
+        for row in numeric_rows:
+            for name in row:
+                if name not in seen:
+                    seen.append(name)
+        names = sorted(seen)
+
+    aggregated: dict[str, CampaignResult] = {}
+    for name in names:
+        values = tuple(row[name] for row in numeric_rows if name in row)
+        if not values:
+            raise ValueError(f"metric {name!r} was reported by no run")
+        if len(values) != len(numeric_rows) and not allow_ragged:
+            missing = [index for index, row in enumerate(numeric_rows) if name not in row]
+            raise ValueError(
+                f"metric {name!r} is missing from runs {missing}; pass "
+                "allow_ragged=True to aggregate over the reporting runs only"
+            )
+        aggregated[name] = CampaignResult(metric=name, values=values)
+    return CampaignReport(runs=len(raw), metrics=aggregated, raw=[dict(r) for r in raw])
+
 
 class FaultCampaign:
     """Runs an experiment function under multiple fault seeds.
@@ -72,6 +193,9 @@ class FaultCampaign:
         Explicit sequence of seeds, or ``None`` to use ``range(runs)``.
     runs:
         Number of runs when ``seeds`` is not given.
+    allow_ragged:
+        Permit runs that miss some metrics (see :func:`aggregate_runs`);
+        by default a ragged metric set raises ``ValueError``.
     """
 
     def __init__(
@@ -79,6 +203,7 @@ class FaultCampaign:
         experiment: Callable[[int], Mapping[str, float]],
         seeds: Sequence[int] | None = None,
         runs: int = 10,
+        allow_ragged: bool = False,
     ) -> None:
         if seeds is None:
             if runs <= 0:
@@ -88,6 +213,7 @@ class FaultCampaign:
             raise ValueError("at least one seed is required")
         self.experiment = experiment
         self.seeds = tuple(int(s) for s in seeds)
+        self.allow_ragged = allow_ragged
 
     def run(self) -> CampaignReport:
         """Execute every run and aggregate per-metric statistics."""
@@ -97,19 +223,14 @@ class FaultCampaign:
             if not outcome:
                 raise ValueError(f"experiment returned no metrics for seed {seed}")
             raw.append(dict(outcome))
-
-        metric_names = set().union(*(r.keys() for r in raw))
-        metrics: dict[str, CampaignResult] = {}
-        for name in sorted(metric_names):
-            values = tuple(float(r[name]) for r in raw if name in r)
-            metrics[name] = CampaignResult(metric=name, values=values)
-        return CampaignReport(runs=len(self.seeds), metrics=metrics, raw=raw)
+        return aggregate_runs(raw, allow_ragged=self.allow_ragged)
 
 
 def run_campaign(
     experiment: Callable[[int], Mapping[str, Any]],
     runs: int = 10,
     seeds: Sequence[int] | None = None,
+    allow_ragged: bool = False,
 ) -> CampaignReport:
     """Convenience wrapper constructing and running a :class:`FaultCampaign`."""
-    return FaultCampaign(experiment, seeds=seeds, runs=runs).run()
+    return FaultCampaign(experiment, seeds=seeds, runs=runs, allow_ragged=allow_ragged).run()

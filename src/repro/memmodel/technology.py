@@ -17,7 +17,7 @@ on these *relative* trends, as discussed in DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -459,10 +459,16 @@ def run_task(
     strategy: MitigationStrategy,
     constraints: DesignConstraints | None = None,
     seed: int = 0,
+    fault_model: FaultModel | None = None,
     collect_trace: bool = False,
 ) -> ExecutionResult:
     """Convenience wrapper: build a :class:`TaskExecutor` and run it once."""
     executor = TaskExecutor(
-        app, strategy, constraints=constraints, seed=seed, collect_trace=collect_trace
+        app,
+        strategy,
+        constraints=constraints,
+        seed=seed,
+        fault_model=fault_model,
+        collect_trace=collect_trace,
     )
     return executor.run()

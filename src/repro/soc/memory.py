@@ -18,7 +18,7 @@ Three roles are distinguished only by configuration:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..ecc import Code, DecodeResult, DecodeStatus, NoCode
 from ..ecc.overhead import EccOverheadModel, ProtectedMemoryEstimate

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..ecc import Code, NoCode, code_for_scheme
+from ..ecc import Code, code_for_scheme
 from ..memmodel import NODE_65NM, TechnologyNode
 from .bus import Bus
 from .clock import Clock

@@ -1,0 +1,108 @@
+"""Tests for spec execution and the serial/parallel executor equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.executors import (
+    ParallelExecutor,
+    SerialExecutor,
+    execute_spec,
+    make_executor,
+)
+from repro.api.spec import CampaignSpec, ExperimentSpec
+from repro.api.session import Session
+from repro.core.config import PAPER_OPERATING_POINT
+
+
+class TestExecuteSpec:
+    def test_execute_kind_produces_metrics(self, small_adpcm_encode):
+        outcome = execute_spec(
+            ExperimentSpec(app=small_adpcm_encode, strategy="hybrid-optimal", seed=1)
+        )
+        record = outcome.record
+        assert record["application"] == "adpcm-encode"
+        assert record["strategy"] == "hybrid-optimal"
+        assert record["seed"] == 1
+        assert record["total_cycles"] > 0
+        assert record["energy_nj"] == pytest.approx(record["energy_pj"] / 1000.0)
+
+    def test_execute_respects_fault_model(self, small_adpcm_encode, stress_constraints):
+        ssu = execute_spec(
+            ExperimentSpec(
+                app=small_adpcm_encode,
+                constraints=stress_constraints,
+                fault_model="ssu",
+                seed=2,
+            )
+        )
+        assert ssu.record["upsets_injected"] >= 0
+
+    def test_optimize_kind_returns_artifact(self, small_adpcm_encode):
+        outcome = execute_spec(ExperimentSpec(app=small_adpcm_encode, kind="optimize"))
+        assert outcome.record["chunk_words"] == outcome.artifact.chunk_words
+        assert outcome.record["num_checkpoints"] >= 1
+
+    def test_feasibility_kind_returns_boundary(self):
+        outcome = execute_spec(
+            ExperimentSpec(
+                kind="feasibility",
+                params={"max_chunk_words": 64, "chunk_stride": 8},
+            )
+        )
+        assert outcome.artifact is not None
+        assert [r["chunk_words"] for r in outcome.records] == list(range(1, 65, 8))
+
+    def test_feasibility_unknown_params_rejected(self):
+        with pytest.raises(ValueError):
+            execute_spec(ExperimentSpec(kind="feasibility", params={"stride": 2}))
+
+    def test_outcome_record_requires_single_row(self):
+        outcome = execute_spec(
+            ExperimentSpec(kind="feasibility", params={"max_chunk_words": 16})
+        )
+        with pytest.raises(ValueError):
+            outcome.record
+
+
+class TestSerialParallelEquivalence:
+    @pytest.fixture(scope="class")
+    def specs(self):
+        constraints = PAPER_OPERATING_POINT
+        return [
+            ExperimentSpec(app=app, strategy=strategy, constraints=constraints, seed=seed)
+            for app in ("adpcm-encode", "adpcm-decode")
+            for strategy in ("default", "hybrid-optimal")
+            for seed in (0, 1)
+        ]
+
+    def test_results_are_bit_identical(self, specs):
+        serial = SerialExecutor().map(specs)
+        parallel = ParallelExecutor(jobs=4).map(specs)
+        assert [o.records for o in serial] == [o.records for o in parallel]
+
+    def test_campaign_aggregates_are_bit_identical(self, specs):
+        session = Session()
+        campaign = CampaignSpec(base=specs[0], seeds=(0, 1, 2, 3))
+        serial = session.campaign(campaign, executor=SerialExecutor())
+        parallel = session.campaign(campaign, executor=ParallelExecutor(jobs=4))
+        assert serial == parallel
+        assert serial.runs == 4
+
+
+class TestExecutorConstruction:
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+
+    def test_make_executor_picks_backend(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        executor = make_executor(3)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.jobs == 3
+
+    def test_parallel_falls_back_to_serial_for_single_spec(self, small_adpcm_encode):
+        spec = ExperimentSpec(app=small_adpcm_encode)
+        (outcome,) = ParallelExecutor(jobs=4).map([spec])
+        assert outcome.record["application"] == "adpcm-encode"

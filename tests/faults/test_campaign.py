@@ -48,3 +48,71 @@ class TestCampaignValidation:
     def test_default_seeds_are_range_of_runs(self):
         campaign = FaultCampaign(lambda seed: {"v": float(seed)}, runs=3)
         assert campaign.seeds == (0, 1, 2)
+
+
+class TestTailStatistics:
+    def test_count_median_p95(self):
+        report = run_campaign(
+            lambda seed: {"value": float(seed)}, seeds=list(range(1, 11))
+        )
+        result = report["value"]
+        assert result.count == 10
+        assert result.median == pytest.approx(5.5)
+        # numpy-style linear interpolation: 0.95 * (10 - 1) = rank 8.55.
+        assert result.p95 == pytest.approx(9.55)
+
+    def test_single_run_tail_statistics_degenerate(self):
+        report = run_campaign(lambda seed: {"value": 3.0}, seeds=[0])
+        assert report["value"].median == 3.0
+        assert report["value"].p95 == 3.0
+        assert report["value"].count == 1
+
+    def test_render_surfaces_tail_columns(self):
+        report = run_campaign(lambda seed: {"value": float(seed)}, seeds=[0, 1, 2])
+        text = report.render("Demo campaign")
+        assert "Demo campaign (3 runs)" in text
+        for column in ("count", "mean", "median", "p95"):
+            assert column in text
+
+
+class TestRaggedMetricSets:
+    @staticmethod
+    def _ragged(seed):
+        outcome = {"always": float(seed)}
+        if seed % 2 == 0:
+            outcome["sometimes"] = float(seed)
+        return outcome
+
+    def test_ragged_metrics_raise_by_default(self):
+        with pytest.raises(ValueError, match="sometimes"):
+            run_campaign(self._ragged, seeds=[0, 1, 2])
+
+    def test_allow_ragged_records_partial_count(self):
+        report = run_campaign(self._ragged, seeds=[0, 1, 2], allow_ragged=True)
+        assert report["always"].count == 3
+        assert report["sometimes"].count == 2
+        assert report["sometimes"].values == (0.0, 2.0)
+
+    def test_aggregate_runs_ignores_labels_and_restricts_metrics(self):
+        from repro.faults import aggregate_runs
+
+        raw = [
+            {"application": "adpcm-encode", "energy": 1.0, "cycles": 10.0},
+            {"application": "adpcm-encode", "energy": 2.0, "cycles": 20.0},
+        ]
+        report = aggregate_runs(raw, metrics=["energy"])
+        assert set(report.metrics) == {"energy"}
+        assert report["energy"].mean == pytest.approx(1.5)
+
+    def test_aggregate_runs_rejects_unreported_metric(self):
+        from repro.faults import aggregate_runs
+
+        with pytest.raises(ValueError):
+            aggregate_runs([{"a": 1.0}], metrics=["missing"])
+
+    def test_boolean_metrics_aggregate_as_zero_one(self):
+        report = run_campaign(
+            lambda seed: {"ok": seed % 2 == 0, "v": float(seed)}, seeds=[0, 1, 2]
+        )
+        assert report["ok"].values == (1.0, 0.0, 1.0)
+        assert report["ok"].mean == pytest.approx(2 / 3)

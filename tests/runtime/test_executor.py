@@ -178,3 +178,33 @@ class TestTraceAndBookkeeping:
         result = run_task(small_adpcm_encode, HybridStrategy(8), constraints=fault_free, seed=0)
         assert result.stats.configuration == "hybrid-optimal"
         assert result.stats.application == "adpcm-encode"
+
+
+class TestRunTaskFaultModelForwarding:
+    def test_run_task_forwards_fault_model(self, small_adpcm_encode, stress_constraints):
+        from repro.core.strategies import DefaultStrategy
+        from repro.faults.models import SingleBitUpset
+
+        class RecordingModel(SingleBitUpset):
+            """Counts pattern draws so forwarding is observable."""
+
+            def __init__(self):
+                self.calls = 0
+
+            def sample_pattern(self, word_bits, rng):
+                self.calls += 1
+                return super().sample_pattern(word_bits, rng)
+
+        model = RecordingModel()
+        result = run_task(
+            small_adpcm_encode,
+            DefaultStrategy(stress_constraints),
+            constraints=stress_constraints,
+            seed=5,
+            fault_model=model,
+        )
+        assert result.stats.upsets_injected > 0
+        # The wrapper must hand the model to the injector; if the argument
+        # were dropped the default SMU mixture would be used instead and no
+        # pattern would ever be drawn from ours.
+        assert model.calls == result.stats.upsets_injected

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.ecc import InterleavedSecDedCode
 from repro.runtime.isr import ReadErrorServiceRoutine
 from repro.runtime.trace import EventKind, ExecutionTrace

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
 
 
-class TestCli:
+class TestArtefactCommands:
     def test_fig4_runs_and_prints_table(self, capsys):
         assert main(["fig4"]) == 0
         out = capsys.readouterr().out
@@ -28,5 +30,87 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["--help"])
         out = capsys.readouterr().out
-        for name in ("fig4", "table1", "fig5", "timing", "ablations", "all"):
+        for name in ("fig4", "table1", "fig5", "timing", "ablations", "all",
+                     "run", "campaign", "sweep"):
             assert name in out
+
+
+class TestMachineReadableOutput:
+    def test_table1_json_matches_table_rows(self, capsys):
+        """--format json parses and carries the same values as the table."""
+        assert main(["table1", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["title"].startswith("Table I")
+        json_rows = {row["application"]: row for row in payload["rows"]}
+
+        assert main(["table1"]) == 0
+        table = capsys.readouterr().out
+        assert set(json_rows) == {
+            "adpcm-decode", "adpcm-encode", "jpeg-decode", "g721-decode", "g721-encode",
+        }
+        for app, row in json_rows.items():
+            assert app in table
+            # The optimum chunk size printed in the table is the JSON value.
+            table_line = next(line for line in table.splitlines() if f" {app} " in line)
+            assert f" {row['chunk_words']} " in table_line
+
+    def test_fig4_csv_has_header_and_rows(self, capsys):
+        assert main(["fig4", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line and not line.startswith("#")]
+        assert lines[0] == "chunk_words,max_correctable_bits"
+        assert len(lines) > 100
+
+    def test_output_writes_file(self, capsys, tmp_path):
+        path = tmp_path / "fig4.json"
+        assert main(["fig4", "--format", "json", "--output", str(path)]) == 0
+        assert str(path) in capsys.readouterr().out
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["columns"] == ["chunk_words", "max_correctable_bits"]
+
+
+class TestSpecCommands:
+    def test_run_json_record(self, capsys):
+        assert main([
+            "run", "--app", "adpcm-encode", "--strategy", "hybrid-optimal",
+            "--seed", "3", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (row,) = payload["rows"]
+        assert row["application"] == "adpcm-encode"
+        assert row["strategy"] == "hybrid-optimal"
+        assert row["seed"] == 3
+        assert row["output_correct"] == 1.0
+
+    def test_run_hybrid_requires_chunk_words(self, capsys):
+        assert main(["run", "--app", "adpcm-encode", "--strategy", "hybrid"]) == 2
+        assert "--chunk-words" in capsys.readouterr().err
+        assert main([
+            "run", "--app", "adpcm-encode", "--strategy", "hybrid",
+            "--chunk-words", "32", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"][0]["checkpoints_committed"] > 0
+
+    def test_campaign_aggregates_with_tail_metrics(self, capsys):
+        assert main([
+            "campaign", "--app", "adpcm-encode", "--strategy", "default",
+            "--seeds", "0", "1", "2", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "(3 runs)" in payload["title"]
+        by_metric = {row["metric"]: row for row in payload["rows"]}
+        cycles = by_metric["total_cycles"]
+        assert cycles["count"] == 3
+        assert cycles["min"] <= cycles["median"] <= cycles["p95"] <= cycles["max"]
+
+    def test_sweep_over_error_rate(self, capsys):
+        assert main([
+            "sweep", "--app", "g721-decode", "--param", "constraints.error_rate",
+            "--values", "1e-7", "1e-6", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["constraints.error_rate"] for row in payload["rows"]] == [1e-7, 1e-6]
+        # Higher upset rates force smaller chunks (more frequent checkpoints).
+        chunks = [row["chunk_words"] for row in payload["rows"]]
+        assert chunks[1] <= chunks[0]
