@@ -10,8 +10,11 @@ The package is organized as:
   interrupts, energy accounting);
 * :mod:`repro.apps` — MediaBench-class streaming workloads (ADPCM, G.721,
   JPEG) and synthetic input generators;
+* :mod:`repro.scenarios` — time-varying fault environments (bursts,
+  duty cycles, ramps) with combinators and a string registry;
 * :mod:`repro.core` — the paper's contribution: chunked checkpointing,
-  cost model, chunk-size optimizer, feasibility analysis, strategies;
+  cost model, chunk-size optimizer, feasibility analysis, strategies
+  (including the scenario-aware :class:`AdaptiveHybridStrategy`);
 * :mod:`repro.runtime` — the execution engine tying it all together;
 * :mod:`repro.api` — the unified experiment API: declarative
   :class:`ExperimentSpec` / :class:`SweepSpec` / :class:`CampaignSpec`,
@@ -59,28 +62,50 @@ from .api import (
     SweepSpec,
 )
 from .core import (
+    AdaptiveHybridStrategy,
     DesignConstraints,
     HybridStrategy,
     PAPER_OPERATING_POINT,
     optimize_chunk_size,
 )
 from .runtime import TaskExecutor, run_task
+from .scenarios import (
+    BurstScenario,
+    ConstantRate,
+    DutyCycleScenario,
+    PiecewiseScenario,
+    RampScenario,
+    Scenario,
+    available_scenarios,
+    build_scenario,
+    register_scenario,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AdaptiveHybridStrategy",
+    "BurstScenario",
     "CampaignSpec",
+    "ConstantRate",
     "DesignConstraints",
+    "DutyCycleScenario",
     "ExperimentSpec",
     "HybridStrategy",
     "PAPER_OPERATING_POINT",
     "ParallelExecutor",
+    "PiecewiseScenario",
+    "RampScenario",
     "ResultSet",
+    "Scenario",
     "SerialExecutor",
     "Session",
     "SweepSpec",
     "TaskExecutor",
+    "available_scenarios",
+    "build_scenario",
     "optimize_chunk_size",
+    "register_scenario",
     "run_task",
     "__version__",
 ]

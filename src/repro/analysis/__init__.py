@@ -10,6 +10,8 @@ from .experiments import (
     AblationResult,
     Fig4Result,
     Fig5Result,
+    ScenarioCell,
+    ScenarioSweepResult,
     StrategyOutcome,
     Table1Result,
     Table1Row,
@@ -20,6 +22,7 @@ from .experiments import (
     ablation_error_rate,
     fig4_feasible_region,
     fig5_energy,
+    scenario_sweep,
     table1_optimal_chunks,
     timing_overhead,
 )
@@ -29,6 +32,8 @@ __all__ = [
     "AblationResult",
     "Fig4Result",
     "Fig5Result",
+    "ScenarioCell",
+    "ScenarioSweepResult",
     "StrategyOutcome",
     "Table1Result",
     "Table1Row",
@@ -39,6 +44,7 @@ __all__ = [
     "ablation_error_rate",
     "fig4_feasible_region",
     "fig5_energy",
+    "scenario_sweep",
     "table1_optimal_chunks",
     "timing_overhead",
     "render_markdown_table",

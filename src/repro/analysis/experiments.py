@@ -12,7 +12,11 @@ Each public function reproduces one evaluation artefact:
 * :func:`timing_overhead` — the Section III-B execution-time observation
   (the proposal honours the 10 % cycle budget, the baselines do not);
 * the ``ablation_*`` functions — sensitivity studies supporting the design
-  choices called out in DESIGN.md.
+  choices called out in DESIGN.md;
+* :func:`scenario_sweep` — beyond the paper: the same workload under a
+  grid of time-varying fault environments (:mod:`repro.scenarios`) and
+  mitigation strategies, comparing the static design against the
+  scenario-adaptive one.
 
 Every harness expresses its workload as declarative
 :class:`~repro.api.spec.ExperimentSpec` runs executed through a
@@ -882,4 +886,198 @@ def ablation_drain_latency(
         headers=("drain latency (cycles)", "optimum chunk", "err", "energy ovh"),
         table_rows=tuple(rows),
         records=tuple(result_set.records),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Scenario sweep — time-varying fault environments (beyond the paper)
+# ---------------------------------------------------------------------- #
+#: Default environment grid of :func:`scenario_sweep`.
+DEFAULT_SCENARIOS: tuple[str, ...] = ("paper-constant", "burst", "duty-cycle", "ramp", "storm")
+
+#: Default strategy grid: the paper's static optimum vs the adaptive one.
+DEFAULT_SCENARIO_STRATEGIES: tuple[str, ...] = ("hybrid-optimal", "hybrid-adaptive")
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """Averaged behavioural outcome of one (scenario, strategy) pair."""
+
+    scenario: str
+    strategy: str
+    energy_nj: float
+    cycles: float
+    upsets: float
+    errors_detected: float
+    rollbacks: float
+    checkpoints: float
+    fully_mitigated_fraction: float
+    relative_energy: float
+
+
+@dataclass(frozen=True)
+class ScenarioSweepResult:
+    """Reproduction-quality comparison of strategies across environments.
+
+    ``relative_energy`` normalizes each cell to the first strategy of the
+    grid under the *same* scenario, so the adaptive strategy's win/loss
+    against the static design is read off directly.
+    """
+
+    application: str
+    cells: tuple[ScenarioCell, ...]
+    constraints: DesignConstraints
+    seeds: tuple[int, ...]
+
+    def cell(self, scenario: str, strategy: str) -> ScenarioCell:
+        """Look up one (scenario, strategy) cell."""
+        for entry in self.cells:
+            if entry.scenario == scenario and entry.strategy == strategy:
+                return entry
+        raise KeyError(f"no cell for {scenario!r} / {strategy!r}")
+
+    def scenarios(self) -> list[str]:
+        seen: list[str] = []
+        for entry in self.cells:
+            if entry.scenario not in seen:
+                seen.append(entry.scenario)
+        return seen
+
+    def strategies(self) -> list[str]:
+        seen: list[str] = []
+        for entry in self.cells:
+            if entry.strategy not in seen:
+                seen.append(entry.strategy)
+        return seen
+
+    def rows(self) -> list[tuple]:
+        return [
+            (
+                entry.scenario,
+                entry.strategy,
+                round(entry.energy_nj, 1),
+                round(entry.relative_energy, 3),
+                round(entry.upsets, 1),
+                round(entry.errors_detected, 1),
+                round(entry.rollbacks, 1),
+                round(entry.checkpoints, 1),
+                round(entry.fully_mitigated_fraction, 2),
+            )
+            for entry in self.cells
+        ]
+
+    def _title(self) -> str:
+        return f"Scenario sweep — {self.application} across fault environments"
+
+    def to_result_set(self) -> ResultSet:
+        records = [
+            {
+                "scenario": entry.scenario,
+                "strategy": entry.strategy,
+                "energy_nj": entry.energy_nj,
+                "relative_energy": entry.relative_energy,
+                "cycles": entry.cycles,
+                "upsets": entry.upsets,
+                "errors_detected": entry.errors_detected,
+                "rollbacks": entry.rollbacks,
+                "checkpoints": entry.checkpoints,
+                "fully_mitigated_fraction": entry.fully_mitigated_fraction,
+            }
+            for entry in self.cells
+        ]
+        return ResultSet.from_records(self._title(), records)
+
+    def render(self) -> str:
+        table = render_table(
+            [
+                "scenario",
+                "strategy",
+                "energy (nJ)",
+                "rel. energy",
+                "upsets",
+                "errors",
+                "rollbacks",
+                "checkpoints",
+                "mitigated",
+            ],
+            self.rows(),
+        )
+        return self._title() + "\n" + table
+
+
+def scenario_sweep(
+    scenarios: list[str] | None = None,
+    application: str | StreamingApplication = "adpcm-encode",
+    strategies: list[str] | None = None,
+    constraints: DesignConstraints | None = None,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    scenario_params: dict[str, dict] | None = None,
+    session: Session | None = None,
+    jobs: int | None = None,
+) -> ScenarioSweepResult:
+    """Run one workload under a grid of fault environments and strategies.
+
+    Every (scenario, strategy, seed) triple is an independent
+    :class:`~repro.api.spec.ExperimentSpec`, so ``jobs=N`` fans the whole
+    grid out across cores with bit-identical aggregates.
+    ``scenario_params`` optionally maps a scenario name to factory
+    overrides (e.g. ``{"burst": {"burst_factor": 100}}``).
+    """
+    constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    scenarios = list(scenarios) if scenarios is not None else list(DEFAULT_SCENARIOS)
+    strategies = (
+        list(strategies) if strategies is not None else list(DEFAULT_SCENARIO_STRATEGIES)
+    )
+    if not scenarios or not strategies:
+        raise ValueError("the sweep needs at least one scenario and one strategy")
+    scenario_params = dict(scenario_params or {})
+    ref, app = _ablation_app_ref(application)
+
+    specs = [
+        ExperimentSpec(
+            app=ref,
+            strategy=strategy,
+            constraints=constraints,
+            scenario=scenario,
+            scenario_params=scenario_params.get(scenario, {}),
+            seed=seed,
+        )
+        for scenario in scenarios
+        for strategy in strategies
+        for seed in seeds
+    ]
+    outcomes = _session(session).run_all(specs, jobs=jobs)
+    records = [outcome.record for outcome in outcomes]
+
+    cells: list[ScenarioCell] = []
+    cursor = 0
+    for scenario in scenarios:
+        baseline_energy: float | None = None
+        for strategy in strategies:
+            block = records[cursor : cursor + len(seeds)]
+            cursor += len(seeds)
+            energy = _average([r["energy_nj"] for r in block])
+            if baseline_energy is None:
+                baseline_energy = energy
+            cells.append(
+                ScenarioCell(
+                    scenario=scenario,
+                    strategy=strategy,
+                    energy_nj=energy,
+                    cycles=_average([r["total_cycles"] for r in block]),
+                    upsets=_average([r["upsets_injected"] for r in block]),
+                    errors_detected=_average([r["errors_detected"] for r in block]),
+                    rollbacks=_average([r["rollbacks"] for r in block]),
+                    checkpoints=_average([r["checkpoints_committed"] for r in block]),
+                    fully_mitigated_fraction=_average([r["fully_mitigated"] for r in block]),
+                    relative_energy=energy / baseline_energy if baseline_energy else 0.0,
+                )
+            )
+    return ScenarioSweepResult(
+        application=app.name,
+        cells=tuple(cells),
+        constraints=constraints,
+        seeds=tuple(seeds),
     )

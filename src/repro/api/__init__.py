@@ -38,11 +38,16 @@ from .executors import (
 )
 from .registry import (
     available_fault_models,
+    available_scenarios,
     available_strategies,
     build_fault_model,
+    build_scenario,
     build_strategy,
     register_fault_model,
+    register_scenario,
     register_strategy,
+    scenario_description,
+    scenario_known,
 )
 from .results import ResultSet
 from .session import Session
@@ -60,11 +65,16 @@ __all__ = [
     "Session",
     "SweepSpec",
     "available_fault_models",
+    "available_scenarios",
     "available_strategies",
     "build_fault_model",
+    "build_scenario",
     "build_strategy",
     "execute_spec",
     "make_executor",
     "register_fault_model",
+    "register_scenario",
     "register_strategy",
+    "scenario_description",
+    "scenario_known",
 ]

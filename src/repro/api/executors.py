@@ -23,7 +23,7 @@ from typing import Any
 from ..core.feasibility import feasible_region
 from ..core.optimizer import ChunkSizeOptimizer
 from ..runtime.executor import TaskExecutor
-from .registry import build_fault_model, build_strategy
+from .registry import build_fault_model, build_scenario, build_strategy
 from .spec import ExperimentSpec
 
 
@@ -64,6 +64,9 @@ def _execute_behavioural(spec: ExperimentSpec) -> RunOutcome:
     app = spec.resolve_app()
     strategy = build_strategy(spec.strategy, app, spec.constraints, **spec.strategy_params)
     fault_model = build_fault_model(spec.fault_model, **spec.fault_params)
+    scenario = build_scenario(
+        spec.scenario, base_rate=spec.constraints.error_rate, **spec.scenario_params
+    )
     executor = TaskExecutor(
         app,
         strategy,
@@ -71,12 +74,14 @@ def _execute_behavioural(spec: ExperimentSpec) -> RunOutcome:
         seed=spec.seed,
         fault_model=fault_model,
         collect_trace=spec.collect_trace,
+        scenario=scenario,
     )
     result = executor.run()
     stats = result.stats
     record: dict[str, Any] = {
         "application": stats.application,
         "strategy": stats.configuration,
+        "scenario": spec.scenario_name,
         "seed": spec.seed,
         **stats.as_dict(),
         "energy_nj": stats.total_energy_nj,

@@ -19,6 +19,7 @@ from ..apps.base import StreamingApplication
 from ..core.config import DesignConstraints
 from ..core.optimizer import optimize_chunk_size
 from ..core.strategies import (
+    AdaptiveHybridStrategy,
     DefaultStrategy,
     HwMitigationStrategy,
     HybridStrategy,
@@ -32,6 +33,33 @@ from ..faults.models import (
     SingleBitUpset,
     default_smu_model,
 )
+
+# Scenario registry helpers live with the scenario definitions; re-export
+# them here so the API surface mirrors apps/strategies/fault models.
+from ..scenarios.registry import (
+    available_scenarios,
+    build_scenario,
+    register_scenario,
+    scenario_description,
+    scenario_known,
+)
+
+__all__ = [
+    "FaultModelFactory",
+    "StrategyFactory",
+    "available_fault_models",
+    "available_scenarios",
+    "available_strategies",
+    "build_fault_model",
+    "build_scenario",
+    "build_strategy",
+    "register_fault_model",
+    "register_scenario",
+    "register_strategy",
+    "scenario_description",
+    "scenario_known",
+    "strategy_known",
+]
 
 #: Signature of a strategy factory: (app, constraints, **params) -> strategy.
 StrategyFactory = Callable[..., MitigationStrategy]
@@ -123,6 +151,23 @@ def _build_hybrid_suboptimal(
     )
 
 
+def _build_hybrid_adaptive(
+    app: StreamingApplication,
+    constraints: DesignConstraints,
+    *,
+    opt_seed: int = 0,
+    extra_buffer_words: int | None = None,
+    label: str = "hybrid-adaptive",
+) -> MitigationStrategy:
+    return AdaptiveHybridStrategy(
+        app,
+        constraints,
+        extra_buffer_words=extra_buffer_words,
+        label=label,
+        opt_seed=int(opt_seed),
+    )
+
+
 _STRATEGIES: dict[str, StrategyFactory] = {
     "default": _build_default,
     "sw-mitigation": _build_sw,
@@ -130,6 +175,7 @@ _STRATEGIES: dict[str, StrategyFactory] = {
     "hybrid": _build_hybrid,
     "hybrid-optimal": _build_hybrid_optimal,
     "hybrid-suboptimal": _build_hybrid_suboptimal,
+    "hybrid-adaptive": _build_hybrid_adaptive,
 }
 
 

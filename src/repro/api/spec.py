@@ -34,6 +34,8 @@ from typing import Any
 from ..apps.base import StreamingApplication
 from ..apps.registry import canonical_name, get_application
 from ..core.config import DesignConstraints, PAPER_OPERATING_POINT
+from ..scenarios.base import Scenario
+from ..scenarios.registry import available_scenarios, scenario_known
 from . import registry
 
 #: Experiment kinds understood by :func:`repro.api.executors.execute_spec`.
@@ -78,6 +80,16 @@ class ExperimentSpec:
         default SMU-dominated mixture.
     fault_params:
         Keyword arguments forwarded to the fault-model factory.
+    scenario:
+        Registry name of the fault environment (``"paper-constant"``,
+        ``"burst"``, ``"duty-cycle"``, …), a live
+        :class:`~repro.scenarios.Scenario`, or ``None`` for the injector's
+        raw fixed-rate path.  The default ``"paper-constant"`` resolves to
+        a constant rate equal to ``constraints.error_rate`` and is
+        bit-identical to ``None``, so existing specs round-trip unchanged.
+    scenario_params:
+        Keyword arguments forwarded to the scenario factory (rates are
+        expressed relative to ``constraints.error_rate``).
     params:
         Kind-specific extras (e.g. ``max_chunk_words`` / ``chunk_stride``
         for feasibility sweeps).
@@ -94,6 +106,8 @@ class ExperimentSpec:
     constraints: DesignConstraints = PAPER_OPERATING_POINT
     fault_model: str | None = None
     fault_params: Mapping[str, Any] = field(default_factory=dict)
+    scenario: str | Scenario | None = "paper-constant"
+    scenario_params: Mapping[str, Any] = field(default_factory=dict)
     params: Mapping[str, Any] = field(default_factory=dict)
     seed: int = 0
     collect_trace: bool = False
@@ -108,7 +122,10 @@ class ExperimentSpec:
         if self.kind == "execute" and not registry.strategy_known(self.strategy):
             known = ", ".join(registry.available_strategies())
             raise ValueError(f"unknown strategy {self.strategy!r}; known strategies: {known}")
-        for name in ("strategy_params", "fault_params", "params"):
+        if isinstance(self.scenario, str) and not scenario_known(self.scenario):
+            known = ", ".join(available_scenarios())
+            raise ValueError(f"unknown scenario {self.scenario!r}; known scenarios: {known}")
+        for name in ("strategy_params", "fault_params", "scenario_params", "params"):
             object.__setattr__(self, name, dict(getattr(self, name)))
 
     # ------------------------------------------------------------------ #
@@ -122,6 +139,15 @@ class ExperimentSpec:
         if isinstance(self.app, str):
             return self.app
         return self.app.name
+
+    @property
+    def scenario_name(self) -> str:
+        """Display name of the fault environment ("none" for the raw path)."""
+        if self.scenario is None:
+            return "none"
+        if isinstance(self.scenario, str):
+            return self.scenario
+        return self.scenario.describe()
 
     def resolve_app(self) -> StreamingApplication:
         """Instantiate (or pass through) the spec's application."""
@@ -151,7 +177,7 @@ class ExperimentSpec:
             if tail:
                 if head == "constraints":
                     constraint_overrides[tail] = value
-                elif head in ("strategy_params", "fault_params", "params"):
+                elif head in ("strategy_params", "fault_params", "scenario_params", "params"):
                     nested.setdefault(head, {})[tail] = value
                 else:
                     raise ValueError(f"cannot override nested field {key!r}")
@@ -179,6 +205,12 @@ class ExperimentSpec:
                 "repro.apps.registry.register_application and reference it "
                 "by name to make the spec serializable"
             )
+        if self.scenario is not None and not isinstance(self.scenario, str):
+            raise ValueError(
+                "spec holds a live scenario instance; register it with "
+                "repro.scenarios.register_scenario and reference it by "
+                "name to make the spec serializable"
+            )
         return {
             "app": self.app,
             "strategy": self.strategy,
@@ -187,6 +219,8 @@ class ExperimentSpec:
             "constraints": constraints_to_dict(self.constraints),
             "fault_model": self.fault_model,
             "fault_params": dict(self.fault_params),
+            "scenario": self.scenario,
+            "scenario_params": dict(self.scenario_params),
             "params": dict(self.params),
             "seed": self.seed,
             "collect_trace": self.collect_trace,

@@ -15,6 +15,12 @@ terminal through the unified experiment API::
     repro-experiments sweep --app g721-decode --param constraints.error_rate \
         --values 1e-8 1e-7 1e-6
 
+    repro-experiments list
+    repro-experiments scenarios list
+    repro-experiments scenarios run --app adpcm-encode --strategy hybrid-adaptive \
+        --scenario burst --scenario-param burst_factor=100
+    repro-experiments scenarios sweep --app adpcm-encode --jobs 4 --format json
+
 Every subcommand accepts ``--format table|json|csv`` and ``--output PATH``
 for machine-readable results, and the behavioural workloads accept
 ``--jobs N`` to fan the underlying simulations out across CPU cores.
@@ -32,10 +38,17 @@ from .analysis import (
     ablation_error_rate,
     fig4_feasible_region,
     fig5_energy,
+    scenario_sweep,
     table1_optimal_chunks,
     timing_overhead,
 )
-from .api.registry import available_fault_models, available_strategies
+from .analysis.experiments import DEFAULT_SCENARIO_STRATEGIES, DEFAULT_SCENARIOS
+from .api.registry import (
+    available_fault_models,
+    available_scenarios,
+    available_strategies,
+    scenario_description,
+)
 from .api.results import FORMATS, ResultSet, render_result_sets
 from .api.session import Session
 from .api.spec import CampaignSpec, ExperimentSpec, SweepSpec
@@ -54,6 +67,17 @@ def _parse_value(text: str):
         except ValueError:
             continue
     return text
+
+
+def _parse_kv_params(pairs: list[str] | None) -> dict:
+    """Parse repeated ``key=value`` options into a typed parameter dict."""
+    params = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"expected KEY=VALUE, got {pair!r}")
+        params[key] = _parse_value(value)
+    return params
 
 
 def _add_output_options(parser: argparse.ArgumentParser) -> None:
@@ -128,6 +152,20 @@ def _add_spec_options(parser: argparse.ArgumentParser) -> None:
         metavar="NAME",
         help=f"upset model (one of: {', '.join(available_fault_models())}; "
         "default: the SMU-dominated mixture)",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="paper-constant",
+        metavar="NAME",
+        help=f"fault environment (one of: {', '.join(available_scenarios())}; "
+        "default: paper-constant)",
+    )
+    parser.add_argument(
+        "--scenario-param",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="scenario factory parameter (repeatable), e.g. burst_factor=100",
     )
 
 
@@ -222,6 +260,60 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_jobs_option(sweep)
     _add_output_options(sweep)
 
+    # --- registry discovery ---------------------------------------------- #
+    listing = subparsers.add_parser(
+        "list", help="enumerate every registry (apps, strategies, fault models, scenarios)"
+    )
+    _add_output_options(listing)
+
+    # --- time-varying fault environments --------------------------------- #
+    scenarios = subparsers.add_parser(
+        "scenarios", help="time-varying fault environments (list / run / sweep)"
+    )
+    scenario_sub = scenarios.add_subparsers(
+        dest="scenario_command", required=True, metavar="action"
+    )
+
+    scn_list = scenario_sub.add_parser("list", help="list registered scenarios")
+    _add_output_options(scn_list)
+
+    scn_run = scenario_sub.add_parser(
+        "run", help="execute one experiment under a fault environment"
+    )
+    _add_spec_options(scn_run)
+    scn_run.add_argument("--seed", type=int, default=0, help="workload/fault seed (default: 0)")
+    _add_constraint_options(scn_run)
+    _add_output_options(scn_run)
+
+    scn_sweep = scenario_sub.add_parser(
+        "sweep", help="grid of (scenario, strategy) pairs on one workload"
+    )
+    scn_sweep.add_argument(
+        "--app",
+        default="adpcm-encode",
+        metavar="NAME",
+        help=f"application to run (one of: {', '.join(available_applications())})",
+    )
+    scn_sweep.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=list(DEFAULT_SCENARIOS),
+        metavar="NAME",
+        help=f"environments to sweep (default: {' '.join(DEFAULT_SCENARIOS)})",
+    )
+    scn_sweep.add_argument(
+        "--strategies",
+        nargs="+",
+        default=list(DEFAULT_SCENARIO_STRATEGIES),
+        metavar="NAME",
+        help="strategies to compare; relative energy is vs the first "
+        f"(default: {' '.join(DEFAULT_SCENARIO_STRATEGIES)})",
+    )
+    _add_seeds_option(scn_sweep)
+    _add_constraint_options(scn_sweep)
+    _add_jobs_option(scn_sweep)
+    _add_output_options(scn_sweep)
+
     return parser
 
 
@@ -244,8 +336,78 @@ def _spec_from_args(args: argparse.Namespace, kind: str = "execute") -> Experime
         strategy_params=strategy_params,
         constraints=_constraints_from_args(args),
         fault_model=args.fault_model,
+        scenario=getattr(args, "scenario", "paper-constant"),
+        scenario_params=_parse_kv_params(getattr(args, "scenario_param", None)),
         seed=getattr(args, "seed", 0),
     )
+
+
+def _registry_listing() -> ResultSet:
+    """Every registry name, one row per (registry, name) pair."""
+    records = []
+    for app in available_applications():
+        records.append({"registry": "app", "name": app, "description": ""})
+    for strategy in available_strategies():
+        records.append({"registry": "strategy", "name": strategy, "description": ""})
+    for model in available_fault_models():
+        records.append({"registry": "fault-model", "name": model, "description": ""})
+    for scenario in available_scenarios():
+        records.append(
+            {
+                "registry": "scenario",
+                "name": scenario,
+                "description": scenario_description(scenario),
+            }
+        )
+    return ResultSet.from_records(
+        "Registries — valid names for specs and CLI options", records
+    )
+
+
+def _scenario_listing() -> ResultSet:
+    """The scenario registry with factory descriptions."""
+    return ResultSet.from_records(
+        "Fault environments — registered scenarios",
+        [
+            {"name": name, "description": scenario_description(name)}
+            for name in available_scenarios()
+        ],
+    )
+
+
+def _run_spec_section(
+    args: argparse.Namespace, session: Session, show_scenario: bool = False
+) -> list:
+    """Shared implementation of ``run`` and ``scenarios run``."""
+    spec = _spec_from_args(args)
+    outcome = session.run(spec)
+    environment = f" under {spec.scenario_name}" if show_scenario else ""
+    title = f"Run — {spec.app_name} / {spec.strategy}{environment} (seed {spec.seed})"
+    return [ResultSet.from_records(title, outcome.records)]
+
+
+def _scenario_sections(args: argparse.Namespace, session: Session) -> list:
+    if args.scenario_command == "list":
+        return [_scenario_listing()]
+
+    if args.scenario_command == "run":
+        return _run_spec_section(args, session, show_scenario=True)
+
+    if args.scenario_command == "sweep":
+        result = scenario_sweep(
+            scenarios=args.scenarios,
+            application=args.app,
+            strategies=args.strategies,
+            constraints=_constraints_from_args(args),
+            seeds=tuple(args.seeds),
+            session=session,
+            jobs=args.jobs,
+        )
+        return [result]
+
+    raise AssertionError(
+        f"unhandled scenarios action {args.scenario_command!r}"
+    )  # pragma: no cover
 
 
 def _artefact_sections(args: argparse.Namespace, session: Session) -> list:
@@ -282,11 +444,14 @@ def _run_sections(args: argparse.Namespace) -> list:
     if args.command in ARTEFACTS:
         return _artefact_sections(args, session)
 
+    if args.command == "list":
+        return [_registry_listing()]
+
+    if args.command == "scenarios":
+        return _scenario_sections(args, session)
+
     if args.command == "run":
-        spec = _spec_from_args(args)
-        outcome = session.run(spec)
-        title = f"Run — {spec.app_name} / {spec.strategy} (seed {spec.seed})"
-        return [ResultSet.from_records(title, outcome.records)]
+        return _run_spec_section(args, session)
 
     if args.command == "campaign":
         spec = CampaignSpec(

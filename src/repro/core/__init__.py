@@ -11,6 +11,7 @@ from .chunking import (
     Phase,
     plan_schedule,
     plan_schedule_from_profile,
+    plan_variable_schedule,
     profile_step_outputs,
     uniform_schedule,
 )
@@ -19,6 +20,7 @@ from .cost_model import CostBreakdown, MitigationCostModel, PlatformCostParamete
 from .feasibility import FeasiblePoint, FeasibleRegion, feasible_region
 from .optimizer import ChunkSizeOptimizer, OptimizationResult, optimize_chunk_size
 from .strategies import (
+    AdaptiveHybridStrategy,
     DefaultStrategy,
     HwMitigationStrategy,
     HybridStrategy,
@@ -33,6 +35,7 @@ __all__ = [
     "Phase",
     "plan_schedule",
     "plan_schedule_from_profile",
+    "plan_variable_schedule",
     "profile_step_outputs",
     "uniform_schedule",
     "PAPER_OPERATING_POINT",
@@ -46,6 +49,7 @@ __all__ = [
     "ChunkSizeOptimizer",
     "OptimizationResult",
     "optimize_chunk_size",
+    "AdaptiveHybridStrategy",
     "DefaultStrategy",
     "HwMitigationStrategy",
     "HybridStrategy",

@@ -80,6 +80,79 @@ class CheckpointSchedule:
         raise IndexError(f"step {step_index} is not covered by this schedule")
 
 
+def plan_variable_schedule(
+    step_output_words: list[int],
+    step_cycles: list[int] | None,
+    target_for,
+    nominal_chunk_words: int,
+) -> CheckpointSchedule:
+    """Group steps into phases whose target chunk size may vary over time.
+
+    The single source of the phase-closing rule: each phase closes at the
+    first step boundary at which its accumulated output reaches the
+    current target; the final phase may be smaller.
+
+    Parameters
+    ----------
+    step_output_words:
+        Output words produced by each streaming step, in order.
+    step_cycles:
+        Estimated cycles per step, driving the clock passed to
+        ``target_for``; ``None`` keeps the clock at zero (time-invariant
+        targets).
+    target_for:
+        Callable mapping the estimated cycle at which a phase starts to
+        that phase's chunk-words target (must be positive).
+    nominal_chunk_words:
+        The ``S_CH`` recorded on the schedule (reporting only).
+    """
+    if not step_output_words:
+        raise ValueError("the task must contain at least one step")
+    if step_cycles is None:
+        step_cycles = [0] * len(step_output_words)
+    elif len(step_cycles) != len(step_output_words):
+        raise ValueError(
+            f"step_cycles has {len(step_cycles)} entries for "
+            f"{len(step_output_words)} steps"
+        )
+    phases: list[Phase] = []
+    first = 0
+    accumulated = 0
+    clock = 0
+    target = target_for(0)
+    if target <= 0:
+        raise ValueError("chunk_words must be positive")
+    for index, (words, cycles) in enumerate(zip(step_output_words, step_cycles)):
+        if words < 0:
+            raise ValueError("step output word counts must be non-negative")
+        accumulated += words
+        clock += cycles
+        if accumulated >= target:
+            phases.append(
+                Phase(
+                    index=len(phases),
+                    first_step=first,
+                    last_step=index,
+                    output_words=accumulated,
+                )
+            )
+            first = index + 1
+            accumulated = 0
+            target = target_for(clock)
+            if target <= 0:
+                raise ValueError("chunk_words must be positive")
+    if first < len(step_output_words):
+        phases.append(
+            Phase(
+                index=len(phases),
+                first_step=first,
+                last_step=len(step_output_words) - 1,
+                output_words=accumulated,
+            )
+        )
+    return CheckpointSchedule(chunk_words=nominal_chunk_words, phases=tuple(phases))
+
+
 def plan_schedule_from_profile(
     step_output_words: list[int], chunk_words: int
 ) -> CheckpointSchedule:
@@ -96,36 +169,9 @@ def plan_schedule_from_profile(
     """
     if chunk_words <= 0:
         raise ValueError("chunk_words must be positive")
-    if not step_output_words:
-        raise ValueError("the task must contain at least one step")
-    phases: list[Phase] = []
-    first = 0
-    accumulated = 0
-    for index, words in enumerate(step_output_words):
-        if words < 0:
-            raise ValueError("step output word counts must be non-negative")
-        accumulated += words
-        if accumulated >= chunk_words:
-            phases.append(
-                Phase(
-                    index=len(phases),
-                    first_step=first,
-                    last_step=index,
-                    output_words=accumulated,
-                )
-            )
-            first = index + 1
-            accumulated = 0
-    if first < len(step_output_words):
-        phases.append(
-            Phase(
-                index=len(phases),
-                first_step=first,
-                last_step=len(step_output_words) - 1,
-                output_words=accumulated,
-            )
-        )
-    return CheckpointSchedule(chunk_words=chunk_words, phases=tuple(phases))
+    return plan_variable_schedule(
+        step_output_words, None, lambda clock: chunk_words, chunk_words
+    )
 
 
 def profile_step_outputs(app: StreamingApplication, task_input) -> list[int]:

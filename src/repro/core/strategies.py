@@ -15,12 +15,20 @@ the runtime reacts to a detected error:
   demand-driven rollback of a single chunk.  Instantiated either with the
   optimizer's chunk size (``Proposed (optimal)``) or a documented
   sub-optimal one (``Proposed (sub-optimal)``).
+* :class:`AdaptiveHybridStrategy` — an extension beyond the paper for
+  time-varying fault environments (:mod:`repro.scenarios`): it re-runs
+  the chunk-size optimizer per scenario rate level, so checkpoint density
+  tracks the current error rate — dense checkpoints through bursts,
+  sparse ones through quiescent stretches.
 """
 
 from __future__ import annotations
 
 import abc
+from collections.abc import Sequence
 
+from ..apps.base import StreamingApplication
+from ..scenarios.base import Scenario
 from ..soc.platform import (
     Platform,
     default_platform,
@@ -28,6 +36,7 @@ from ..soc.platform import (
     hybrid_platform,
     sw_mitigation_platform,
 )
+from .chunking import CheckpointSchedule, plan_schedule_from_profile, plan_variable_schedule
 from .config import DesignConstraints, PAPER_OPERATING_POINT
 
 
@@ -77,6 +86,23 @@ class MitigationStrategy(abc.ABC):
         than an optimized chunk.  Checkpointing strategies override this.
         """
         return max(1, min(16, output_words))
+
+    def plan_schedule(
+        self,
+        step_words: Sequence[int],
+        step_cycles: Sequence[int] | None = None,
+        scenario: Scenario | None = None,
+    ) -> CheckpointSchedule:
+        """Plan the checkpoint schedule for one profiled task.
+
+        The default groups steps into uniform chunks of
+        :meth:`chunk_words_for` words, ignoring timing and environment —
+        exactly the paper's fixed-chunk plan.  ``step_cycles`` (estimated
+        cycles per step, including memory traffic) and ``scenario`` let
+        environment-aware strategies vary the chunk size over the task.
+        """
+        chunk_words = self.chunk_words_for(sum(step_words))
+        return plan_schedule_from_profile(list(step_words), chunk_words)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -190,6 +216,116 @@ class HybridStrategy(MitigationStrategy):
         return hybrid_platform(
             l1p_words=capacity,
             l1p_correctable_bits=self.constraints.correctable_bits,
+        )
+
+
+class AdaptiveHybridStrategy(HybridStrategy):
+    """Hybrid mitigation whose checkpoint density tracks a fault scenario.
+
+    The paper sizes one chunk for one constant error rate.  Under a
+    time-varying environment (:mod:`repro.scenarios`) the optimum moves:
+    bursts favour small chunks (cheap rollbacks, more checkpoints), quiet
+    stretches favour large chunks (fewer checkpoint commits).  This
+    strategy re-runs the paper's chunk-size optimizer (Eq. 3–7) once per
+    distinct scenario rate level and plans a variable-chunk schedule, so
+    each phase is sized for the rate expected while its chunk is live.
+
+    The L1' buffer is still sized by the runtime from the largest planned
+    phase, and every per-rate optimum honours the same OV1/OV2 budgets as
+    the static design.
+
+    Parameters
+    ----------
+    app:
+        The workload to protect; profiled once (on the ``opt_seed`` input)
+        for the per-rate optimizations.
+    constraints:
+        Operating point; its ``error_rate`` is the nominal rate used for
+        the fallback static chunk (and for scenario-less runs).
+    extra_buffer_words:
+        L1' words reserved for codec state; defaults to
+        ``app.state_words()``.
+    opt_seed:
+        Seed of the input used for profiling/optimization.
+    """
+
+    def __init__(
+        self,
+        app: StreamingApplication,
+        constraints: DesignConstraints | None = None,
+        extra_buffer_words: int | None = None,
+        label: str = "hybrid-adaptive",
+        opt_seed: int = 0,
+    ) -> None:
+        constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
+        if extra_buffer_words is None:
+            extra_buffer_words = app.state_words()
+        self._characterization = app.characterize(app.generate_input(opt_seed))
+        self._chunk_cache: dict[float, int] = {}
+        # Optimize the nominal rate through the same quantized/cached path
+        # plan_schedule uses, so a ConstantRate(error_rate) scenario plans
+        # exactly the static chunk and the optimizer runs once, not twice.
+        nominal_key = self._quantize_rate(constraints.error_rate)
+        base_chunk = self._optimize_chunk(constraints, nominal_key)
+        self._chunk_cache[nominal_key] = base_chunk
+        super().__init__(
+            base_chunk,
+            constraints,
+            extra_buffer_words=extra_buffer_words,
+            label=label,
+        )
+        self.app = app
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _quantize_rate(rate: float) -> float:
+        """Bucket rates to two significant digits so the optimizer cache
+        stays small under finely-quantized scenarios (ramps)."""
+        if rate <= 0.0:
+            return 0.0
+        return float(f"{rate:.1e}")
+
+    def _optimize_chunk(self, constraints: DesignConstraints, rate: float) -> int:
+        from .optimizer import ChunkSizeOptimizer
+
+        optimizer = ChunkSizeOptimizer(constraints.with_overrides(error_rate=rate))
+        try:
+            return optimizer.optimize_characterization(self._characterization).chunk_words
+        except ValueError:
+            # No feasible chunk at this rate (pathologically hostile
+            # environment): fall back to maximum checkpoint density.
+            return 1
+
+    def chunk_words_for_rate(self, rate: float) -> int:
+        """Optimum chunk size for one (quantized) error rate, cached."""
+        key = self._quantize_rate(rate)
+        if key not in self._chunk_cache:
+            self._chunk_cache[key] = self._optimize_chunk(self.constraints, key)
+        return self._chunk_cache[key]
+
+    # ------------------------------------------------------------------ #
+    def plan_schedule(
+        self,
+        step_words: Sequence[int],
+        step_cycles: Sequence[int] | None = None,
+        scenario: Scenario | None = None,
+    ) -> CheckpointSchedule:
+        """Variable-chunk plan: each phase sized for its scenario rate.
+
+        Walks the profiled steps with an estimated cycle clock and closes
+        each phase once it reaches the chunk size that is optimal for the
+        rate in effect at the phase's start.  The estimate ignores
+        checkpoint/recovery cycles, so the plan drifts late relative to
+        the actual platform clock — acceptable for scenarios whose
+        features span many thousands of cycles.
+        """
+        if scenario is None or step_cycles is None:
+            return super().plan_schedule(step_words, step_cycles, scenario)
+        return plan_variable_schedule(
+            list(step_words),
+            list(step_cycles),
+            lambda clock: self.chunk_words_for_rate(scenario.rate_at(clock)),
+            self.chunk_words,
         )
 
 

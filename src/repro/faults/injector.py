@@ -7,6 +7,15 @@ objects for a given exposure window (number of live words x number of
 cycles), using either exact Bernoulli sampling per word-cycle (for small
 windows, used in tests) or the Poisson approximation (for realistic
 windows, where the per-word-cycle probability is tiny).
+
+The rate may also vary over time: pass a
+:class:`~repro.scenarios.Scenario` and the injector samples each exposure
+window segment-wise — one Poisson draw per constant-rate segment
+overlapping the window — which is exact for a piecewise-constant rate
+(independent-increment property).  When the scenario is a single constant
+rate the segment-wise path degenerates to exactly one segment and is
+**bit-identical** to the fixed-rate path: the same random-number stream
+is consumed in the same order.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..scenarios.base import RateSegment, Scenario
 from ..utils.rng import make_rng
 from .models import FaultModel, UpsetEvent, default_smu_model
 
@@ -58,6 +68,11 @@ class FaultInjector:
     seed:
         Seed for the internal random generator; pass an explicit value for
         reproducible campaigns.
+    scenario:
+        Optional time-varying environment.  When given, the scenario's
+        piecewise-constant rate (evaluated over absolute cycles) replaces
+        ``rate_per_word_cycle`` for Poisson sampling; ``None`` keeps the
+        fixed-rate behaviour.
     """
 
     def __init__(
@@ -65,12 +80,14 @@ class FaultInjector:
         rate_per_word_cycle: float = PAPER_ERROR_RATE,
         fault_model: FaultModel | None = None,
         seed: int | None = 0,
+        scenario: Scenario | None = None,
     ) -> None:
         if rate_per_word_cycle < 0:
             raise ValueError("rate_per_word_cycle must be non-negative")
         self.rate = rate_per_word_cycle
         self.fault_model = fault_model if fault_model is not None else default_smu_model()
         self.rng = make_rng(seed)
+        self.scenario = scenario
         self._events_generated = 0
 
     # ------------------------------------------------------------------ #
@@ -79,21 +96,54 @@ class FaultInjector:
         """Total number of upset events produced so far."""
         return self._events_generated
 
-    def expected_upsets(self, window: ExposureWindow) -> float:
-        """Mean number of upsets for an exposure window at this rate."""
-        return self.rate * window.word_cycles
+    def rate_at(self, cycle: int) -> float:
+        """Effective upset rate at an absolute cycle (scenario-aware)."""
+        if self.scenario is not None:
+            return self.scenario.rate_at(cycle)
+        return self.rate
+
+    def _window_segments(
+        self, window: ExposureWindow, start_cycle: int
+    ) -> list[RateSegment]:
+        """Constant-rate segments covering the window, in cycle order."""
+        if window.cycles <= 0:
+            return []
+        if self.scenario is None:
+            return [RateSegment(start=start_cycle, cycles=window.cycles, rate=self.rate)]
+        return self.scenario.segments(start_cycle, window.cycles)
+
+    def expected_upsets(self, window: ExposureWindow, start_cycle: int = 0) -> float:
+        """Mean number of upsets for an exposure window.
+
+        For a time-varying scenario the expectation is integrated over the
+        window's segments, so ``start_cycle`` matters; the fixed-rate case
+        reduces to ``rate * word_cycles`` regardless of the start.
+        """
+        if self.scenario is None:
+            return self.rate * window.word_cycles
+        return sum(
+            seg.rate * window.live_words * seg.cycles
+            for seg in self._window_segments(window, start_cycle)
+        )
 
     # ------------------------------------------------------------------ #
-    def sample_upset_count(self, window: ExposureWindow) -> int:
+    def sample_upset_count(self, window: ExposureWindow, start_cycle: int = 0) -> int:
         """Draw how many upsets strike during ``window``.
 
         Uses the Poisson approximation, which is exact in the limit of the
-        tiny per-word-cycle probabilities the paper assumes.
+        tiny per-word-cycle probabilities the paper assumes.  With a
+        scenario attached, one Poisson draw is made per constant-rate
+        segment (exact for a piecewise-constant rate); segments with a
+        zero expectation consume no randomness, matching the fixed-rate
+        fast path.
         """
-        lam = self.expected_upsets(window)
-        if lam == 0.0:
-            return 0
-        return int(self.rng.poisson(lam))
+        total = 0
+        for segment in self._window_segments(window, start_cycle):
+            lam = segment.rate * window.live_words * segment.cycles
+            if lam == 0.0:
+                continue
+            total += int(self.rng.poisson(lam))
+        return total
 
     def sample_events(
         self,
@@ -104,27 +154,33 @@ class FaultInjector:
         """Sample the full list of upset events for an exposure window.
 
         Struck word indices are uniform over ``[0, live_words)`` and event
-        cycles are uniform over the window, offset by ``start_cycle``.
+        cycles are uniform over each constant-rate segment of the window
+        (the whole window when the rate is fixed), offset by
+        ``start_cycle``.  Sampling is segment-wise, so a constant scenario
+        consumes the random stream exactly like the fixed-rate path and
+        produces bit-identical events.
         """
-        count = self.sample_upset_count(window)
         events: list[UpsetEvent] = []
-        if count == 0 or window.live_words == 0:
+        if window.live_words == 0:
             return events
-        word_indices = self.rng.integers(0, window.live_words, size=count)
-        cycle_offsets = (
-            self.rng.integers(0, max(1, window.cycles), size=count)
-            if window.cycles > 0
-            else np.zeros(count, dtype=int)
-        )
-        for word_index, cycle_offset in zip(word_indices, cycle_offsets):
-            events.append(
-                self.fault_model.make_event(
-                    word_index=int(word_index),
-                    word_bits=word_bits,
-                    rng=self.rng,
-                    cycle=start_cycle + int(cycle_offset),
+        for segment in self._window_segments(window, start_cycle):
+            lam = segment.rate * window.live_words * segment.cycles
+            if lam == 0.0:
+                continue
+            count = int(self.rng.poisson(lam))
+            if count == 0:
+                continue
+            word_indices = self.rng.integers(0, window.live_words, size=count)
+            cycle_offsets = self.rng.integers(0, max(1, segment.cycles), size=count)
+            for word_index, cycle_offset in zip(word_indices, cycle_offsets):
+                events.append(
+                    self.fault_model.make_event(
+                        word_index=int(word_index),
+                        word_bits=word_bits,
+                        rng=self.rng,
+                        cycle=segment.start + int(cycle_offset),
+                    )
                 )
-            )
         self._events_generated += len(events)
         return sorted(events, key=lambda e: e.cycle)
 
@@ -139,10 +195,17 @@ class FaultInjector:
 
         Exponentially slower than :meth:`sample_events`; intended for small
         windows in unit tests that validate the Poisson approximation.
+        Scenario-aware: each cycle uses the rate in effect at that cycle.
         """
         events: list[UpsetEvent] = []
+        if window.live_words == 0 or window.cycles == 0:
+            # Fast path: an empty window can produce no upsets regardless
+            # of the rate; skip the per-cycle loop (and leave the random
+            # stream untouched).
+            return events
         for cycle in range(window.cycles):
-            strikes = self.rng.random(window.live_words) < self.rate
+            rate = self.rate_at(start_cycle + cycle)
+            strikes = self.rng.random(window.live_words) < rate
             for word_index in np.nonzero(strikes)[0]:
                 events.append(
                     self.fault_model.make_event(

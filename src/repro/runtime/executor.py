@@ -20,12 +20,13 @@ import math
 from dataclasses import dataclass
 
 from ..apps.base import StreamingApplication
-from ..core.chunking import CheckpointSchedule, Phase, plan_schedule_from_profile
+from ..core.chunking import CheckpointSchedule, Phase
 from ..core.config import DesignConstraints, PAPER_OPERATING_POINT
 from ..core.strategies import MitigationStrategy, RecoveryPolicy
 from ..ecc import DecodeResult, DecodeStatus
 from ..faults.injector import ExposureWindow, FaultInjector
 from ..faults.models import FaultModel
+from ..scenarios.base import Scenario
 from ..soc.energy import (
     CATEGORY_CHECKPOINT,
     CATEGORY_COMPUTE,
@@ -105,6 +106,13 @@ class TaskExecutor:
         Upset bit-pattern model; defaults to the SMU-dominated mixture.
     collect_trace:
         Whether to record a detailed :class:`ExecutionTrace`.
+    scenario:
+        Optional time-varying fault environment.  ``None`` keeps the
+        paper's constant ``constraints.error_rate``; a
+        :class:`~repro.scenarios.ConstantRate` at that same rate is
+        bit-identical to ``None``.  The scenario also reaches the
+        strategy's :meth:`~repro.core.strategies.MitigationStrategy.plan_schedule`
+        hook, so adaptive strategies can shape checkpoint density to it.
     """
 
     def __init__(
@@ -115,6 +123,7 @@ class TaskExecutor:
         seed: int = 0,
         fault_model: FaultModel | None = None,
         collect_trace: bool = False,
+        scenario: Scenario | None = None,
     ) -> None:
         self.app = app
         self.strategy = strategy
@@ -122,6 +131,7 @@ class TaskExecutor:
         self.seed = seed
         self.fault_model = fault_model
         self.collect_trace = collect_trace
+        self.scenario = scenario
 
     # ------------------------------------------------------------------ #
     # Profiling
@@ -151,8 +161,17 @@ class TaskExecutor:
         if profile.total_words == 0:
             raise ValueError("the task produced no output words; nothing to protect")
 
-        chunk_words = self.strategy.chunk_words_for(profile.total_words)
-        schedule = plan_schedule_from_profile(profile.step_words, chunk_words)
+        # Estimated per-step cycles (compute + L1 traffic) give adaptive
+        # strategies a timeline to align chunk sizes with the scenario.
+        est_step_cycles = [
+            cycles + reads + writes + 2 * words
+            for cycles, reads, writes, words in zip(
+                profile.step_cycles, profile.step_reads, profile.step_writes, profile.step_words
+            )
+        ]
+        schedule = self.strategy.plan_schedule(
+            profile.step_words, est_step_cycles, scenario=self.scenario
+        )
 
         state_words = self.app.state_words()
         platform = self.strategy.build_platform(
@@ -163,6 +182,7 @@ class TaskExecutor:
             rate_per_word_cycle=self.constraints.error_rate,
             fault_model=self.fault_model,
             seed=self.seed + 1,
+            scenario=self.scenario,
         )
 
         stats = SimulationStats(
@@ -380,12 +400,20 @@ class _RunState:
         self, phase: Phase, base_address: int, live_words: int, phase_cycles: int
     ) -> None:
         """Expose the phase's live chunk to upsets and apply them to L1."""
-        if live_words == 0 or self.constraints.error_rate == 0:
+        if live_words == 0:
+            return
+        if self.injector.scenario is None and self.constraints.error_rate == 0:
             return
         live_cycles = min(phase_cycles, self.constraints.drain_latency_cycles)
         window = ExposureWindow(live_words=live_words, cycles=live_cycles)
+        # The chunk sits exposed in L1 over the *last* live_cycles before
+        # the drain that is about to happen — sample the scenario rate
+        # over that interval, not the cycles after it.  (For a constant
+        # rate the window position only relabels event cycles; counts,
+        # draws and therefore all statistics are unchanged.)
+        exposure_start = self.platform.clock.cycles - live_cycles
         events = self.injector.sample_events(
-            window, word_bits=self.l1.code.codeword_bits, start_cycle=self.platform.clock.cycles
+            window, word_bits=self.l1.code.codeword_bits, start_cycle=exposure_start
         )
         for event in events:
             address = (base_address + event.word_index) % self.l1.capacity_words
@@ -461,6 +489,7 @@ def run_task(
     seed: int = 0,
     fault_model: FaultModel | None = None,
     collect_trace: bool = False,
+    scenario: Scenario | None = None,
 ) -> ExecutionResult:
     """Convenience wrapper: build a :class:`TaskExecutor` and run it once."""
     executor = TaskExecutor(
@@ -470,5 +499,6 @@ def run_task(
         seed=seed,
         fault_model=fault_model,
         collect_trace=collect_trace,
+        scenario=scenario,
     )
     return executor.run()

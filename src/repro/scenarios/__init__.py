@@ -1,0 +1,47 @@
+"""Time-varying fault environments: scenario profiles, combinators, registry.
+
+A :class:`Scenario` describes the upset rate as a piecewise-constant
+function of the platform cycle; the fault injector samples upsets
+segment-wise (exact Poisson per constant-rate segment), the runtime
+threads the scenario through every exposure window, and the experiment
+API addresses scenarios by registry name so they serialize inside specs
+exactly like applications, strategies and fault models.
+"""
+
+from .base import (
+    BurstScenario,
+    ConcatScenario,
+    ConstantRate,
+    DutyCycleScenario,
+    OverlayScenario,
+    PiecewiseScenario,
+    RampScenario,
+    RateSegment,
+    ScaledScenario,
+    Scenario,
+)
+from .registry import (
+    available_scenarios,
+    build_scenario,
+    register_scenario,
+    scenario_description,
+    scenario_known,
+)
+
+__all__ = [
+    "BurstScenario",
+    "ConcatScenario",
+    "ConstantRate",
+    "DutyCycleScenario",
+    "OverlayScenario",
+    "PiecewiseScenario",
+    "RampScenario",
+    "RateSegment",
+    "ScaledScenario",
+    "Scenario",
+    "available_scenarios",
+    "build_scenario",
+    "register_scenario",
+    "scenario_description",
+    "scenario_known",
+]

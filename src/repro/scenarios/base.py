@@ -1,0 +1,578 @@
+"""Time-varying fault environments ("scenarios").
+
+The paper evaluates a single operating point — a constant 1e-6 upsets per
+word per cycle taken from ERSA — but real intermittent-error environments
+are bursty and time-varying: radiation events, voltage and temperature
+excursions, duty-cycled operation.  A :class:`Scenario` describes the
+upset rate as a **piecewise-constant function of the absolute platform
+cycle**, which is exactly the representation the fault injector needs:
+within each constant-rate segment the upset count is Poisson with
+``rate * live_words * segment_cycles``, so segment-wise sampling is exact
+(the superposition and thinning properties of Poisson processes carry the
+paper's sampling scheme over unchanged).
+
+Scenario families:
+
+* :class:`ConstantRate` — the paper's setting (a single segment);
+* :class:`PiecewiseScenario` — an explicit segment list with a tail rate;
+* :class:`BurstScenario` — a quiescent baseline punctuated by periodic
+  high-rate bursts (solar-flare-like events);
+* :class:`DutyCycleScenario` — the device is exposed only while powered
+  on (duty-cycled operation);
+* :class:`RampScenario` — a linear rate excursion quantized into
+  piecewise-constant steps (temperature/voltage drift).
+
+Scenarios compose through :meth:`Scenario.scale` (attenuate/amplify),
+:meth:`Scenario.concat` (switch environments at a cycle) and
+:meth:`Scenario.overlay` (superpose two environments; exact for Poisson
+processes).  This module is self-contained — the injector, runtime and
+API layers import it, never the other way around.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RateSegment:
+    """One constant-rate span of a scenario: ``cycles`` cycles at ``rate``.
+
+    ``start`` is the absolute platform cycle at which the segment begins;
+    segments returned by :meth:`Scenario.segments` are contiguous, ordered
+    and non-empty.
+    """
+
+    start: int
+    cycles: int
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ValueError("segment cycles must be positive")
+        if self.rate < 0:
+            raise ValueError("segment rate must be non-negative")
+
+    @property
+    def end(self) -> int:
+        """First cycle *after* the segment."""
+        return self.start + self.cycles
+
+
+class Scenario(abc.ABC):
+    """A piecewise-constant upset rate as a function of the platform cycle."""
+
+    @abc.abstractmethod
+    def rate_at(self, cycle: int) -> float:
+        """Upset rate per word per cycle in effect at ``cycle``."""
+
+    @abc.abstractmethod
+    def segments(self, start_cycle: int, cycles: int) -> list[RateSegment]:
+        """Constant-rate segments covering ``[start_cycle, start_cycle + cycles)``.
+
+        The segments are contiguous, in increasing cycle order, and their
+        cycle counts sum to ``cycles``.  An empty window yields no
+        segments.
+        """
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Short human-readable summary used in reports and CLI listings."""
+
+    # ------------------------------------------------------------------ #
+    def mean_rate(self, start_cycle: int, cycles: int) -> float:
+        """Cycle-weighted average rate over a window."""
+        if cycles <= 0:
+            return 0.0
+        total = sum(seg.rate * seg.cycles for seg in self.segments(start_cycle, cycles))
+        return total / cycles
+
+    def peak_rate(self, start_cycle: int, cycles: int) -> float:
+        """Largest segment rate within a window (0 for an empty window)."""
+        return max(
+            (seg.rate for seg in self.segments(start_cycle, cycles)), default=0.0
+        )
+
+    @property
+    def is_constant(self) -> bool:
+        """Whether the scenario is a single constant rate for all time."""
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Combinators
+    # ------------------------------------------------------------------ #
+    def scale(self, factor: float) -> "Scenario":
+        """Multiply every rate by ``factor`` (attenuation / amplification)."""
+        return ScaledScenario(self, factor)
+
+    def concat(self, other: "Scenario", switch_cycle: int) -> "Scenario":
+        """Follow this scenario until ``switch_cycle``, then ``other``.
+
+        ``other`` is shifted so that its own cycle 0 aligns with
+        ``switch_cycle`` (environments are described in local time and
+        spliced together).
+        """
+        return ConcatScenario(self, other, switch_cycle)
+
+    def overlay(self, other: "Scenario") -> "Scenario":
+        """Superpose two environments: rates add.
+
+        Exact for Poisson upset processes (superposition property), which
+        is how independent physical sources — e.g. a constant background
+        plus sporadic bursts — combine.
+        """
+        return OverlayScenario(self, other)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.describe()})"
+
+
+# ---------------------------------------------------------------------- #
+# Primitive scenarios
+# ---------------------------------------------------------------------- #
+class ConstantRate(Scenario):
+    """The paper's environment: one fixed rate for all time."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self.rate = float(rate)
+
+    def rate_at(self, cycle: int) -> float:
+        return self.rate
+
+    def segments(self, start_cycle: int, cycles: int) -> list[RateSegment]:
+        if cycles <= 0:
+            return []
+        return [RateSegment(start=start_cycle, cycles=cycles, rate=self.rate)]
+
+    @property
+    def is_constant(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return f"constant {self.rate:.2e}/word/cycle"
+
+
+class PiecewiseScenario(Scenario):
+    """An explicit list of ``(cycles, rate)`` spans starting at cycle 0.
+
+    Parameters
+    ----------
+    pieces:
+        Sequence of ``(cycles, rate)`` pairs describing consecutive spans.
+    tail_rate:
+        Rate in effect after the last span (defaults to the last span's
+        rate, i.e. the environment settles).  Cycles before 0 use the
+        first span's rate.
+    """
+
+    def __init__(
+        self,
+        pieces: list[tuple[int, float]],
+        tail_rate: float | None = None,
+    ) -> None:
+        if not pieces:
+            raise ValueError("a piecewise scenario needs at least one piece")
+        normalized: list[tuple[int, float]] = []
+        for cycles, rate in pieces:
+            cycles = int(cycles)
+            rate = float(rate)
+            if cycles <= 0:
+                raise ValueError("piece cycles must be positive")
+            if rate < 0:
+                raise ValueError("piece rates must be non-negative")
+            normalized.append((cycles, rate))
+        self.pieces = tuple(normalized)
+        self.tail_rate = float(tail_rate) if tail_rate is not None else normalized[-1][1]
+        if self.tail_rate < 0:
+            raise ValueError("tail_rate must be non-negative")
+
+    @property
+    def span_cycles(self) -> int:
+        """Total cycles covered by the explicit pieces."""
+        return sum(cycles for cycles, _ in self.pieces)
+
+    def rate_at(self, cycle: int) -> float:
+        if cycle < 0:
+            return self.pieces[0][1]
+        offset = 0
+        for cycles, rate in self.pieces:
+            if cycle < offset + cycles:
+                return rate
+            offset += cycles
+        return self.tail_rate
+
+    def segments(self, start_cycle: int, cycles: int) -> list[RateSegment]:
+        if cycles <= 0:
+            return []
+        end = start_cycle + cycles
+        out: list[RateSegment] = []
+        cursor = start_cycle
+        # Span before cycle 0 uses the first piece's rate.
+        if cursor < 0:
+            head = min(0, end) - cursor
+            out.append(RateSegment(start=cursor, cycles=head, rate=self.pieces[0][1]))
+            cursor += head
+        offset = 0
+        for piece_cycles, rate in self.pieces:
+            piece_end = offset + piece_cycles
+            if cursor >= end:
+                break
+            if piece_end > cursor and offset < end:
+                seg_start = max(cursor, offset)
+                seg_end = min(end, piece_end)
+                if seg_end > seg_start:
+                    out.append(
+                        RateSegment(start=seg_start, cycles=seg_end - seg_start, rate=rate)
+                    )
+                    cursor = seg_end
+            offset = piece_end
+        if cursor < end:
+            out.append(RateSegment(start=cursor, cycles=end - cursor, rate=self.tail_rate))
+        return _merge_adjacent(out)
+
+    def describe(self) -> str:
+        return (
+            f"piecewise {len(self.pieces)} pieces over {self.span_cycles} cycles, "
+            f"tail {self.tail_rate:.2e}"
+        )
+
+
+class _PeriodicTwoLevel(Scenario):
+    """Shared machinery of periodic two-level scenarios (burst, duty-cycle).
+
+    The period starts with ``high_cycles`` cycles at ``high_rate`` and
+    finishes at ``low_rate``; ``phase`` shifts where cycle 0 falls inside
+    the period.
+    """
+
+    def __init__(
+        self,
+        high_rate: float,
+        low_rate: float,
+        period: int,
+        high_cycles: int,
+        phase: int = 0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 < high_cycles <= period:
+            raise ValueError("high_cycles must be in (0, period]")
+        if high_rate < 0 or low_rate < 0:
+            raise ValueError("rates must be non-negative")
+        self.high_rate = float(high_rate)
+        self.low_rate = float(low_rate)
+        self.period = int(period)
+        self.high_cycles = int(high_cycles)
+        self.phase = int(phase) % self.period
+
+    def _position(self, cycle: int) -> int:
+        return (cycle + self.phase) % self.period
+
+    def rate_at(self, cycle: int) -> float:
+        return self.high_rate if self._position(cycle) < self.high_cycles else self.low_rate
+
+    def segments(self, start_cycle: int, cycles: int) -> list[RateSegment]:
+        if cycles <= 0:
+            return []
+        end = start_cycle + cycles
+        out: list[RateSegment] = []
+        cursor = start_cycle
+        while cursor < end:
+            position = self._position(cursor)
+            if position < self.high_cycles:
+                boundary = cursor + (self.high_cycles - position)
+                rate = self.high_rate
+            else:
+                boundary = cursor + (self.period - position)
+                rate = self.low_rate
+            seg_end = min(boundary, end)
+            out.append(RateSegment(start=cursor, cycles=seg_end - cursor, rate=rate))
+            cursor = seg_end
+        return _merge_adjacent(out)
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        return (
+            f"{self.high_rate:.2e} for {self.high_cycles}/{self.period} cycles, "
+            f"else {self.low_rate:.2e}"
+        )
+
+
+class BurstScenario(_PeriodicTwoLevel):
+    """A quiescent baseline punctuated by periodic high-rate bursts.
+
+    Parameters
+    ----------
+    quiescent_rate:
+        Background upset rate between bursts.
+    burst_rate:
+        Elevated rate during a burst (must be >= the quiescent rate).
+    period:
+        Cycles from the start of one burst to the start of the next.
+    burst_cycles:
+        Duration of each burst.
+    phase:
+        Offset of cycle 0 inside the period (0 = a burst begins at cycle 0).
+    """
+
+    def __init__(
+        self,
+        quiescent_rate: float,
+        burst_rate: float,
+        period: int,
+        burst_cycles: int,
+        phase: int = 0,
+    ) -> None:
+        if burst_rate < quiescent_rate:
+            raise ValueError("burst_rate must be at least the quiescent rate")
+        super().__init__(
+            high_rate=burst_rate,
+            low_rate=quiescent_rate,
+            period=period,
+            high_cycles=burst_cycles,
+            phase=phase,
+        )
+
+    @property
+    def quiescent_rate(self) -> float:
+        return self.low_rate
+
+    @property
+    def burst_rate(self) -> float:
+        return self.high_rate
+
+    @property
+    def burst_cycles(self) -> int:
+        return self.high_cycles
+
+    def describe(self) -> str:
+        duty = self.high_cycles / self.period
+        return (
+            f"bursts {self.high_rate:.2e} ({duty:.0%} of a {self.period}-cycle period) "
+            f"over {self.low_rate:.2e} baseline"
+        )
+
+
+class DutyCycleScenario(_PeriodicTwoLevel):
+    """Exposure only while the device is powered on (duty-cycled operation).
+
+    Parameters
+    ----------
+    on_rate:
+        Upset rate while powered on.
+    period:
+        Full on+off cycle length.
+    on_cycles:
+        Cycles powered on at the start of each period.
+    off_rate:
+        Residual rate while off (0 = state is not held / not vulnerable).
+    phase:
+        Offset of cycle 0 inside the period.
+    """
+
+    def __init__(
+        self,
+        on_rate: float,
+        period: int,
+        on_cycles: int,
+        off_rate: float = 0.0,
+        phase: int = 0,
+    ) -> None:
+        super().__init__(
+            high_rate=on_rate,
+            low_rate=off_rate,
+            period=period,
+            high_cycles=on_cycles,
+            phase=phase,
+        )
+
+    @property
+    def on_rate(self) -> float:
+        return self.high_rate
+
+    @property
+    def off_rate(self) -> float:
+        return self.low_rate
+
+    @property
+    def on_cycles(self) -> int:
+        return self.high_cycles
+
+    def describe(self) -> str:
+        duty = self.high_cycles / self.period
+        return (
+            f"duty-cycled {self.high_rate:.2e} at {duty:.0%} duty "
+            f"({self.period}-cycle period)"
+        )
+
+
+class RampScenario(Scenario):
+    """A linear rate excursion quantized into piecewise-constant steps.
+
+    The rate moves linearly from ``start_rate`` at cycle 0 to ``end_rate``
+    at cycle ``duration`` and holds ``end_rate`` afterwards.  The ramp is
+    quantized into ``steps`` equal-width constant segments (evaluated at
+    each segment's midpoint) so that segment-wise Poisson sampling remains
+    exact for the quantized profile.
+    """
+
+    def __init__(
+        self,
+        start_rate: float,
+        end_rate: float,
+        duration: int,
+        steps: int = 16,
+    ) -> None:
+        if start_rate < 0 or end_rate < 0:
+            raise ValueError("rates must be non-negative")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        self.start_rate = float(start_rate)
+        self.end_rate = float(end_rate)
+        self.duration = int(duration)
+        self.steps = min(int(steps), self.duration)
+        pieces = []
+        for index in range(self.steps):
+            first = (index * self.duration) // self.steps
+            last = ((index + 1) * self.duration) // self.steps
+            midpoint = (first + last) / 2.0
+            fraction = midpoint / self.duration
+            rate = self.start_rate + (self.end_rate - self.start_rate) * fraction
+            pieces.append((last - first, rate))
+        self._piecewise = PiecewiseScenario(pieces, tail_rate=self.end_rate)
+
+    def rate_at(self, cycle: int) -> float:
+        return self._piecewise.rate_at(cycle)
+
+    def segments(self, start_cycle: int, cycles: int) -> list[RateSegment]:
+        return self._piecewise.segments(start_cycle, cycles)
+
+    def describe(self) -> str:
+        return (
+            f"ramp {self.start_rate:.2e} -> {self.end_rate:.2e} "
+            f"over {self.duration} cycles ({self.steps} steps)"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Combinators
+# ---------------------------------------------------------------------- #
+class ScaledScenario(Scenario):
+    """Every rate of the wrapped scenario multiplied by a constant factor."""
+
+    def __init__(self, inner: Scenario, factor: float) -> None:
+        if factor < 0 or not math.isfinite(factor):
+            raise ValueError("scale factor must be finite and non-negative")
+        self.inner = inner
+        self.factor = float(factor)
+
+    def rate_at(self, cycle: int) -> float:
+        return self.inner.rate_at(cycle) * self.factor
+
+    def segments(self, start_cycle: int, cycles: int) -> list[RateSegment]:
+        return _merge_adjacent(
+            [
+                RateSegment(start=seg.start, cycles=seg.cycles, rate=seg.rate * self.factor)
+                for seg in self.inner.segments(start_cycle, cycles)
+            ]
+        )
+
+    @property
+    def is_constant(self) -> bool:
+        return self.inner.is_constant
+
+    def describe(self) -> str:
+        return f"{self.factor:g} x ({self.inner.describe()})"
+
+
+class ConcatScenario(Scenario):
+    """``first`` until ``switch_cycle``, then ``second`` (shifted to 0)."""
+
+    def __init__(self, first: Scenario, second: Scenario, switch_cycle: int) -> None:
+        self.first = first
+        self.second = second
+        self.switch_cycle = int(switch_cycle)
+
+    def rate_at(self, cycle: int) -> float:
+        if cycle < self.switch_cycle:
+            return self.first.rate_at(cycle)
+        return self.second.rate_at(cycle - self.switch_cycle)
+
+    def segments(self, start_cycle: int, cycles: int) -> list[RateSegment]:
+        if cycles <= 0:
+            return []
+        end = start_cycle + cycles
+        out: list[RateSegment] = []
+        if start_cycle < self.switch_cycle:
+            head = min(end, self.switch_cycle) - start_cycle
+            out.extend(self.first.segments(start_cycle, head))
+        if end > self.switch_cycle:
+            tail_start = max(start_cycle, self.switch_cycle)
+            shifted = self.second.segments(tail_start - self.switch_cycle, end - tail_start)
+            out.extend(
+                RateSegment(
+                    start=seg.start + self.switch_cycle, cycles=seg.cycles, rate=seg.rate
+                )
+                for seg in shifted
+            )
+        return _merge_adjacent(out)
+
+    def describe(self) -> str:
+        return (
+            f"({self.first.describe()}) then ({self.second.describe()}) "
+            f"at cycle {self.switch_cycle}"
+        )
+
+
+class OverlayScenario(Scenario):
+    """Superposition of two environments: rates add (exact for Poisson)."""
+
+    def __init__(self, first: Scenario, second: Scenario) -> None:
+        self.first = first
+        self.second = second
+
+    def rate_at(self, cycle: int) -> float:
+        return self.first.rate_at(cycle) + self.second.rate_at(cycle)
+
+    def segments(self, start_cycle: int, cycles: int) -> list[RateSegment]:
+        if cycles <= 0:
+            return []
+        boundaries: set[int] = set()
+        for scenario in (self.first, self.second):
+            for seg in scenario.segments(start_cycle, cycles):
+                boundaries.add(seg.start)
+                boundaries.add(seg.end)
+        boundaries.add(start_cycle)
+        boundaries.add(start_cycle + cycles)
+        points = sorted(b for b in boundaries if start_cycle <= b <= start_cycle + cycles)
+        out = [
+            RateSegment(start=a, cycles=b - a, rate=self.rate_at(a))
+            for a, b in zip(points, points[1:])
+            if b > a
+        ]
+        return _merge_adjacent(out)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.first.is_constant and self.second.is_constant
+
+    def describe(self) -> str:
+        return f"({self.first.describe()}) + ({self.second.describe()})"
+
+
+def _merge_adjacent(segments: list[RateSegment]) -> list[RateSegment]:
+    """Coalesce contiguous segments that share a rate (fewer Poisson draws)."""
+    merged: list[RateSegment] = []
+    for seg in segments:
+        if merged and merged[-1].rate == seg.rate and merged[-1].end == seg.start:
+            merged[-1] = RateSegment(
+                start=merged[-1].start, cycles=merged[-1].cycles + seg.cycles, rate=seg.rate
+            )
+        else:
+            merged.append(seg)
+    return merged

@@ -1,0 +1,103 @@
+"""Scenario integration with the spec / session / executor API layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.executors import ParallelExecutor, SerialExecutor, execute_spec
+from repro.api.session import Session
+from repro.api.spec import CampaignSpec, ExperimentSpec, SweepSpec
+from repro.scenarios import ConstantRate
+
+
+class TestSpecScenarioField:
+    def test_default_is_paper_constant(self):
+        spec = ExperimentSpec(app="adpcm-encode")
+        assert spec.scenario == "paper-constant"
+        assert spec.scenario_name == "paper-constant"
+        assert spec.scenario_params == {}
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="known scenarios"):
+            ExperimentSpec(app="adpcm-encode", scenario="coronal-mass-ejection")
+
+    def test_round_trip_preserves_scenario(self):
+        spec = ExperimentSpec(
+            app="adpcm-encode",
+            strategy="hybrid-adaptive",
+            scenario="burst",
+            scenario_params={"burst_factor": 100.0},
+        )
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.scenario == "burst"
+        assert restored.scenario_params == {"burst_factor": 100.0}
+
+    def test_legacy_dict_without_scenario_defaults(self):
+        """Pre-scenario serialized specs round-trip unchanged."""
+        payload = ExperimentSpec(app="adpcm-encode").to_dict()
+        del payload["scenario"]
+        del payload["scenario_params"]
+        restored = ExperimentSpec.from_dict(payload)
+        assert restored.scenario == "paper-constant"
+
+    def test_live_scenario_pickles_but_refuses_json(self):
+        spec = ExperimentSpec(app="adpcm-encode", scenario=ConstantRate(2e-6))
+        assert spec.scenario_name.startswith("constant")
+        with pytest.raises(ValueError, match="live scenario"):
+            spec.to_dict()
+
+    def test_with_overrides_reaches_scenario_params(self):
+        spec = ExperimentSpec(app="adpcm-encode", scenario="burst")
+        derived = spec.with_overrides(**{"scenario_params.burst_factor": 10.0})
+        assert derived.scenario_params == {"burst_factor": 10.0}
+        assert spec.scenario_params == {}
+        switched = spec.with_overrides(scenario="duty-cycle")
+        assert switched.scenario == "duty-cycle"
+
+
+class TestScenarioExecution:
+    def test_paper_constant_bit_identical_to_none(self, small_adpcm_encode):
+        """Acceptance: the default scenario reproduces the seed numbers."""
+        legacy = execute_spec(
+            ExperimentSpec(app=small_adpcm_encode, strategy="hybrid-optimal", scenario=None)
+        )
+        scenarioed = execute_spec(
+            ExperimentSpec(
+                app=small_adpcm_encode, strategy="hybrid-optimal", scenario="paper-constant"
+            )
+        )
+        a = {k: v for k, v in legacy.record.items() if k != "scenario"}
+        b = {k: v for k, v in scenarioed.record.items() if k != "scenario"}
+        assert a == b
+
+    def test_record_carries_scenario_name(self, small_adpcm_encode):
+        outcome = execute_spec(ExperimentSpec(app=small_adpcm_encode, scenario="burst"))
+        assert outcome.record["scenario"] == "burst"
+
+    def test_burst_campaign_serial_parallel_identical(self, small_adpcm_encode):
+        """Acceptance: a burst campaign runs end to end with jobs > 1."""
+        spec = CampaignSpec(
+            base=ExperimentSpec(
+                app=small_adpcm_encode,
+                strategy="hybrid-adaptive",
+                scenario="burst",
+                scenario_params={"period": 5_000, "burst_cycles": 2_500},
+            ),
+            seeds=(0, 1, 2, 3),
+        )
+        session = Session()
+        serial = session.campaign(spec, executor=SerialExecutor())
+        parallel = session.campaign(spec, executor=ParallelExecutor(jobs=4))
+        assert serial == parallel
+        assert serial.runs == 4
+        assert serial["energy_nj"].mean > 0
+
+    def test_scenario_sweep_axis(self, small_adpcm_encode):
+        sweep = SweepSpec(
+            base=ExperimentSpec(app=small_adpcm_encode, strategy="hybrid-optimal"),
+            parameters={"scenario": ("paper-constant", "burst")},
+        )
+        result = Session().sweep(sweep)
+        scenarios = [record["scenario"] for record in result.records]
+        assert scenarios == ["paper-constant", "burst"]

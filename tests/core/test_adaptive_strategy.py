@@ -1,0 +1,111 @@
+"""Tests for the scenario-adaptive hybrid mitigation strategy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PAPER_OPERATING_POINT
+from repro.core.optimizer import optimize_chunk_size
+from repro.core.strategies import AdaptiveHybridStrategy
+from repro.scenarios import BurstScenario, ConstantRate, PiecewiseScenario
+
+
+@pytest.fixture
+def adaptive(small_adpcm_encode):
+    return AdaptiveHybridStrategy(small_adpcm_encode)
+
+
+class TestConstruction:
+    def test_nominal_chunk_matches_static_optimizer(self, small_adpcm_encode, adaptive):
+        optimum = optimize_chunk_size(small_adpcm_encode, PAPER_OPERATING_POINT)
+        assert adaptive.chunk_words == optimum.chunk_words
+        assert adaptive.name == "hybrid-adaptive"
+        assert adaptive.uses_checkpoints
+
+    def test_extra_buffer_defaults_to_state_words(self, small_adpcm_encode, adaptive):
+        assert adaptive.extra_buffer_words == small_adpcm_encode.state_words()
+
+    def test_nominal_rate_is_pre_cached(self, adaptive):
+        """Construction seeds the cache, so a ConstantRate(error_rate)
+        scenario plans exactly the static chunk without re-optimizing."""
+        nominal = adaptive.constraints.error_rate
+        key = adaptive._quantize_rate(nominal)
+        assert adaptive._chunk_cache == {key: adaptive.chunk_words}
+        assert adaptive.chunk_words_for_rate(nominal) == adaptive.chunk_words
+        assert adaptive._chunk_cache == {key: adaptive.chunk_words}
+
+
+class TestChunkForRate:
+    def test_higher_rates_shrink_the_chunk(self, adaptive):
+        quiet = adaptive.chunk_words_for_rate(1e-8)
+        nominal = adaptive.chunk_words_for_rate(1e-6)
+        hostile = adaptive.chunk_words_for_rate(5e-5)
+        assert quiet >= nominal >= hostile
+        assert quiet > hostile
+
+    def test_infeasible_rate_falls_back_to_unit_chunk(self, adaptive):
+        assert adaptive.chunk_words_for_rate(0.5) == 1
+
+    def test_rate_quantization_caches(self, adaptive):
+        a = adaptive.chunk_words_for_rate(1.04e-6)
+        b = adaptive.chunk_words_for_rate(0.96e-6)
+        assert a == adaptive.chunk_words_for_rate(1.04e-6)
+        assert isinstance(a, int) and isinstance(b, int)
+        # Both rates quantize to 1.0e-6, so only one optimizer run happened.
+        assert set(adaptive._chunk_cache) >= {1e-06}
+
+
+class TestPlanSchedule:
+    def test_constant_scenario_plans_uniform_chunks(self, adaptive):
+        step_words = [4] * 50
+        step_cycles = [100] * 50
+        schedule = adaptive.plan_schedule(
+            step_words, step_cycles, scenario=ConstantRate(1e-6)
+        )
+        assert schedule.total_output_words == sum(step_words)
+        expected = adaptive.chunk_words_for_rate(1e-6)
+        realized = {phase.output_words for phase in schedule.phases[:-1]}
+        assert all(words >= expected for words in realized)
+
+    def test_burst_scenario_varies_phase_sizes(self, adaptive):
+        # 100 steps of 100 cycles each; bursts cover the second half of
+        # every 10_000-cycle period.
+        step_words = [4] * 100
+        step_cycles = [100] * 100
+        scenario = BurstScenario(
+            1e-8, 5e-5, period=10_000, burst_cycles=5_000, phase=5_000
+        )
+        schedule = adaptive.plan_schedule(step_words, step_cycles, scenario=scenario)
+        sizes = [phase.output_words for phase in schedule.phases]
+        assert len(set(sizes[:-1])) > 1, "phase sizes must track the rate"
+        assert schedule.total_output_words == sum(step_words)
+
+    def test_hostile_tail_gets_denser_checkpoints(self, adaptive):
+        step_words = [4] * 60
+        step_cycles = [100] * 60
+        scenario = PiecewiseScenario([(3_000, 1e-8)], tail_rate=5e-5)
+        schedule = adaptive.plan_schedule(step_words, step_cycles, scenario=scenario)
+        early = schedule.phases[0].output_words
+        late = schedule.phases[-2].output_words if len(schedule.phases) > 1 else early
+        assert late <= early
+
+    def test_no_scenario_falls_back_to_static_plan(self, adaptive):
+        step_words = [4] * 50
+        static = adaptive.plan_schedule(step_words)
+        assert static.chunk_words == adaptive.chunk_words
+        assert [p.output_words for p in static.phases] == [
+            p.output_words
+            for p in adaptive.plan_schedule(step_words, None, scenario=None).phases
+        ]
+
+
+class TestPlanValidation:
+    def test_mismatched_step_cycles_rejected(self, adaptive):
+        """Regression: a short step_cycles list must raise, not silently
+        truncate the plan (which would under-size the L1' buffer)."""
+        from repro.core.chunking import plan_variable_schedule
+
+        with pytest.raises(ValueError, match="entries for"):
+            plan_variable_schedule([5, 5, 5], [1, 1], lambda clock: 10, 10)
+        with pytest.raises(ValueError, match="entries for"):
+            adaptive.plan_schedule([4, 4, 4], [100, 100], scenario=ConstantRate(1e-6))

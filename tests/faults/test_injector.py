@@ -76,3 +76,136 @@ class TestFaultInjector:
         window = ExposureWindow(live_words=64, cycles=5_000)
         produced = len(injector.sample_events(window))
         assert injector.events_generated == produced
+
+
+class TestEmptyWindowFastPath:
+    def test_bernoulli_zero_live_words_returns_immediately(self):
+        """Regression: live_words == 0 with a nonzero rate must be a no-op."""
+        injector = FaultInjector(rate_per_word_cycle=0.5, seed=0)
+        window = ExposureWindow(live_words=0, cycles=100_000)
+        assert injector.sample_events_bernoulli(window) == []
+        assert injector.events_generated == 0
+        # The fast path must leave the random stream untouched.
+        probe = ExposureWindow(live_words=8, cycles=8)
+        fresh = FaultInjector(rate_per_word_cycle=0.5, seed=0)
+        assert [
+            (e.word_index, e.bit_positions, e.cycle)
+            for e in injector.sample_events_bernoulli(probe)
+        ] == [
+            (e.word_index, e.bit_positions, e.cycle)
+            for e in fresh.sample_events_bernoulli(probe)
+        ]
+
+    def test_bernoulli_zero_cycles_returns_immediately(self):
+        injector = FaultInjector(rate_per_word_cycle=0.5, seed=0)
+        assert injector.sample_events_bernoulli(ExposureWindow(live_words=64, cycles=0)) == []
+
+    def test_poisson_zero_live_words_returns_immediately(self):
+        injector = FaultInjector(rate_per_word_cycle=0.5, seed=0)
+        assert injector.sample_events(ExposureWindow(live_words=0, cycles=100_000)) == []
+        assert injector.events_generated == 0
+
+
+class TestScenarioSampling:
+    """Segment-wise (scenario) sampling of the injector."""
+
+    def _event_tuples(self, events):
+        return [(e.word_index, e.bit_positions, e.cycle) for e in events]
+
+    def test_constant_scenario_bit_identical_to_fixed_rate(self):
+        from repro.scenarios import ConstantRate
+
+        window = ExposureWindow(live_words=64, cycles=50_000)
+        fixed = FaultInjector(1e-4, seed=7)
+        scenario = FaultInjector(1e-4, seed=7, scenario=ConstantRate(1e-4))
+        assert self._event_tuples(
+            fixed.sample_events(window, start_cycle=123)
+        ) == self._event_tuples(scenario.sample_events(window, start_cycle=123))
+
+    def test_single_piece_piecewise_bit_identical_to_fixed_rate(self):
+        from repro.scenarios import PiecewiseScenario
+
+        window = ExposureWindow(live_words=64, cycles=50_000)
+        piecewise = PiecewiseScenario([(10**9, 1e-4)])
+        fixed = FaultInjector(1e-4, seed=7)
+        scenario = FaultInjector(1e-4, seed=7, scenario=piecewise)
+        assert self._event_tuples(
+            fixed.sample_events(window, start_cycle=0)
+        ) == self._event_tuples(scenario.sample_events(window, start_cycle=0))
+
+    def test_burst_events_concentrate_in_bursts(self):
+        from repro.scenarios import BurstScenario
+
+        scenario = BurstScenario(0.0, 1e-3, period=1000, burst_cycles=100)
+        injector = FaultInjector(seed=5, scenario=scenario)
+        window = ExposureWindow(live_words=32, cycles=10_000)
+        events = injector.sample_events(window, start_cycle=0)
+        assert len(events) > 0
+        assert all(event.cycle % 1000 < 100 for event in events)
+        cycles = [event.cycle for event in events]
+        assert cycles == sorted(cycles)
+
+    def test_expected_upsets_integrates_segments(self):
+        from repro.scenarios import BurstScenario
+
+        scenario = BurstScenario(1e-7, 5e-5, period=100, burst_cycles=20)
+        injector = FaultInjector(seed=0, scenario=scenario)
+        window = ExposureWindow(live_words=10, cycles=100)
+        expected = 10 * (20 * 5e-5 + 80 * 1e-7)
+        assert injector.expected_upsets(window, start_cycle=0) == pytest.approx(expected)
+
+    def test_scenario_rate_at_window_start_matters(self):
+        from repro.scenarios import PiecewiseScenario
+
+        scenario = PiecewiseScenario([(1000, 0.0)], tail_rate=1e-3)
+        injector = FaultInjector(seed=3, scenario=scenario)
+        quiet = ExposureWindow(live_words=32, cycles=1000)
+        assert injector.sample_events(quiet, start_cycle=0) == []
+        noisy = injector.sample_events(quiet, start_cycle=1000)
+        assert len(noisy) > 0
+
+    def test_bernoulli_scenario_uses_per_cycle_rate(self):
+        from repro.scenarios import PiecewiseScenario
+
+        scenario = PiecewiseScenario([(50, 0.0), (50, 0.5)])
+        injector = FaultInjector(seed=9, scenario=scenario)
+        events = injector.sample_events_bernoulli(ExposureWindow(live_words=4, cycles=100))
+        assert len(events) > 0
+        assert all(event.cycle >= 50 for event in events)
+
+
+class TestBernoulliPoissonExpectation:
+    """Property test: both samplers share the expectation rate * word-cycles."""
+
+    def test_hypothesis_expectation_agreement(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=12, deadline=None, derandomize=True)
+        @given(
+            rate=st.floats(min_value=1e-3, max_value=0.2),
+            live_words=st.integers(min_value=1, max_value=8),
+            cycles=st.integers(min_value=1, max_value=8),
+            seed=st.integers(min_value=0, max_value=2**16),
+        )
+        def check(rate, live_words, cycles, seed):
+            window = ExposureWindow(live_words=live_words, cycles=cycles)
+            trials = 400
+            lam = rate * window.word_cycles
+            poisson = FaultInjector(rate, seed=seed)
+            bernoulli = FaultInjector(rate, seed=seed + 1)
+            poisson_mean = (
+                sum(len(poisson.sample_events(window)) for _ in range(trials)) / trials
+            )
+            bernoulli_mean = (
+                sum(len(bernoulli.sample_events_bernoulli(window)) for _ in range(trials))
+                / trials
+            )
+            # Both means estimate lam; allow 6 standard errors of slack
+            # (Poisson variance lam dominates the Bernoulli variance).
+            tolerance = 6.0 * (lam / trials) ** 0.5 + 1e-9
+            assert abs(poisson_mean - lam) <= tolerance
+            assert abs(bernoulli_mean - lam) <= tolerance
+            assert abs(poisson_mean - bernoulli_mean) <= 2.0 * tolerance
+
+        check()

@@ -1,0 +1,136 @@
+"""Scenario threading through the behavioural executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategies import AdaptiveHybridStrategy, HybridStrategy
+from repro.runtime import run_task
+from repro.scenarios import BurstScenario, ConstantRate
+
+
+def _stats_tuple(result):
+    stats = result.stats
+    return (
+        stats.total_cycles,
+        stats.total_energy_pj,
+        stats.upsets_injected,
+        stats.errors_detected,
+        stats.rollbacks,
+        stats.checkpoints_committed,
+        stats.silent_corruptions,
+    )
+
+
+class TestConstantScenarioBitIdentity:
+    def test_constant_scenario_matches_no_scenario(self, small_adpcm_encode):
+        """ConstantRate at the operating point == the legacy fixed-rate path."""
+        strategy = HybridStrategy(chunk_words=16)
+        baseline = run_task(small_adpcm_encode, strategy, seed=0)
+        strategy = HybridStrategy(chunk_words=16)
+        scenarioed = run_task(
+            small_adpcm_encode,
+            strategy,
+            seed=0,
+            scenario=ConstantRate(strategy.constraints.error_rate),
+        )
+        assert _stats_tuple(baseline) == _stats_tuple(scenarioed)
+        assert baseline.output == scenarioed.output
+
+    def test_constant_scenario_matches_under_stress(
+        self, small_adpcm_encode, stress_constraints
+    ):
+        """Bit-identity must hold when upsets actually strike."""
+        baseline = run_task(
+            small_adpcm_encode,
+            HybridStrategy(chunk_words=16, constraints=stress_constraints),
+            constraints=stress_constraints,
+            seed=3,
+        )
+        scenarioed = run_task(
+            small_adpcm_encode,
+            HybridStrategy(chunk_words=16, constraints=stress_constraints),
+            constraints=stress_constraints,
+            seed=3,
+            scenario=ConstantRate(stress_constraints.error_rate),
+        )
+        assert baseline.stats.upsets_injected > 0
+        assert _stats_tuple(baseline) == _stats_tuple(scenarioed)
+
+
+class TestBurstExecution:
+    def test_burst_scenario_injects_and_recovers(self, small_adpcm_encode):
+        # 50 % duty at a period short enough that the task's few exposure
+        # windows are guaranteed to overlap bursts.
+        scenario = BurstScenario(1e-5, 3e-4, period=5_000, burst_cycles=2_500)
+        result = run_task(
+            small_adpcm_encode,
+            HybridStrategy(chunk_words=16),
+            seed=0,
+            scenario=scenario,
+        )
+        assert result.stats.upsets_injected > 0
+        assert result.output_matches_golden
+        assert result.stats.errors_detected == result.stats.rollbacks
+
+    def test_zero_rate_scenario_runs_clean(self, small_adpcm_encode):
+        result = run_task(
+            small_adpcm_encode,
+            HybridStrategy(chunk_words=16),
+            seed=1,
+            scenario=ConstantRate(0.0),
+        )
+        assert result.stats.upsets_injected == 0
+        assert result.output_matches_golden
+
+
+class TestAdaptiveExecution:
+    def test_adaptive_varies_checkpoint_density(self, small_adpcm_encode):
+        """Adaptive plans denser checkpoints under a hostile environment."""
+        quiet = ConstantRate(1e-8)
+        hostile = ConstantRate(5e-5)
+        strategy = AdaptiveHybridStrategy(small_adpcm_encode)
+        quiet_result = run_task(small_adpcm_encode, strategy, seed=0, scenario=quiet)
+        strategy = AdaptiveHybridStrategy(small_adpcm_encode)
+        hostile_result = run_task(small_adpcm_encode, strategy, seed=0, scenario=hostile)
+        assert (
+            hostile_result.stats.checkpoints_committed
+            > quiet_result.stats.checkpoints_committed
+        )
+
+    def test_adaptive_without_scenario_matches_static_optimal(self, small_adpcm_encode):
+        """With no scenario, the adaptive plan is the paper's static plan."""
+        adaptive = AdaptiveHybridStrategy(small_adpcm_encode)
+        static = HybridStrategy(
+            adaptive.chunk_words,
+            extra_buffer_words=small_adpcm_encode.state_words(),
+        )
+        a = run_task(small_adpcm_encode, adaptive, seed=2)
+        b = run_task(small_adpcm_encode, static, seed=2)
+        assert _stats_tuple(a) == _stats_tuple(b)
+
+    def test_adaptive_mitigates_bursts(self, small_adpcm_encode):
+        scenario = BurstScenario(1e-5, 3e-4, period=5_000, burst_cycles=2_500)
+        result = run_task(
+            small_adpcm_encode,
+            AdaptiveHybridStrategy(small_adpcm_encode),
+            seed=4,
+            scenario=scenario,
+        )
+        assert result.stats.upsets_injected > 0
+        assert result.output_matches_golden
+        assert result.stats.silent_corruptions == 0
+
+
+class TestScheduleHook:
+    def test_default_plan_matches_chunk_words_for(self, small_adpcm_encode):
+        strategy = HybridStrategy(chunk_words=16)
+        step_words = [3, 3, 3, 3, 3, 3]
+        schedule = strategy.plan_schedule(step_words)
+        assert schedule.chunk_words == 16
+        assert schedule.total_output_words == sum(step_words)
+
+    def test_adaptive_plan_requires_positive_words(self, small_adpcm_encode):
+        strategy = AdaptiveHybridStrategy(small_adpcm_encode)
+        with pytest.raises(ValueError):
+            strategy.plan_schedule([-1, 2], [10, 10], scenario=ConstantRate(1e-6))

@@ -1,0 +1,227 @@
+"""Tests for the time-varying fault environment (scenario) subsystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    BurstScenario,
+    ConstantRate,
+    DutyCycleScenario,
+    PiecewiseScenario,
+    RampScenario,
+    RateSegment,
+    available_scenarios,
+    build_scenario,
+    register_scenario,
+    scenario_description,
+    scenario_known,
+)
+
+
+def _assert_covers(segments: list[RateSegment], start: int, cycles: int) -> None:
+    """Segments must tile [start, start + cycles) contiguously and in order."""
+    assert segments, "a non-empty window must produce segments"
+    assert segments[0].start == start
+    assert segments[-1].end == start + cycles
+    for before, after in zip(segments, segments[1:]):
+        assert before.end == after.start
+    assert sum(seg.cycles for seg in segments) == cycles
+
+
+class TestConstantRate:
+    def test_single_segment(self):
+        scenario = ConstantRate(1e-6)
+        segments = scenario.segments(100, 5000)
+        assert segments == [RateSegment(start=100, cycles=5000, rate=1e-6)]
+        assert scenario.rate_at(0) == scenario.rate_at(10**9) == 1e-6
+        assert scenario.is_constant
+
+    def test_empty_window(self):
+        assert ConstantRate(1e-6).segments(0, 0) == []
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            ConstantRate(-1e-6)
+
+
+class TestBurstScenario:
+    def test_rate_alternates(self):
+        scenario = BurstScenario(1e-7, 5e-5, period=100, burst_cycles=20)
+        assert scenario.rate_at(0) == 5e-5
+        assert scenario.rate_at(19) == 5e-5
+        assert scenario.rate_at(20) == 1e-7
+        assert scenario.rate_at(99) == 1e-7
+        assert scenario.rate_at(100) == 5e-5
+
+    def test_segments_tile_the_window(self):
+        scenario = BurstScenario(1e-7, 5e-5, period=100, burst_cycles=20)
+        segments = scenario.segments(-10, 250)
+        _assert_covers(segments, -10, 250)
+        for seg in segments:
+            assert seg.rate == scenario.rate_at(seg.start)
+            assert seg.rate == scenario.rate_at(seg.end - 1)
+
+    def test_mean_rate_is_duty_weighted(self):
+        scenario = BurstScenario(1e-7, 5e-5, period=100, burst_cycles=20)
+        assert scenario.mean_rate(0, 100) == pytest.approx(0.2 * 5e-5 + 0.8 * 1e-7)
+        assert scenario.peak_rate(0, 100) == 5e-5
+
+    def test_phase_shifts_origin(self):
+        scenario = BurstScenario(0.0, 1e-5, period=100, burst_cycles=20, phase=50)
+        assert scenario.rate_at(0) == 0.0
+        assert scenario.rate_at(50) == 1e-5
+
+    def test_rejects_inverted_rates(self):
+        with pytest.raises(ValueError):
+            BurstScenario(1e-5, 1e-7, period=100, burst_cycles=20)
+        with pytest.raises(ValueError):
+            BurstScenario(0.0, 1e-5, period=100, burst_cycles=0)
+
+
+class TestDutyCycleScenario:
+    def test_off_period_is_silent(self):
+        scenario = DutyCycleScenario(1e-6, period=1000, on_cycles=400)
+        assert scenario.rate_at(0) == 1e-6
+        assert scenario.rate_at(400) == 0.0
+        assert scenario.mean_rate(0, 1000) == pytest.approx(0.4e-6)
+
+
+class TestPiecewiseScenario:
+    def test_pieces_then_tail(self):
+        scenario = PiecewiseScenario([(100, 1e-5), (200, 1e-6)], tail_rate=1e-8)
+        assert scenario.rate_at(-5) == 1e-5
+        assert scenario.rate_at(0) == 1e-5
+        assert scenario.rate_at(100) == 1e-6
+        assert scenario.rate_at(299) == 1e-6
+        assert scenario.rate_at(300) == 1e-8
+        segments = scenario.segments(50, 400)
+        _assert_covers(segments, 50, 400)
+        assert [seg.rate for seg in segments] == [1e-5, 1e-6, 1e-8]
+
+    def test_tail_defaults_to_last_rate(self):
+        scenario = PiecewiseScenario([(10, 2e-6)])
+        assert scenario.rate_at(10**6) == 2e-6
+
+    def test_window_before_zero(self):
+        scenario = PiecewiseScenario([(10, 1e-6)])
+        segments = scenario.segments(-20, 10)
+        _assert_covers(segments, -20, 10)
+        assert all(seg.rate == 1e-6 for seg in segments)
+
+
+class TestRampScenario:
+    def test_quantized_monotone(self):
+        scenario = RampScenario(0.0, 1e-5, duration=1000, steps=8)
+        rates = [seg.rate for seg in scenario.segments(0, 1000)]
+        assert rates == sorted(rates)
+        assert scenario.rate_at(10**6) == 1e-5
+
+    def test_mean_matches_linear_ramp(self):
+        scenario = RampScenario(0.0, 1e-5, duration=1000, steps=100)
+        # Midpoint quantization integrates a linear profile exactly.
+        assert scenario.mean_rate(0, 1000) == pytest.approx(0.5e-5, rel=1e-9)
+
+
+class TestCombinators:
+    def test_scale(self):
+        scenario = BurstScenario(1e-7, 5e-5, period=100, burst_cycles=20).scale(2.0)
+        assert scenario.rate_at(0) == 1e-4
+        assert scenario.rate_at(50) == 2e-7
+        _assert_covers(scenario.segments(0, 300), 0, 300)
+
+    def test_concat_switches_environment(self):
+        scenario = ConstantRate(1e-6).concat(ConstantRate(5e-6), switch_cycle=100)
+        assert scenario.rate_at(99) == 1e-6
+        assert scenario.rate_at(100) == 5e-6
+        segments = scenario.segments(50, 100)
+        _assert_covers(segments, 50, 100)
+        assert [seg.rate for seg in segments] == [1e-6, 5e-6]
+
+    def test_concat_shifts_second_to_local_time(self):
+        late_burst = BurstScenario(0.0, 1e-5, period=100, burst_cycles=10)
+        scenario = ConstantRate(0.0).concat(late_burst, switch_cycle=1000)
+        # The burst's own cycle 0 (a burst start) lands at the switch.
+        assert scenario.rate_at(1000) == 1e-5
+        assert scenario.rate_at(1010) == 0.0
+
+    def test_overlay_adds_rates(self):
+        scenario = ConstantRate(1e-6).overlay(
+            BurstScenario(0.0, 1e-5, period=100, burst_cycles=10)
+        )
+        assert scenario.rate_at(5) == pytest.approx(1.1e-5)
+        assert scenario.rate_at(50) == pytest.approx(1e-6)
+        segments = scenario.segments(95, 20)
+        _assert_covers(segments, 95, 20)
+        for seg in segments:
+            assert seg.rate == pytest.approx(scenario.rate_at(seg.start))
+
+    def test_segments_merge_equal_rates(self):
+        # Overlaying two constants must not fragment the window.
+        scenario = ConstantRate(1e-6).overlay(ConstantRate(1e-6))
+        assert len(scenario.segments(0, 1000)) == 1
+        assert scenario.is_constant
+
+
+class TestScenarioRegistry:
+    def test_builtins_registered(self):
+        names = available_scenarios()
+        for expected in ("paper-constant", "burst", "duty-cycle", "ramp", "storm"):
+            assert expected in names
+            assert scenario_known(expected)
+            assert scenario_description(expected)
+
+    def test_paper_constant_uses_base_rate(self):
+        scenario = build_scenario("paper-constant", base_rate=1e-6)
+        assert isinstance(scenario, ConstantRate)
+        assert scenario.rate == 1e-6
+
+    def test_factors_are_relative_to_base_rate(self):
+        scenario = build_scenario(
+            "burst", base_rate=1e-6, quiescent_factor=0.5, burst_factor=10.0
+        )
+        assert scenario.quiescent_rate == pytest.approx(5e-7)
+        assert scenario.burst_rate == pytest.approx(1e-5)
+
+    def test_none_and_instances_pass_through(self):
+        assert build_scenario(None, base_rate=1e-6) is None
+        live = ConstantRate(2e-6)
+        assert build_scenario(live, base_rate=1e-6) is live
+        with pytest.raises(ValueError):
+            build_scenario(live, base_rate=1e-6, extra=1)
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="paper-constant"):
+            build_scenario("solar-maximum", base_rate=1e-6)
+
+    def test_register_custom_scenario(self):
+        def _factory(base_rate, *, factor=3.0):
+            return ConstantRate(base_rate * factor)
+
+        register_scenario("test-tripled", _factory)
+        try:
+            scenario = build_scenario("test-tripled", base_rate=1e-6)
+            assert scenario.rate == pytest.approx(3e-6)
+            with pytest.raises(ValueError):
+                register_scenario("test-tripled", _factory)
+        finally:
+            from repro.scenarios import registry
+
+            registry._SCENARIOS.pop("test-tripled", None)
+
+    def test_registered_name_case_is_preserved(self):
+        """Regression: lookups are case-sensitive, so registration must
+        store the name exactly as given."""
+
+        def _factory(base_rate):
+            return ConstantRate(base_rate)
+
+        register_scenario("Test-MixedCase", _factory)
+        try:
+            assert scenario_known("Test-MixedCase")
+            assert build_scenario("Test-MixedCase", base_rate=1e-6).rate == 1e-6
+            assert not scenario_known("test-mixedcase")
+        finally:
+            from repro.scenarios import registry
+
+            registry._SCENARIOS.pop("Test-MixedCase", None)

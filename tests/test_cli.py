@@ -114,3 +114,77 @@ class TestSpecCommands:
         # Higher upset rates force smaller chunks (more frequent checkpoints).
         chunks = [row["chunk_words"] for row in payload["rows"]]
         assert chunks[1] <= chunks[0]
+
+
+class TestListCommand:
+    def test_list_enumerates_every_registry(self, capsys):
+        assert main(["list", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_registry = {}
+        for row in payload["rows"]:
+            by_registry.setdefault(row["registry"], set()).add(row["name"])
+        assert "adpcm-encode" in by_registry["app"]
+        assert {"hybrid-optimal", "hybrid-adaptive"} <= by_registry["strategy"]
+        assert "paper-smu" in by_registry["fault-model"]
+        assert {"paper-constant", "burst", "duty-cycle"} <= by_registry["scenario"]
+
+    def test_list_renders_table(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Registries" in out
+        assert "scenario" in out
+
+
+class TestScenarioCommands:
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {row["name"] for row in payload["rows"]}
+        assert {"paper-constant", "burst", "duty-cycle", "ramp", "storm"} <= names
+        assert all(row["description"] for row in payload["rows"])
+
+    def test_scenarios_run_with_params(self, capsys):
+        assert main([
+            "scenarios", "run", "--app", "adpcm-encode",
+            "--strategy", "hybrid-adaptive", "--scenario", "burst",
+            "--scenario-param", "burst_factor=100", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (row,) = payload["rows"]
+        assert row["scenario"] == "burst"
+        assert row["strategy"] == "hybrid-adaptive"
+
+    def test_scenarios_run_rejects_unknown_scenario(self, capsys):
+        assert main([
+            "scenarios", "run", "--app", "adpcm-encode", "--scenario", "apocalypse",
+        ]) == 2
+        assert "known scenarios" in capsys.readouterr().err
+
+    def test_scenarios_run_rejects_bad_param_syntax(self, capsys):
+        assert main([
+            "scenarios", "run", "--app", "adpcm-encode",
+            "--scenario", "burst", "--scenario-param", "burst_factor",
+        ]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_scenarios_sweep_relative_energy(self, capsys):
+        assert main([
+            "scenarios", "sweep", "--app", "adpcm-encode",
+            "--scenarios", "paper-constant", "burst",
+            "--strategies", "hybrid-optimal", "hybrid-adaptive",
+            "--seeds", "0", "1", "--jobs", "2", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = payload["rows"]
+        assert len(rows) == 4
+        firsts = [row for row in rows if row["strategy"] == "hybrid-optimal"]
+        assert all(row["relative_energy"] == 1.0 for row in firsts)
+        assert all(row["fully_mitigated_fraction"] == 1.0 for row in rows)
+
+    def test_run_accepts_scenario_option(self, capsys):
+        assert main([
+            "run", "--app", "adpcm-encode", "--strategy", "hybrid-optimal",
+            "--scenario", "storm", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"][0]["scenario"] == "storm"
