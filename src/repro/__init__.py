@@ -53,6 +53,7 @@ True
 """
 
 from .api import (
+    BatchCampaignExecutor,
     CampaignSpec,
     ExperimentSpec,
     ParallelExecutor,
@@ -61,6 +62,7 @@ from .api import (
     Session,
     SweepSpec,
 )
+from .batch import BatchTaskModel
 from .core import (
     AdaptiveHybridStrategy,
     DesignConstraints,
@@ -81,10 +83,12 @@ from .scenarios import (
     register_scenario,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AdaptiveHybridStrategy",
+    "BatchCampaignExecutor",
+    "BatchTaskModel",
     "BurstScenario",
     "CampaignSpec",
     "ConstantRate",

@@ -29,6 +29,7 @@ Quickstart
 """
 
 from .executors import (
+    BatchCampaignExecutor,
     Executor,
     ParallelExecutor,
     RunOutcome,
@@ -51,10 +52,12 @@ from .registry import (
 )
 from .results import ResultSet
 from .session import Session
-from .spec import KINDS, CampaignSpec, ExperimentSpec, SweepSpec
+from .spec import ENGINES, KINDS, CampaignSpec, ExperimentSpec, SweepSpec
 
 __all__ = [
+    "BatchCampaignExecutor",
     "CampaignSpec",
+    "ENGINES",
     "Executor",
     "ExperimentSpec",
     "KINDS",

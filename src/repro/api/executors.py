@@ -6,20 +6,28 @@ a module-level function precisely so :class:`ParallelExecutor` can ship it
 to :class:`concurrent.futures.ProcessPoolExecutor` workers (specs are
 picklable by construction).
 
-Both executors preserve input order — ``map(specs)[i]`` is always the
-outcome of ``specs[i]`` — so any aggregate computed over the outcomes is
-bit-identical regardless of the backend or the number of workers.
+Every executor preserves input order — ``map(specs)[i]`` is always the
+outcome of ``specs[i]`` — so for behavioural-engine specs any aggregate
+computed over the outcomes is bit-identical regardless of the backend or
+the number of workers.  ``engine="batched"`` specs are different: their
+fault streams depend on how the executor groups seeds (one stream per
+group, see :class:`BatchCampaignExecutor`), so batched results are
+reproducible per (spec, executor kind) but not identical between, say, a
+:class:`SerialExecutor` run and a grouped :class:`BatchCampaignExecutor`
+run of the same specs.
 """
 
 from __future__ import annotations
 
 import abc
+import json
 import os
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..batch import BatchTaskModel
 from ..core.feasibility import feasible_region
 from ..core.optimizer import ChunkSizeOptimizer
 from ..runtime.executor import TaskExecutor
@@ -128,8 +136,37 @@ def _execute_feasibility(spec: ExperimentSpec) -> RunOutcome:
     return RunOutcome(spec=spec, records=records, artifact=region)
 
 
+def _build_batch_model(spec: ExperimentSpec, profile_seed: int) -> BatchTaskModel:
+    app = spec.resolve_app()
+    strategy = build_strategy(spec.strategy, app, spec.constraints, **spec.strategy_params)
+    fault_model = build_fault_model(spec.fault_model, **spec.fault_params)
+    scenario = build_scenario(
+        spec.scenario, base_rate=spec.constraints.error_rate, **spec.scenario_params
+    )
+    return BatchTaskModel(
+        app,
+        strategy,
+        constraints=spec.constraints,
+        fault_model=fault_model,
+        scenario=scenario,
+        profile_seed=profile_seed,
+    )
+
+
+def _execute_batched(spec: ExperimentSpec) -> RunOutcome:
+    model = _build_batch_model(spec, profile_seed=spec.seed)
+    records = model.simulate([spec.seed], scenario_label=spec.scenario_name)
+    return RunOutcome(spec=spec, records=records)
+
+
+def _execute_one(spec: ExperimentSpec) -> RunOutcome:
+    if spec.engine == "batched":
+        return _execute_batched(spec)
+    return _execute_behavioural(spec)
+
+
 _KIND_HANDLERS = {
-    "execute": _execute_behavioural,
+    "execute": _execute_one,
     "optimize": _execute_optimization,
     "feasibility": _execute_feasibility,
 }
@@ -200,8 +237,110 @@ class ParallelExecutor(Executor):
         return f"ParallelExecutor(jobs={self.jobs})"
 
 
-def make_executor(jobs: int | None) -> Executor:
-    """Executor for a ``--jobs N`` style request (``None``/``0``/``1`` = serial)."""
+class BatchCampaignExecutor(Executor):
+    """Vectorized backend: simulates same-experiment seed groups in one shot.
+
+    Specs are grouped by everything except their seed; each group runs
+    through one :class:`~repro.batch.BatchTaskModel`, so a 1000-seed
+    campaign costs one task profile plus array operations instead of 1000
+    event-by-event simulations.  Outcomes come back in input order with
+    the behavioural record shape, so sessions, campaigns, sweeps and the
+    figure harnesses consume them unchanged.
+
+    Specs the batch engine cannot serve — ``optimize`` / ``feasibility``
+    kinds and trace-collecting runs — are delegated to ``fallback``
+    (default: a :class:`SerialExecutor`).
+
+    Each group's workload input is profiled at the group's first seed, and
+    the fault streams of the whole group come from one deterministic
+    generator derived from the seed tuple: re-running the same spec batch
+    is bit-identical, across processes and machines.  The flip side is
+    that a run's record depends on its batch composition — extending the
+    seed list re-rolls every row (see
+    :meth:`repro.batch.BatchTaskModel.make_rng`); campaigns are the unit
+    of reproducibility, not individual seeds.
+    """
+
+    name = "batched"
+
+    def __init__(self, fallback: Executor | None = None) -> None:
+        self.fallback = fallback if fallback is not None else SerialExecutor()
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _group_key(spec: ExperimentSpec):
+        """Hashable identity of a spec minus its seed (None = not batchable)."""
+        if spec.kind != "execute" or spec.collect_trace:
+            return None
+        try:
+            payload = spec.to_dict()
+            payload.pop("seed")
+            return json.dumps(payload, sort_keys=True, default=repr)
+        except ValueError:
+            # Live application / scenario instances: group by object
+            # identity — campaigns reuse the same instance across seeds.
+            app = spec.app if isinstance(spec.app, str) else id(spec.app)
+            scenario = (
+                spec.scenario if isinstance(spec.scenario, str) else id(spec.scenario)
+            )
+            return (
+                app,
+                spec.strategy,
+                repr(sorted(spec.strategy_params.items())),
+                spec.constraints,
+                spec.fault_model,
+                repr(sorted(spec.fault_params.items())),
+                scenario,
+                repr(sorted(spec.scenario_params.items())),
+            )
+
+    def map(self, specs: Sequence[ExperimentSpec]) -> list[RunOutcome]:
+        specs = list(specs)
+        outcomes: list[RunOutcome | None] = [None] * len(specs)
+        groups: dict[Any, list[int]] = {}
+        passthrough: list[int] = []
+        for index, spec in enumerate(specs):
+            key = self._group_key(spec)
+            if key is None:
+                passthrough.append(index)
+            else:
+                groups.setdefault(key, []).append(index)
+
+        for indices in groups.values():
+            group = [specs[i] for i in indices]
+            model = _build_batch_model(group[0], profile_seed=group[0].seed)
+            records = model.simulate(
+                [spec.seed for spec in group], scenario_label=group[0].scenario_name
+            )
+            for i, spec, record in zip(indices, group, records):
+                outcomes[i] = RunOutcome(spec=spec, records=[record])
+
+        if passthrough:
+            delegated = self.fallback.map([specs[i] for i in passthrough])
+            for i, outcome in zip(passthrough, delegated):
+                outcomes[i] = outcome
+        return outcomes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchCampaignExecutor(fallback={self.fallback!r})"
+
+
+def make_executor(jobs: int | None, engine: str | None = None) -> Executor:
+    """Executor for ``--jobs N`` / ``--engine`` style requests.
+
+    ``engine="batched"`` returns a :class:`BatchCampaignExecutor` whose
+    fallback (for non-batchable specs) honours ``jobs``; otherwise
+    ``None``/``0``/``1`` jobs mean serial and more mean a process pool.
+    Unknown engine names are rejected rather than silently ignored.
+    """
+    from .spec import ENGINES
+
+    if engine is not None and engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if engine == "batched":
+        return BatchCampaignExecutor(
+            fallback=make_executor(jobs) if jobs and jobs > 1 else None
+        )
     if jobs is None or jobs <= 1:
         return SerialExecutor()
     return ParallelExecutor(jobs=jobs)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import os
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
@@ -144,6 +145,25 @@ class ResultSet:
         if fmt == "csv":
             return self.to_csv()
         raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+
+    def write(self, path, fmt: str = "table") -> None:
+        """Write the formatted result set to ``path``, creating parent dirs."""
+        write_report(path, self.formatted(fmt))
+
+
+def write_report(path, text: str) -> None:
+    """Write a report to ``path``, creating missing parent directories.
+
+    The single file-output path of the results layer: the CLI's
+    ``--output`` and :meth:`ResultSet.write` both land here, so reports can
+    target fresh directories (``results/2026-07/run.json``) without the
+    caller pre-creating them.
+    """
+    parent = os.path.dirname(os.fspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
 
 
 def render_result_sets(sections: Sequence[ResultSet], fmt: str = "table") -> str:

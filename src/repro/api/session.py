@@ -20,12 +20,19 @@ therefore every aggregate — is identical either way.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from dataclasses import replace
 
 from ..core.config import DesignConstraints, PAPER_OPERATING_POINT
 from ..faults.campaign import CampaignReport, aggregate_runs
-from .executors import Executor, RunOutcome, SerialExecutor, make_executor
+from .executors import (
+    BatchCampaignExecutor,
+    Executor,
+    RunOutcome,
+    SerialExecutor,
+    make_executor,
+)
 from .results import ResultSet
-from .spec import CampaignSpec, ExperimentSpec, SweepSpec
+from .spec import CampaignSpec, ENGINES, ExperimentSpec, SweepSpec
 
 
 class Session:
@@ -115,6 +122,7 @@ class Session:
         seeds: Sequence[int] | None = None,
         executor: Executor | None = None,
         jobs: int | None = None,
+        engine: str | None = None,
     ) -> CampaignReport:
         """Run a multi-seed campaign and aggregate its metrics.
 
@@ -122,11 +130,35 @@ class Session:
         plus ``seeds`` (defaulting to ``range(10)``) for convenience.  The
         aggregation is order-stable: serial and parallel executors produce
         bit-identical reports for the same seed set.
+
+        ``engine="batched"`` (or a base spec carrying
+        ``engine="batched"``) routes the whole campaign through the
+        vectorized :class:`BatchCampaignExecutor` — one task profile plus
+        array operations for all seeds, statistically equivalent to the
+        behavioural engine and dramatically faster at campaign scale.
         """
         if isinstance(spec, ExperimentSpec):
             spec = CampaignSpec(base=spec, seeds=tuple(seeds) if seeds is not None else ())
         elif seeds is not None:
             raise ValueError("pass seeds inside the CampaignSpec, not alongside it")
+        if engine is not None and engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if engine is None:
+            engine = spec.base.engine
+        elif engine != spec.base.engine:
+            # An explicit engine argument wins over the base spec, so e.g.
+            # engine="behavioural" really cross-checks a batched spec
+            # against the ground-truth engine instead of being ignored.
+            spec = replace(spec, base=replace(spec.base, engine=engine))
+        if engine == "batched":
+            if executor is None:
+                executor = make_executor(jobs, engine="batched")
+            elif not isinstance(executor, BatchCampaignExecutor):
+                # Keep the vectorized grouping (one task model per seed
+                # group) and let the caller's executor serve whatever the
+                # batch engine cannot — running batched specs one by one
+                # through a plain executor would rebuild the model per seed.
+                executor = BatchCampaignExecutor(fallback=executor)
         outcomes = self.run_all(spec.expand(), executor=executor, jobs=jobs)
         raw = [outcome.record for outcome in outcomes]
         metrics: Sequence[str] = spec.metrics

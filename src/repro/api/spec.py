@@ -41,6 +41,12 @@ from . import registry
 #: Experiment kinds understood by :func:`repro.api.executors.execute_spec`.
 KINDS: tuple[str, ...] = ("execute", "optimize", "feasibility")
 
+#: Execution engines for ``kind="execute"`` specs.  ``"behavioural"`` replays
+#: every event through :class:`repro.runtime.executor.TaskExecutor`;
+#: ``"batched"`` runs the NumPy-vectorized campaign engine of
+#: :mod:`repro.batch`, which simulates many seeds at once.
+ENGINES: tuple[str, ...] = ("behavioural", "batched")
+
 
 def constraints_to_dict(constraints: DesignConstraints) -> dict[str, Any]:
     """Flatten a :class:`DesignConstraints` into a JSON-able dict."""
@@ -97,6 +103,12 @@ class ExperimentSpec:
         Seed controlling the workload input and the fault stream.
     collect_trace:
         Whether the behavioural run records a detailed execution trace.
+    engine:
+        Execution engine for ``kind="execute"`` specs: ``"behavioural"``
+        (the event-by-event :class:`~repro.runtime.executor.TaskExecutor`,
+        the default) or ``"batched"`` (the vectorized campaign engine of
+        :mod:`repro.batch`, statistically equivalent and much faster for
+        many-seed campaigns).
     """
 
     app: str | StreamingApplication | None = None
@@ -111,10 +123,15 @@ class ExperimentSpec:
     params: Mapping[str, Any] = field(default_factory=dict)
     seed: int = 0
     collect_trace: bool = False
+    engine: str = "behavioural"
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown experiment kind {self.kind!r}; expected one of {KINDS}")
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; expected one of {ENGINES}")
+        if self.engine == "batched" and self.collect_trace:
+            raise ValueError("the batched engine does not record execution traces")
         if isinstance(self.app, str):
             object.__setattr__(self, "app", canonical_name(self.app))
         elif self.app is None and self.kind != "feasibility":
@@ -224,6 +241,7 @@ class ExperimentSpec:
             "params": dict(self.params),
             "seed": self.seed,
             "collect_trace": self.collect_trace,
+            "engine": self.engine,
         }
 
     @classmethod

@@ -1,0 +1,41 @@
+"""Vectorized batch campaign engine.
+
+The behavioural :class:`~repro.runtime.executor.TaskExecutor` replays every
+run one event at a time in interpreted Python, so fault-injection campaigns
+— the averages behind Fig. 5 and the timing overheads — grow linearly in
+per-event work.  This package simulates **many seeds at once** instead:
+
+* the task is profiled and scheduled once per campaign (the workload
+  skeleton is shared; only the fault streams differ per run);
+* upset counts are drawn as batched Poisson variates per
+  (run, phase, attempt) from the scenario's piecewise-constant rate, via a
+  vectorized cumulative rate integral (:class:`CumulativeRate`);
+* each upset is classified into corrected / detected / silent outcomes
+  with probabilities measured directly from the platform's ECC code and
+  the fault model's bit-pattern mixture (:func:`classify_outcomes`);
+* energy, cycle, checkpoint and recovery accounting mirror the
+  behavioural executor's per-phase cost model exactly — a fault-free
+  batched run reproduces the behavioural cycle count bit for bit.
+
+Entry points: :class:`BatchTaskModel` (one campaign configuration) and
+:class:`~repro.api.executors.BatchCampaignExecutor` (drop-in executor that
+groups specs by everything-but-seed and simulates each group in one shot).
+
+Approximations relative to the behavioural engine (all documented in
+:mod:`repro.batch.model`): the workload content is frozen at the
+campaign's profile seed, interactions between multiple upsets striking
+the same word are ignored, distinct-struck-word counts are sampled from
+their exact marginal distribution rather than tracked per address, and
+per-upset decode outcomes come from a status-level classifier that is
+exact for every registered strategy code (see
+:func:`classify_outcomes`).
+"""
+
+from .model import BatchTaskModel, CumulativeRate, OutcomeProbabilities, classify_outcomes
+
+__all__ = [
+    "BatchTaskModel",
+    "CumulativeRate",
+    "OutcomeProbabilities",
+    "classify_outcomes",
+]

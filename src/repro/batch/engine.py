@@ -1,0 +1,296 @@
+"""Vectorized campaign simulation over a :class:`BatchTaskModel`.
+
+One call to :func:`simulate_campaign` runs every seed of a campaign at
+once.  All runs share the task skeleton (phases, per-phase costs); only
+the fault streams differ.  The per-phase dynamics mirror the behavioural
+executor:
+
+* **inline / none recovery** (Default, HW-mitigation): every phase is
+  executed and drained once; detected-uncorrectable words are consumed.
+* **rollback** (Hybrid): a phase whose drain detects an uncorrectable
+  word services the Read Error Interrupt and re-executes, up to
+  :data:`~repro.runtime.executor.MAX_ROLLBACK_ATTEMPTS` times, then
+  consumes the corrupted chunk.
+* **restart** (SW-mitigation): the first failing phase aborts the pass and
+  the whole task restarts, up to ``strategy.max_restarts`` times, after
+  which one final best-effort pass consumes its errors.
+
+Upset counts per (run, phase, attempt) are Poisson draws against the
+scenario's cumulative rate over that attempt's exposure window — the
+window follows each run's own clock, so recovery activity shifts later
+windows exactly as it does behaviourally.  Each upset is thinned into
+corrected / detected / silent / benign outcomes with the probabilities
+measured from the platform's ECC code, and distinct-corrupted-word counts
+are drawn from their exact marginal distribution (the per-word Poisson
+split of a uniform strike pattern).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.strategies import RecoveryPolicy
+from ..runtime.executor import MAX_ROLLBACK_ATTEMPTS
+from .model import BatchTaskModel, OutcomeProbabilities
+
+
+def _split_outcomes(
+    rng: np.random.Generator, counts: np.ndarray, probs: OutcomeProbabilities
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Thin upset counts into (detected, corrected, silent) sub-counts.
+
+    Benign flips are the remainder; sequential binomial thinning of a
+    Poisson count is an exact multinomial split.
+    """
+    detected = rng.binomial(counts, probs.detected) if probs.detected > 0 else np.zeros_like(counts)
+    rest = counts - detected
+    denom = 1.0 - probs.detected
+    p_corr = probs.corrected / denom if denom > 0 else 0.0
+    corrected = rng.binomial(rest, min(p_corr, 1.0)) if p_corr > 0 else np.zeros_like(counts)
+    rest = rest - corrected
+    denom -= probs.corrected
+    p_silent = probs.silent / denom if denom > 0 else 0.0
+    silent = rng.binomial(rest, min(p_silent, 1.0)) if p_silent > 0 else np.zeros_like(counts)
+    return detected, corrected, silent
+
+
+def _distinct_words(rng: np.random.Generator, counts: np.ndarray, words: int) -> np.ndarray:
+    """Number of distinct words struck by ``counts`` uniform upsets.
+
+    Samples the exact occupancy distribution by the sequential-throw
+    recurrence ``D += Bernoulli(1 - D / words)`` without tracking
+    addresses; the loop length is the largest count in the batch (0–2 in
+    paper-rate campaigns).  Counts far beyond the word pool saturate it.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if words <= 0:
+        return np.zeros_like(counts)
+    if words == 1:
+        return (counts > 0).astype(np.int64)
+    distinct = np.zeros_like(counts)
+    saturated = counts > 8 * words  # P(any word unstruck) < words * e^-8
+    distinct[saturated] = words
+    remaining = np.where(saturated, 0, counts)
+    active = remaining > 0
+    while active.any():
+        fresh = rng.random(int(active.sum())) < (1.0 - distinct[active] / words)
+        distinct[active] += fresh
+        remaining[active] -= 1
+        active = remaining > 0
+    return distinct
+
+
+class _RunTotals:
+    """Mutable per-run accumulators for one simulated campaign."""
+
+    def __init__(self, runs: int) -> None:
+        self.clock = np.zeros(runs, dtype=np.int64)
+        self.energy = np.zeros(runs, dtype=np.float64)
+        self.recovery_cycles = np.zeros(runs, dtype=np.int64)
+        self.checkpoint_cycles = np.zeros(runs, dtype=np.int64)
+        self.upsets = np.zeros(runs, dtype=np.int64)
+        self.errors_detected = np.zeros(runs, dtype=np.int64)
+        self.corrected = np.zeros(runs, dtype=np.int64)
+        self.rollbacks = np.zeros(runs, dtype=np.int64)
+        self.restarts = np.zeros(runs, dtype=np.int64)
+        self.silent = np.zeros(runs, dtype=np.int64)
+        self.checkpoints = np.zeros(runs, dtype=np.int64)
+
+
+def _sample_attempt(
+    model: BatchTaskModel,
+    rng: np.random.Generator,
+    window_end: np.ndarray,
+    live: int,
+    words: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Upset counts and outcome split for one exposure window per run."""
+    lam = words * model.rate.integral(window_end - live, window_end)
+    counts = rng.poisson(lam)
+    detected, corrected, silent = _split_outcomes(rng, counts, model.outcomes)
+    return counts, detected, corrected, silent
+
+
+# ---------------------------------------------------------------------- #
+# Inline / none / rollback recovery: every phase retries locally
+# ---------------------------------------------------------------------- #
+def _simulate_phase_loop(
+    model: BatchTaskModel, rng: np.random.Generator, totals: _RunTotals
+) -> None:
+    costs = model.costs
+    max_attempts = (
+        MAX_ROLLBACK_ATTEMPTS
+        if model.strategy.recovery == RecoveryPolicy.ROLLBACK
+        else 0
+    )
+    commits = model.strategy.uses_checkpoints
+    for p in range(model.num_phases):
+        words = int(costs.words[p])
+        exec_c = int(costs.exec_cycles[p])
+        drain_c = int(costs.drain_cycles[p])
+        live = int(costs.live_cycles[p])
+        exec_e = float(costs.exec_energy[p])
+        drain_e = float(costs.drain_energy[p])
+
+        totals.clock += exec_c
+        counts, detected, corrected, silent = _sample_attempt(
+            model, rng, totals.clock, live, words
+        )
+        totals.clock += drain_c
+        totals.energy += exec_e + drain_e
+        totals.upsets += counts
+        totals.corrected += _distinct_words(rng, corrected, words)
+        last_detected = detected
+        last_silent = silent
+        failed = detected > 0
+
+        for _attempt in range(max_attempts):
+            if not failed.any():
+                break
+            totals.errors_detected[failed] += 1
+            totals.rollbacks[failed] += 1
+            totals.clock[failed] += model.isr_cycles
+            totals.energy[failed] += model.isr_energy
+            totals.recovery_cycles[failed] += model.isr_cycles
+
+            window_end = totals.clock[failed] + exec_c
+            counts, detected, corrected, silent = _sample_attempt(
+                model, rng, window_end, live, words
+            )
+            totals.clock[failed] += exec_c + drain_c
+            totals.energy[failed] += exec_e + drain_e
+            totals.recovery_cycles[failed] += exec_c + drain_c
+            totals.upsets[failed] += counts
+            totals.corrected[failed] += _distinct_words(rng, corrected, words)
+            last_detected[failed] = detected
+            last_silent[failed] = silent
+            still = failed.copy()
+            still[failed] = detected > 0
+            failed = still
+
+        # Runs still failing consume the corrupted chunk (one final
+        # detection, no further retry); everyone else consumes only the
+        # silently corrupted words of their last (successful) attempt.
+        totals.errors_detected[failed] += 1
+        consumed = np.where(failed, last_detected, 0) + last_silent
+        totals.silent += _distinct_words(rng, consumed, words)
+
+        if commits:
+            totals.clock += int(costs.checkpoint_cycles[p])
+            totals.energy += float(costs.checkpoint_energy[p])
+            totals.checkpoint_cycles += int(costs.checkpoint_cycles[p])
+            totals.checkpoints += 1
+
+
+# ---------------------------------------------------------------------- #
+# Restart recovery: the first failing phase aborts the whole pass
+# ---------------------------------------------------------------------- #
+def _simulate_restart(
+    model: BatchTaskModel, rng: np.random.Generator, totals: _RunTotals
+) -> None:
+    costs = model.costs
+    runs = totals.clock.shape[0]
+    max_restarts = int(getattr(model.strategy, "max_restarts", 1))
+    committed = np.zeros(runs, dtype=bool)
+
+    while not committed.all():
+        active = ~committed
+        accept = active & (totals.restarts >= max_restarts)
+        in_recovery = active & (totals.restarts > 0)
+        running = active.copy()
+        pass_silent = np.zeros(runs, dtype=np.int64)
+
+        for p in range(model.num_phases):
+            if not running.any():
+                break
+            words = int(costs.words[p])
+            exec_c = int(costs.exec_cycles[p])
+            drain_c = int(costs.drain_cycles[p])
+            live = int(costs.live_cycles[p])
+
+            totals.clock[running] += exec_c
+            counts, detected, corrected, silent = _sample_attempt(
+                model, rng, totals.clock[running], live, words
+            )
+            totals.clock[running] += drain_c
+            totals.energy[running] += float(costs.exec_energy[p]) + float(
+                costs.drain_energy[p]
+            )
+            rec = running & in_recovery
+            totals.recovery_cycles[rec] += exec_c + drain_c
+            totals.upsets[running] += counts
+            totals.corrected[running] += _distinct_words(rng, corrected, words)
+
+            failed_here = np.zeros(runs, dtype=bool)
+            failed_here[running] = detected > 0
+            failed_here &= ~accept
+            totals.errors_detected[failed_here] += 1
+
+            # Runs that keep the chunk (no restart this phase) consume its
+            # corrupted words.  On the final best-effort pass that includes
+            # the detected-uncorrectable ones; on a clean pass only silent
+            # flips remain (a normal run with detections restarts instead).
+            mismatches = np.zeros(runs, dtype=np.int64)
+            mismatches[running] = _distinct_words(rng, detected + silent, words)
+            mismatches[failed_here] = 0
+            pass_silent += mismatches
+            running = running & ~failed_here
+
+        committed_now = running
+        committed |= committed_now
+        totals.silent[committed_now] += pass_silent[committed_now]
+        failed_runs = active & ~committed_now
+        totals.restarts[failed_runs] += 1
+
+
+# ---------------------------------------------------------------------- #
+def simulate_campaign(
+    model: BatchTaskModel, seeds: list[int], scenario_label: str | None = None
+) -> list[dict]:
+    """Simulate one run per seed; returns behavioural-shaped metric records."""
+    if not seeds:
+        return []
+    rng = model.make_rng(seeds)
+    totals = _RunTotals(len(seeds))
+    if model.strategy.recovery == RecoveryPolicy.RESTART:
+        _simulate_restart(model, rng, totals)
+    else:
+        _simulate_phase_loop(model, rng, totals)
+
+    totals.energy += model.leakage_pj(totals.clock)
+    label = scenario_label if scenario_label is not None else (
+        model.scenario.describe() if model.scenario is not None else "none"
+    )
+    records: list[dict] = []
+    for i, seed in enumerate(seeds):
+        energy_pj = float(totals.energy[i])
+        silent = int(totals.silent[i])
+        total_cycles = int(totals.clock[i])
+        deadline_met = (
+            model.deadline_cycles == 0 or total_cycles <= model.deadline_cycles
+        )
+        records.append(
+            {
+                "application": model.app.name,
+                "strategy": model.strategy.name,
+                "scenario": label,
+                "seed": int(seed),
+                "total_cycles": float(total_cycles),
+                "useful_cycles": float(model.useful_cycles),
+                "checkpoint_cycles": float(totals.checkpoint_cycles[i]),
+                "recovery_cycles": float(totals.recovery_cycles[i]),
+                "energy_pj": energy_pj,
+                "upsets_injected": float(totals.upsets[i]),
+                "errors_detected": float(totals.errors_detected[i]),
+                "errors_corrected_inline": float(totals.corrected[i]),
+                "rollbacks": float(totals.rollbacks[i]),
+                "task_restarts": float(totals.restarts[i]),
+                "output_correct": 0.0 if silent else 1.0,
+                "silent_corruptions": float(silent),
+                "checkpoints_committed": float(totals.checkpoints[i]),
+                "energy_nj": energy_pj * 1e-3,
+                "deadline_met": 1.0 if deadline_met else 0.0,
+                "fully_mitigated": 0.0 if silent else 1.0,
+            }
+        )
+    return records

@@ -49,9 +49,9 @@ from .api.registry import (
     available_strategies,
     scenario_description,
 )
-from .api.results import FORMATS, ResultSet, render_result_sets
+from .api.results import FORMATS, ResultSet, render_result_sets, write_report
 from .api.session import Session
-from .api.spec import CampaignSpec, ExperimentSpec, SweepSpec
+from .api.spec import CampaignSpec, ENGINES, ExperimentSpec, SweepSpec
 from .apps.registry import available_applications
 from .core.config import PAPER_OPERATING_POINT
 
@@ -102,6 +102,17 @@ def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
         default=1,
         metavar="N",
         help="worker processes for the underlying simulations (default: 1)",
+    )
+
+
+def _add_engine_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="behavioural",
+        help="simulation engine: 'behavioural' replays every event, "
+        "'batched' vectorizes all seeds of a campaign at once "
+        "(default: behavioural)",
     )
 
 
@@ -203,6 +214,7 @@ def _build_parser() -> argparse.ArgumentParser:
         _add_output_options(sub)
         if name in ("fig5", "timing", "all"):
             _add_seeds_option(sub)
+            _add_engine_option(sub)
         if name in ("table1", "fig5", "timing", "ablations", "all"):
             _add_jobs_option(sub)
 
@@ -230,6 +242,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_constraint_options(campaign)
     _add_jobs_option(campaign)
+    _add_engine_option(campaign)
     _add_output_options(campaign)
 
     sweep = subparsers.add_parser(
@@ -312,6 +325,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_seeds_option(scn_sweep)
     _add_constraint_options(scn_sweep)
     _add_jobs_option(scn_sweep)
+    _add_engine_option(scn_sweep)
     _add_output_options(scn_sweep)
 
     return parser
@@ -339,6 +353,7 @@ def _spec_from_args(args: argparse.Namespace, kind: str = "execute") -> Experime
         scenario=getattr(args, "scenario", "paper-constant"),
         scenario_params=_parse_kv_params(getattr(args, "scenario_param", None)),
         seed=getattr(args, "seed", 0),
+        engine=getattr(args, "engine", "behavioural"),
     )
 
 
@@ -402,6 +417,7 @@ def _scenario_sections(args: argparse.Namespace, session: Session) -> list:
             seeds=tuple(args.seeds),
             session=session,
             jobs=args.jobs,
+            engine=getattr(args, "engine", None),
         )
         return [result]
 
@@ -422,7 +438,13 @@ def _artefact_sections(args: argparse.Namespace, session: Session) -> list:
     if name in ("table1", "all"):
         sections.append(table1_optimal_chunks(constraints, session=session, jobs=jobs))
     if name in ("fig5", "timing", "all"):
-        fig5 = fig5_energy(constraints, seeds=seeds, session=session, jobs=jobs)
+        fig5 = fig5_energy(
+            constraints,
+            seeds=seeds,
+            session=session,
+            jobs=jobs,
+            engine=getattr(args, "engine", None),
+        )
         if name in ("fig5", "all"):
             sections.append(fig5)
         if name in ("timing", "all"):
@@ -497,8 +519,9 @@ def main(argv: list[str] | None = None) -> int:
         ]
         text = render_result_sets(result_sets, fmt=args.format)
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+        # Creates missing parent directories, so reports can target fresh
+        # paths like results/2026-07/fig5.json directly.
+        write_report(args.output, text)
         print(f"wrote {args.format} report to {args.output}")
     else:
         print(text)

@@ -66,7 +66,7 @@ class ExecutionResult:
 
 
 @dataclass
-class _TaskProfile:
+class TaskProfile:
     """Fault-free profile of the task collected before the real run."""
 
     step_words: list[int]
@@ -87,6 +87,42 @@ class _TaskProfile:
     def baseline_cycles(self) -> int:
         """Expected cycles on the unprotected platform (1-cycle L1)."""
         return sum(self.step_cycles) + self.total_accesses
+
+    @property
+    def estimated_step_cycles(self) -> list[int]:
+        """Per-step cycles (compute + L1 traffic) on the 1-cycle baseline.
+
+        This timeline is what adaptive strategies align chunk sizes with;
+        the batched engine shares it so both engines plan identical
+        schedules from identical estimates.
+        """
+        return [
+            cycles + reads + writes + 2 * words
+            for cycles, reads, writes, words in zip(
+                self.step_cycles, self.step_reads, self.step_writes, self.step_words
+            )
+        ]
+
+
+def profile_task(app: StreamingApplication, task_input) -> TaskProfile:
+    """Run the task fault-free and collect its per-step cost profile.
+
+    The single profiling path shared by the behavioural executor and the
+    batched campaign engine (:mod:`repro.batch`), so their task skeletons
+    cannot drift apart.
+    """
+    state = app.initial_state(task_input)
+    step_words, step_cycles, step_reads, step_writes = [], [], [], []
+    golden: list[int] = []
+    for index in range(app.num_steps(task_input)):
+        result = app.run_step(task_input, index, state)
+        step_words.append(len(result.output_words))
+        step_cycles.append(result.cycles)
+        step_reads.append(result.l1_reads)
+        step_writes.append(result.l1_writes)
+        golden.extend(result.output_words)
+        state = result.state
+    return TaskProfile(step_words, step_cycles, step_reads, step_writes, golden)
 
 
 class TaskExecutor:
@@ -136,19 +172,8 @@ class TaskExecutor:
     # ------------------------------------------------------------------ #
     # Profiling
     # ------------------------------------------------------------------ #
-    def _profile(self, task_input) -> _TaskProfile:
-        state = self.app.initial_state(task_input)
-        step_words, step_cycles, step_reads, step_writes = [], [], [], []
-        golden: list[int] = []
-        for index in range(self.app.num_steps(task_input)):
-            result = self.app.run_step(task_input, index, state)
-            step_words.append(len(result.output_words))
-            step_cycles.append(result.cycles)
-            step_reads.append(result.l1_reads)
-            step_writes.append(result.l1_writes)
-            golden.extend(result.output_words)
-            state = result.state
-        return _TaskProfile(step_words, step_cycles, step_reads, step_writes, golden)
+    def _profile(self, task_input) -> TaskProfile:
+        return profile_task(self.app, task_input)
 
     # ------------------------------------------------------------------ #
     # Public entry point
@@ -163,14 +188,8 @@ class TaskExecutor:
 
         # Estimated per-step cycles (compute + L1 traffic) give adaptive
         # strategies a timeline to align chunk sizes with the scenario.
-        est_step_cycles = [
-            cycles + reads + writes + 2 * words
-            for cycles, reads, writes, words in zip(
-                profile.step_cycles, profile.step_reads, profile.step_writes, profile.step_words
-            )
-        ]
         schedule = self.strategy.plan_schedule(
-            profile.step_words, est_step_cycles, scenario=self.scenario
+            profile.step_words, profile.estimated_step_cycles, scenario=self.scenario
         )
 
         state_words = self.app.state_words()
@@ -236,7 +255,7 @@ class _RunState:
         self,
         executor: TaskExecutor,
         task_input,
-        profile: _TaskProfile,
+        profile: TaskProfile,
         schedule: CheckpointSchedule,
         platform: Platform,
         injector: FaultInjector,

@@ -15,6 +15,17 @@ from repro.apps.jpeg import JpegDecodeApp
 from repro.core.config import DesignConstraints, PAPER_OPERATING_POINT
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the tests/golden/fixtures/*.json reference numbers "
+        "from the current implementation instead of comparing against them "
+        "(a deliberate, reviewable act — never done silently)",
+    )
+
+
 @pytest.fixture
 def paper_constraints() -> DesignConstraints:
     """The paper's exact operating point (OV1=5 %, OV2=10 %, 1e-6)."""

@@ -1,0 +1,204 @@
+"""Property-based tests of the ECC layer (Hypothesis).
+
+Each codec's *guaranteed* behaviour is asserted over random data words and
+random flip patterns:
+
+* clean encode/decode round trip for every codec;
+* correction of any ≤ t-bit error the code guarantees to correct
+  (arbitrary positions for Hamming/SECDED, adjacent clusters for the
+  interleaved codes);
+* the documented behaviour one step past the guarantee (t+1): SECDED
+  detects double errors, parity detects any odd flip count, interleaved
+  SECDED detects clusters up to twice its ways;
+* the redundancy (check-bit sizing) estimators agree with the concrete
+  codecs they model and grow monotonically in correction strength.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc import DecodeStatus
+from repro.ecc.hamming import HammingCode, SecDedCode
+from repro.ecc.interleaved import (
+    InterleavedHammingCode,
+    InterleavedParityCode,
+    InterleavedSecDedCode,
+)
+from repro.ecc.parity import ParityCode
+from repro.ecc.redundancy import bch_check_bits, check_bits_for_correction
+
+#: Word widths exercised; interleaved codes additionally require the lane
+#: split to be even so the adjacency guarantee holds end to end.
+WORD_BITS = (8, 16, 32)
+INTERLEAVED = [(16, 2), (32, 2), (32, 4), (32, 8), (64, 4)]
+
+data_bits_st = st.sampled_from(WORD_BITS)
+
+
+def _word(draw, bits: int) -> int:
+    return draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+
+
+def _flip(codeword: int, positions) -> int:
+    for position in positions:
+        codeword ^= 1 << position
+    return codeword
+
+
+# ---------------------------------------------------------------------- #
+# Clean round trips
+# ---------------------------------------------------------------------- #
+@settings(max_examples=60, deadline=None)
+@given(st.data(), data_bits_st)
+def test_clean_roundtrip_simple_codes(data, bits):
+    for code in (HammingCode(bits), SecDedCode(bits), ParityCode(bits)):
+        word = _word(data.draw, bits)
+        result = code.roundtrip(word)
+        assert result.status is DecodeStatus.CLEAN
+        assert result.data == word
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data(), st.sampled_from(INTERLEAVED))
+def test_clean_roundtrip_interleaved(data, shape):
+    bits, ways = shape
+    for factory in (InterleavedSecDedCode, InterleavedHammingCode, InterleavedParityCode):
+        code = factory(bits, ways)
+        word = _word(data.draw, bits)
+        result = code.roundtrip(word)
+        assert result.status is DecodeStatus.CLEAN
+        assert result.data == word
+
+
+# ---------------------------------------------------------------------- #
+# Guaranteed correction (≤ t flips)
+# ---------------------------------------------------------------------- #
+@settings(max_examples=80, deadline=None)
+@given(st.data(), data_bits_st)
+def test_hamming_and_secded_correct_any_single_flip(data, bits):
+    for code in (HammingCode(bits), SecDedCode(bits)):
+        word = _word(data.draw, bits)
+        position = data.draw(st.integers(0, code.codeword_bits - 1))
+        result = code.decode(_flip(code.encode(word), [position]))
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == word
+        assert result.corrected_bits == 1
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data(), st.sampled_from(INTERLEAVED))
+def test_interleaved_secded_corrects_adjacent_clusters(data, shape):
+    bits, ways = shape
+    code = InterleavedSecDedCode(bits, ways)
+    assert code.correctable_bits == ways
+    word = _word(data.draw, bits)
+    width = data.draw(st.integers(1, ways))
+    start = data.draw(st.integers(0, code.codeword_bits - width))
+    result = code.decode(_flip(code.encode(word), range(start, start + width)))
+    assert result.status is DecodeStatus.CORRECTED
+    assert result.data == word
+    assert result.corrected_bits == width
+
+
+# ---------------------------------------------------------------------- #
+# Behaviour at t+1 (one flip past the guarantee)
+# ---------------------------------------------------------------------- #
+@settings(max_examples=80, deadline=None)
+@given(st.data(), data_bits_st)
+def test_secded_detects_double_flips(data, bits):
+    code = SecDedCode(bits)
+    word = _word(data.draw, bits)
+    positions = data.draw(
+        st.lists(
+            st.integers(0, code.codeword_bits - 1), min_size=2, max_size=2, unique=True
+        )
+    )
+    result = code.decode(_flip(code.encode(word), positions))
+    assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data(), data_bits_st)
+def test_hamming_never_reports_clean_for_double_flips(data, bits):
+    # Plain Hamming gives no double-error guarantee beyond "not clean":
+    # the nonzero syndrome may miscorrect, which is exactly the SMU
+    # weakness motivating the paper.
+    code = HammingCode(bits)
+    word = _word(data.draw, bits)
+    positions = data.draw(
+        st.lists(
+            st.integers(0, code.codeword_bits - 1), min_size=2, max_size=2, unique=True
+        )
+    )
+    result = code.decode(_flip(code.encode(word), positions))
+    assert result.status is not DecodeStatus.CLEAN
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data(), data_bits_st)
+def test_parity_detects_any_odd_flip_count(data, bits):
+    code = ParityCode(bits)
+    word = _word(data.draw, bits)
+    count = data.draw(st.sampled_from([1, 3, 5]))
+    positions = data.draw(
+        st.lists(
+            st.integers(0, code.codeword_bits - 1),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    result = code.decode(_flip(code.encode(word), positions))
+    assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+    assert result.error_detected
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data(), st.sampled_from(INTERLEAVED))
+def test_interleaved_parity_detects_clusters_up_to_ways(data, shape):
+    bits, ways = shape
+    code = InterleavedParityCode(bits, ways)
+    word = _word(data.draw, bits)
+    width = data.draw(st.integers(1, ways))
+    start = data.draw(st.integers(0, code.codeword_bits - width))
+    result = code.decode(_flip(code.encode(word), range(start, start + width)))
+    assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data(), st.sampled_from(INTERLEAVED))
+def test_interleaved_secded_detects_clusters_past_its_ways(data, shape):
+    # Width in (ways, 2*ways]: some lane sees exactly two flips, which its
+    # SECDED lane detects; no lane sees more.
+    bits, ways = shape
+    code = InterleavedSecDedCode(bits, ways)
+    word = _word(data.draw, bits)
+    width = data.draw(st.integers(ways + 1, 2 * ways))
+    start = data.draw(st.integers(0, code.codeword_bits - width))
+    result = code.decode(_flip(code.encode(word), range(start, start + width)))
+    assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+# ---------------------------------------------------------------------- #
+# Redundancy sizing agrees with the concrete codecs
+# ---------------------------------------------------------------------- #
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(INTERLEAVED))
+def test_interleaved_check_bit_estimates_match_codecs(shape):
+    bits, ways = shape
+    assert (
+        check_bits_for_correction(bits, ways, "interleaved-secded")
+        == InterleavedSecDedCode(bits, ways).check_bits
+    )
+    assert (
+        check_bits_for_correction(bits, ways, "interleaved-hamming")
+        == InterleavedHammingCode(bits, ways).check_bits
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(data_bits_st, st.integers(1, 17))
+def test_bch_check_bits_monotone_in_strength(bits, t):
+    assert bch_check_bits(bits, t + 1) >= bch_check_bits(bits, t)
+    assert bch_check_bits(bits, t) >= t  # at least one bit per corrected bit

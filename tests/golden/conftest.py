@@ -1,0 +1,80 @@
+"""Golden-fixture machinery.
+
+A golden test freezes the exact numbers an artefact produced when its
+fixture was last (deliberately) regenerated, so any later change to the
+simulation pipeline that moves a paper figure fails loudly.  Fixtures are
+committed JSON under ``tests/golden/fixtures/`` and regenerated only via
+``pytest tests/golden --update-golden``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+FIXTURES_DIR = Path(__file__).parent / "fixtures"
+
+
+class GoldenStore:
+    """Compares payloads against committed fixtures (or rewrites them)."""
+
+    def __init__(self, update: bool) -> None:
+        self.update = update
+
+    @staticmethod
+    def _canonical(payload) -> object:
+        # A JSON round trip normalizes tuples/ints/floats exactly the way
+        # the stored fixture was normalized, so ``==`` is an exact check.
+        return json.loads(json.dumps(payload, sort_keys=True))
+
+    def path(self, name: str) -> Path:
+        return FIXTURES_DIR / f"{name}.json"
+
+    def _load_document(self, name: str) -> dict:
+        path = self.path(name)
+        if not path.exists():
+            pytest.fail(
+                f"golden fixture {path} is missing; generate it deliberately "
+                "with: pytest tests/golden --update-golden"
+            )
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def load(self, name: str) -> object:
+        return self._load_document(name)["payload"]
+
+    def check(self, name: str, payload) -> None:
+        """Exact comparison against the committed fixture."""
+        canonical = self._canonical(payload)
+        if self.update:
+            FIXTURES_DIR.mkdir(parents=True, exist_ok=True)
+            document = {
+                # The fixtures pin exact floats that flow through NumPy
+                # Generator streams, whose distribution methods may change
+                # between NumPy feature releases; recording the generating
+                # version turns such a failure into a diagnosis.
+                "generated_with": {"numpy": np.__version__},
+                "payload": canonical,
+            }
+            self.path(name).write_text(
+                json.dumps(document, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            return
+        document = self._load_document(name)
+        provenance = document.get("generated_with", {})
+        assert canonical == document["payload"], (
+            f"golden fixture {name!r} diverged from the current implementation "
+            f"(fixture generated with numpy {provenance.get('numpy', '?')}, "
+            f"running numpy {np.__version__} — a NumPy random-stream change "
+            "can move these numbers without any repo change). If the change "
+            "is intentional, regenerate with `pytest tests/golden "
+            "--update-golden` and commit the diff"
+        )
+
+
+@pytest.fixture(scope="session")
+def golden(request) -> GoldenStore:
+    return GoldenStore(update=request.config.getoption("--update-golden"))

@@ -188,3 +188,73 @@ class TestScenarioCommands:
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["rows"][0]["scenario"] == "storm"
+
+
+class TestOutputPathCreation:
+    """``--output`` (and the ResultSet writers) create missing directories."""
+
+    def test_output_creates_missing_parent_directories(self, capsys, tmp_path):
+        path = tmp_path / "reports" / "2026-07" / "listing.json"
+        assert main(["list", "--format", "json", "--output", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["rows"]
+        assert "wrote json report" in capsys.readouterr().out
+
+    def test_result_set_write_creates_parents(self, tmp_path):
+        from repro.api.results import ResultSet
+
+        result = ResultSet.from_records("T", [{"a": 1, "b": 2.5}])
+        path = tmp_path / "a" / "b" / "c.csv"
+        result.write(path, fmt="csv")
+        assert path.read_text().splitlines()[0] == "a,b"
+
+    def test_write_report_plain_file_in_existing_dir(self, tmp_path):
+        from repro.api.results import write_report
+
+        path = tmp_path / "plain.txt"
+        write_report(path, "hello")
+        assert path.read_text() == "hello\n"
+
+
+class TestEngineOption:
+    def test_campaign_batched_engine(self, capsys):
+        assert main([
+            "campaign", "--app", "adpcm-encode", "--strategy", "hybrid-optimal",
+            "--runs", "6", "--engine", "batched", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        metrics = {row["metric"]: row for row in payload["rows"]}
+        assert metrics["energy_nj"]["count"] == 6
+        assert metrics["checkpoints_committed"]["mean"] > 0
+
+    def test_campaign_engines_agree_on_deterministic_metrics(self, capsys):
+        args = ["campaign", "--app", "adpcm-encode", "--strategy", "default",
+                "--runs", "4", "--format", "json"]
+        assert main(args) == 0
+        behavioural = json.loads(capsys.readouterr().out)
+        assert main(args + ["--engine", "batched"]) == 0
+        batched = json.loads(capsys.readouterr().out)
+
+        def metric(payload, name):
+            return next(r for r in payload["rows"] if r["metric"] == name)
+
+        for name in ("total_cycles", "useful_cycles", "checkpoint_cycles"):
+            assert metric(behavioural, name)["mean"] == metric(batched, name)["mean"]
+
+    def test_rejects_unknown_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--app", "adpcm-encode", "--engine", "warp"])
+
+    def test_scenarios_sweep_batched_engine(self, capsys):
+        assert main([
+            "scenarios", "sweep", "--app", "adpcm-encode",
+            "--scenarios", "paper-constant", "burst",
+            "--strategies", "hybrid-optimal",
+            "--seeds", "0", "1", "2", "3",
+            "--engine", "batched", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = payload["rows"]
+        assert len(rows) == 2
+        assert all(row["relative_energy"] == 1.0 for row in rows)
+        assert all(row["fully_mitigated_fraction"] == 1.0 for row in rows)
