@@ -1,0 +1,324 @@
+"""Benchmark: vectorized design-space engine vs the per-point Python sweeps.
+
+The grid solver in :mod:`repro.batch.design` exists to make design-space
+studies — the Fig. 4 feasible region, the Table I chunk optimizations and
+the optimize/feasibility ablations — interactive.  This bench runs the
+same artefacts through both engines, verifies the results are identical
+(exact boundary/argmin, energies to ppm), and archives the measurement as
+``benchmarks/results/BENCH_designspace.json`` — the perf-trajectory
+artefact CI uploads next to ``BENCH_batch.json``::
+
+    PYTHONPATH=src python benchmarks/bench_designspace.py --smoke
+
+The bench **fails** (exit 1) when the end-to-end speedup drops below the
+5x floor or when any result diverges; the target the engine was built for
+is >=20x on the raw sweeps.
+
+Methodology: the task-profile cache is redirected to a temporary
+directory (hermetic), the *cold vs warm* profiling cost is recorded once
+to show the cache win, and the per-engine timings are then taken warm
+(best of N repeats) so the speedup isolates the engine itself rather than
+the shared cache.  ``--smoke`` measures fig4 + table1; the full mode adds
+the ablation suite and a scenario-rate grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import (
+    ablation_area_budget,
+    ablation_correction_strength,
+    ablation_drain_latency,
+    ablation_error_rate,
+    fig4_feasible_region,
+    table1_optimal_chunks,
+)
+from repro.batch.design import grid_optimal_chunks_for_rates
+from repro.core.config import PAPER_OPERATING_POINT
+from repro.core.optimizer import ChunkSizeOptimizer
+from repro.runtime.executor import characterize_app
+from repro.runtime.profile_cache import ENV_CACHE_DIR, default_cache
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The bench fails below this end-to-end speedup.
+SPEEDUP_FLOOR = 5.0
+
+#: Relative tolerance on energy figures ("to ppm").
+ENERGY_RTOL = 1e-6
+
+#: Rates of the full mode's scenario-rate-grid cell (what adaptive
+#: strategies evaluate per scenario level).
+RATE_GRID = tuple(coefficient * 10.0**exponent
+                  for exponent in range(-9, -5)
+                  for coefficient in (1.0, 2.0, 5.0))
+
+
+def _best_of(repeats: int, fn):
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _energies_close(a: float, b: float) -> bool:
+    scale = max(abs(a), abs(b), 1e-30)
+    return abs(a - b) <= ENERGY_RTOL * scale
+
+
+def _check_fig4(behavioural, batched) -> list[str]:
+    problems = []
+    if behavioural.rows() != batched.rows():
+        problems.append("fig4 boundary differs between engines")
+    if behavioural.region.points != batched.region.points:
+        problems.append("fig4 grid points differ between engines")
+    return problems
+
+
+def _check_table1(behavioural, batched) -> list[str]:
+    problems = []
+    for name, row in behavioural.rows_by_app.items():
+        other = batched.rows_by_app[name]
+        if (row.chunk_words, row.num_checkpoints) != (
+            other.chunk_words,
+            other.num_checkpoints,
+        ):
+            problems.append(f"table1 argmin differs for {name}")
+        if not _energies_close(
+            row.predicted_energy_overhead, other.predicted_energy_overhead
+        ):
+            problems.append(f"table1 energy overhead diverges for {name}")
+    for name, optimization in behavioural.optimizations.items():
+        other = batched.optimizations[name]
+        for ours, theirs in zip(optimization.candidates, other.candidates):
+            if not _energies_close(ours.objective_pj, theirs.objective_pj):
+                problems.append(f"candidate energies diverge for {name}")
+                break
+    return problems
+
+
+def _check_ablations(behavioural, batched) -> list[str]:
+    problems = []
+    for ours, theirs in zip(behavioural, batched):
+        if ours.table_rows != theirs.table_rows:
+            problems.append(f"ablation rows differ ({ours.parameter})")
+    return problems
+
+
+def _run_ablations(engine: str):
+    constraints = PAPER_OPERATING_POINT
+    return (
+        ablation_error_rate(constraints=constraints, engine=engine),
+        ablation_area_budget(constraints=constraints, engine=engine),
+        ablation_correction_strength(constraints=constraints, engine=engine),
+        ablation_drain_latency(constraints=constraints, engine=engine),
+    )
+
+
+def _run_rate_grid_scalar(characterizations):
+    chunks = {}
+    for characterization in characterizations:
+        per_rate = []
+        for rate in RATE_GRID:
+            optimizer = ChunkSizeOptimizer(
+                PAPER_OPERATING_POINT.with_overrides(error_rate=rate)
+            )
+            try:
+                per_rate.append(
+                    optimizer.optimize_characterization(characterization).chunk_words
+                )
+            except ValueError:
+                per_rate.append(1)
+        chunks[characterization.name] = per_rate
+    return chunks
+
+
+def _run_rate_grid_vectorized(characterizations):
+    return {
+        characterization.name: grid_optimal_chunks_for_rates(
+            characterization, PAPER_OPERATING_POINT, list(RATE_GRID), infeasible_chunk=1
+        )
+        for characterization in characterizations
+    }
+
+
+def _measure_cells(repeats: int, full: bool) -> tuple[list[dict], float, float]:
+    from repro.apps.registry import paper_benchmarks
+
+    # Cold vs warm characterization: the cache win shared by both engines
+    # (input generation + workload walk on the first call, a content-keyed
+    # memo hit afterwards).
+    start = time.perf_counter()
+    apps = paper_benchmarks()
+    characterizations = [characterize_app(app, 0) for app in apps]
+    cold_profile_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for app in paper_benchmarks():
+        characterize_app(app, 0)
+    warm_profile_seconds = time.perf_counter() - start
+
+    cells = []
+
+    behavioural_seconds, behavioural_fig4 = _best_of(
+        repeats, lambda: fig4_feasible_region()
+    )
+    batched_seconds, batched_fig4 = _best_of(
+        repeats, lambda: fig4_feasible_region(engine="batched")
+    )
+    cells.append(
+        {
+            "artefact": "fig4",
+            "grid_points": len(behavioural_fig4.region.points),
+            "behavioural_seconds": round(behavioural_seconds, 4),
+            "batched_seconds": round(batched_seconds, 4),
+            "speedup": round(behavioural_seconds / batched_seconds, 1),
+            "problems": _check_fig4(behavioural_fig4, batched_fig4),
+        }
+    )
+
+    behavioural_seconds, behavioural_table1 = _best_of(
+        repeats, lambda: table1_optimal_chunks()
+    )
+    batched_seconds, batched_table1 = _best_of(
+        repeats, lambda: table1_optimal_chunks(engine="batched")
+    )
+    cells.append(
+        {
+            "artefact": "table1",
+            "benchmarks": len(behavioural_table1.rows_by_app),
+            "behavioural_seconds": round(behavioural_seconds, 4),
+            "batched_seconds": round(batched_seconds, 4),
+            "speedup": round(behavioural_seconds / batched_seconds, 1),
+            "problems": _check_table1(behavioural_table1, batched_table1),
+        }
+    )
+
+    if full:
+        behavioural_seconds, behavioural_abl = _best_of(
+            repeats, lambda: _run_ablations("behavioural")
+        )
+        batched_seconds, batched_abl = _best_of(
+            repeats, lambda: _run_ablations("batched")
+        )
+        cells.append(
+            {
+                "artefact": "ablations",
+                "behavioural_seconds": round(behavioural_seconds, 4),
+                "batched_seconds": round(batched_seconds, 4),
+                "speedup": round(behavioural_seconds / batched_seconds, 1),
+                "problems": _check_ablations(behavioural_abl, batched_abl),
+            }
+        )
+
+        behavioural_seconds, scalar_chunks = _best_of(
+            1, lambda: _run_rate_grid_scalar(characterizations)
+        )
+        batched_seconds, vector_chunks = _best_of(
+            repeats, lambda: _run_rate_grid_vectorized(characterizations)
+        )
+        cells.append(
+            {
+                "artefact": "rate-grid",
+                "rates": len(RATE_GRID),
+                "behavioural_seconds": round(behavioural_seconds, 4),
+                "batched_seconds": round(batched_seconds, 4),
+                "speedup": round(behavioural_seconds / batched_seconds, 1),
+                "problems": []
+                if scalar_chunks == vector_chunks
+                else ["rate-grid argmin chunks differ between engines"],
+            }
+        )
+
+    return cells, cold_profile_seconds, warm_profile_seconds
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fig4 + table1 only (the CI configuration); full mode adds "
+        "the ablation suite and the scenario-rate grid",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timing repeats per engine; the best run is kept (default: 3)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(RESULTS_DIR / "BENCH_designspace.json"),
+        metavar="PATH",
+        help="where to write the JSON artefact",
+    )
+    args = parser.parse_args(argv)
+
+    # Hermetic profile cache: never reads or pollutes ~/.cache/repro, and
+    # the first characterization in this process is genuinely cold.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        os.environ[ENV_CACHE_DIR] = tmp
+        default_cache().clear()
+        cells, cold_profile, warm_profile = _measure_cells(
+            args.repeats, full=not args.smoke
+        )
+
+    problems = [problem for cell in cells for problem in cell["problems"]]
+    for cell in cells:
+        print(
+            f"{cell['artefact']}: behavioural {cell['behavioural_seconds'] * 1000:.1f}ms, "
+            f"batched {cell['batched_seconds'] * 1000:.1f}ms "
+            f"-> {cell['speedup']:.0f}x"
+            + (f"  PROBLEMS: {cell['problems']}" if cell["problems"] else "")
+        )
+    print(
+        f"profile cache: cold {cold_profile * 1000:.1f}ms -> warm "
+        f"{warm_profile * 1000:.1f}ms for the five paper benchmarks"
+    )
+
+    speedups = [cell["speedup"] for cell in cells]
+    payload = {
+        "bench": "designspace",
+        "mode": "smoke" if args.smoke else "full",
+        "floor": SPEEDUP_FLOOR,
+        "repeats": args.repeats,
+        "min_speedup": min(speedups),
+        "median_speedup": statistics.median(speedups),
+        "profile_cache": {
+            "cold_seconds": round(cold_profile, 4),
+            "warm_seconds": round(warm_profile, 4),
+        },
+        "cells": cells,
+    }
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\n[{payload['mode']}] archived to {output}")
+
+    if problems:
+        print(f"FAIL: engine results diverge: {problems}", file=sys.stderr)
+        return 1
+    if min(speedups) < SPEEDUP_FLOOR:
+        print(
+            f"FAIL: minimum speedup {min(speedups):.1f}x is below the "
+            f"{SPEEDUP_FLOOR:.0f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

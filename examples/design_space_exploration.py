@@ -10,9 +10,21 @@ Regenerates the designer-facing views of the proposal:
   (the ablations discussed in DESIGN.md).
 
 Run with:  python examples/design_space_exploration.py
+
+``--engine batched`` evaluates every sweep on the vectorized design
+engine (:mod:`repro.batch.design`) — identical tables, a fraction of the
+wall clock, which is what makes full-resolution exploration interactive:
+
+    python examples/design_space_exploration.py --engine batched --full
+
+``--jobs N`` fans the per-benchmark optimizations out across processes
+(mostly useful for the behavioural engine).
 """
 
 from __future__ import annotations
+
+import argparse
+import time
 
 from repro.analysis import (
     ablation_area_budget,
@@ -20,19 +32,51 @@ from repro.analysis import (
     fig4_feasible_region,
     table1_optimal_chunks,
 )
+from repro.api.spec import ENGINES
 from repro.core import PAPER_OPERATING_POINT
 
 
-def main() -> None:
-    constraints = PAPER_OPERATING_POINT
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=(__doc__ or "").splitlines()[0])
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="behavioural",
+        help="design-space engine (batched = vectorized grid solver, "
+        "bit-identical results; default: behavioural)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the per-benchmark optimizations (default: 1)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full-resolution Fig. 4 grid (chunk stride 1 instead of 4)",
+    )
+    args = parser.parse_args(argv)
 
-    print(fig4_feasible_region(constraints, chunk_stride=4).render())
+    constraints = PAPER_OPERATING_POINT
+    start = time.perf_counter()
+
+    print(
+        fig4_feasible_region(
+            constraints, chunk_stride=1 if args.full else 4, engine=args.engine
+        ).render()
+    )
     print()
-    print(table1_optimal_chunks(constraints).render())
+    print(table1_optimal_chunks(constraints, jobs=args.jobs, engine=args.engine).render())
     print()
-    print(ablation_area_budget(constraints=constraints).render())
+    print(ablation_area_budget(constraints=constraints, engine=args.engine).render())
     print()
-    print(ablation_error_rate(constraints=constraints).render())
+    print(
+        ablation_error_rate(
+            constraints=constraints, jobs=args.jobs, engine=args.engine
+        ).render()
+    )
     print()
     print(
         "Reading the tables: the area budget caps how large (and how strongly\n"
@@ -40,6 +84,7 @@ def main() -> None:
         "higher rates favour smaller chunks because re-computation dominates,\n"
         "lower rates favour larger chunks because checkpoint triggers dominate."
     )
+    print(f"\n[{args.engine} engine, {time.perf_counter() - start:.2f}s]")
 
 
 if __name__ == "__main__":

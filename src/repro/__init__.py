@@ -62,7 +62,7 @@ from .api import (
     Session,
     SweepSpec,
 )
-from .batch import BatchTaskModel
+from .batch import BatchTaskModel, grid_feasible_region, grid_optimize
 from .core import (
     AdaptiveHybridStrategy,
     DesignConstraints,
@@ -83,7 +83,7 @@ from .scenarios import (
     register_scenario,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AdaptiveHybridStrategy",
@@ -108,6 +108,8 @@ __all__ = [
     "TaskExecutor",
     "available_scenarios",
     "build_scenario",
+    "grid_feasible_region",
+    "grid_optimize",
     "optimize_chunk_size",
     "register_scenario",
     "run_task",

@@ -21,7 +21,11 @@ Each public function reproduces one evaluation artefact:
 Every harness expresses its workload as declarative
 :class:`~repro.api.spec.ExperimentSpec` runs executed through a
 :class:`~repro.api.session.Session` — pass ``session=`` or ``jobs=`` to
-fan the underlying simulations out across cores.  All functions return
+fan the underlying simulations out across cores, and ``engine="batched"``
+to run on the NumPy engines of :mod:`repro.batch`: statistically
+equivalent for the fault-injection harnesses (fig5, timing, scenario
+sweeps), *bit-identical* for the design-space ones (fig4, table1, the
+optimize/feasibility ablations).  All functions return
 plain dataclasses with ``rows()`` / ``render()`` helpers plus a
 ``to_result_set()`` bridge into the machine-readable results layer shared
 by the CLI and the benchmarks.
@@ -134,6 +138,7 @@ def fig4_spec(
     max_chunk_words: int,
     max_correctable_bits: int,
     chunk_stride: int,
+    engine: str = "behavioural",
 ) -> ExperimentSpec:
     """The declarative form of the Fig. 4 sweep."""
     return ExperimentSpec(
@@ -144,6 +149,7 @@ def fig4_spec(
             "max_correctable_bits": max_correctable_bits,
             "chunk_stride": chunk_stride,
         },
+        engine=engine,
     )
 
 
@@ -153,13 +159,23 @@ def fig4_feasible_region(
     max_correctable_bits: int = paper_data.PAPER_FIG4_MAX_CORRECTABLE_BITS,
     chunk_stride: int = 1,
     session: Session | None = None,
+    engine: str | None = None,
 ) -> Fig4Result:
     """Reproduce the Fig. 4 sweep.
 
     ``chunk_stride`` subsamples the x-axis (use >1 to speed up smoke runs).
+    ``engine="batched"`` evaluates the grid through the vectorized design
+    engine of :mod:`repro.batch.design` — bit-identical boundary, a
+    fraction of the wall clock.
     """
     constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
-    spec = fig4_spec(constraints, max_chunk_words, max_correctable_bits, chunk_stride)
+    spec = fig4_spec(
+        constraints,
+        max_chunk_words,
+        max_correctable_bits,
+        chunk_stride,
+        engine=engine if engine is not None else "behavioural",
+    )
     outcome = _session(session).run(spec)
     return Fig4Result(region=outcome.artifact, constraints=constraints)
 
@@ -257,12 +273,23 @@ def table1_optimal_chunks(
     seed: int = 0,
     session: Session | None = None,
     jobs: int | None = None,
+    engine: str | None = None,
 ) -> Table1Result:
-    """Reproduce Table I by running the chunk-size optimizer per benchmark."""
+    """Reproduce Table I by running the chunk-size optimizer per benchmark.
+
+    ``engine="batched"`` solves each optimization through the vectorized
+    design engine — same argmin chunk, same candidate costs, bit for bit.
+    """
     constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
     refs = _resolve_app_refs(applications)
     specs = [
-        ExperimentSpec(app=ref, kind="optimize", constraints=constraints, seed=seed)
+        ExperimentSpec(
+            app=ref,
+            kind="optimize",
+            constraints=constraints,
+            seed=seed,
+            engine=engine if engine is not None else "behavioural",
+        )
         for ref, _ in refs
     ]
     outcomes = _session(session).run_all(specs, jobs=jobs)
@@ -755,6 +782,7 @@ def ablation_error_rate(
     seed: int = 0,
     session: Session | None = None,
     jobs: int | None = None,
+    engine: str | None = None,
 ) -> AblationResult:
     """How the optimum chunk size and overhead move with the upset rate."""
     constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
@@ -765,7 +793,13 @@ def ablation_error_rate(
         rates = [1e-8, 1e-7, 5e-7, 1e-6, 2e-6]
     ref, app = _ablation_app_ref(application)
     sweep = SweepSpec(
-        base=ExperimentSpec(app=ref, kind="optimize", constraints=constraints, seed=seed),
+        base=ExperimentSpec(
+            app=ref,
+            kind="optimize",
+            constraints=constraints,
+            seed=seed,
+            engine=engine if engine is not None else "behavioural",
+        ),
         parameters={"constraints.error_rate": tuple(rates)},
     )
     result_set = _session(session).sweep(sweep, jobs=jobs)
@@ -792,6 +826,7 @@ def ablation_area_budget(
     constraints: DesignConstraints | None = None,
     session: Session | None = None,
     jobs: int | None = None,
+    engine: str | None = None,
 ) -> AblationResult:
     """How the feasible buffer space shrinks as the area budget OV1 tightens."""
     constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
@@ -802,6 +837,7 @@ def ablation_area_budget(
             kind="feasibility",
             constraints=constraints,
             params={"max_chunk_words": 513, "chunk_stride": 4},
+            engine=engine if engine is not None else "behavioural",
         ),
         parameters={"constraints.area_overhead": tuple(budgets)},
     )
@@ -842,6 +878,7 @@ def ablation_correction_strength(
     seed: int = 0,
     session: Session | None = None,
     jobs: int | None = None,
+    engine: str | None = None,
 ) -> AblationResult:
     """Impact of the L1' correction strength on the optimum and its area."""
     constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
@@ -849,7 +886,13 @@ def ablation_correction_strength(
         strengths = [1, 2, 4, 8]
     ref, app = _ablation_app_ref(application)
     sweep = SweepSpec(
-        base=ExperimentSpec(app=ref, kind="optimize", constraints=constraints, seed=seed),
+        base=ExperimentSpec(
+            app=ref,
+            kind="optimize",
+            constraints=constraints,
+            seed=seed,
+            engine=engine if engine is not None else "behavioural",
+        ),
         parameters={"constraints.correctable_bits": tuple(strengths)},
     )
     result_set = _session(session).sweep(sweep, jobs=jobs)
@@ -877,6 +920,7 @@ def ablation_drain_latency(
     seed: int = 0,
     session: Session | None = None,
     jobs: int | None = None,
+    engine: str | None = None,
 ) -> AblationResult:
     """Sensitivity to the exposure window of produced data (calibration knob)."""
     constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
@@ -884,7 +928,13 @@ def ablation_drain_latency(
         latencies = [250, 500, 1000, 2000, 4000]
     ref, app = _ablation_app_ref(application)
     sweep = SweepSpec(
-        base=ExperimentSpec(app=ref, kind="optimize", constraints=constraints, seed=seed),
+        base=ExperimentSpec(
+            app=ref,
+            kind="optimize",
+            constraints=constraints,
+            seed=seed,
+            engine=engine if engine is not None else "behavioural",
+        ),
         parameters={"constraints.drain_latency_cycles": tuple(latencies)},
     )
     result_set = _session(session).sweep(sweep, jobs=jobs)

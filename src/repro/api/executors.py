@@ -14,7 +14,10 @@ fault streams depend on how the executor groups seeds (one stream per
 group, see :class:`BatchCampaignExecutor`), so batched results are
 reproducible per (spec, executor kind) but not identical between, say, a
 :class:`SerialExecutor` run and a grouped :class:`BatchCampaignExecutor`
-run of the same specs.
+run of the same specs.  ``optimize`` / ``feasibility`` specs carry no
+randomness at all: the vectorized design engine serving their
+``engine="batched"`` path (:mod:`repro.batch.design`) is bit-identical to
+the behavioural sweep, on every executor.
 """
 
 from __future__ import annotations
@@ -24,10 +27,11 @@ import json
 import os
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..batch import BatchTaskModel
+from ..batch.design import grid_feasible_region, grid_optimize
 from ..core.feasibility import feasible_region
 from ..core.optimizer import ChunkSizeOptimizer
 from ..runtime.executor import TaskExecutor
@@ -101,7 +105,12 @@ def _execute_behavioural(spec: ExperimentSpec) -> RunOutcome:
 
 def _execute_optimization(spec: ExperimentSpec) -> RunOutcome:
     app = spec.resolve_app()
-    result = ChunkSizeOptimizer(spec.constraints).optimize(app, seed=spec.seed)
+    if spec.engine == "batched":
+        # Vectorized grid engine — bit-identical to the behavioural sweep
+        # (same candidates, same argmin), evaluated as array operations.
+        result = grid_optimize(app, spec.constraints, seed=spec.seed)
+    else:
+        result = ChunkSizeOptimizer(spec.constraints).optimize(app, seed=spec.seed)
     best = result.best
     record: dict[str, Any] = {
         "application": app.name,
@@ -124,7 +133,8 @@ def _execute_feasibility(spec: ExperimentSpec) -> RunOutcome:
     chunk_stride = int(params.pop("chunk_stride", 1))
     if params:
         raise ValueError(f"unknown feasibility params: {sorted(params)}")
-    region = feasible_region(
+    sweep = grid_feasible_region if spec.engine == "batched" else feasible_region
+    region = sweep(
         constraints=spec.constraints,
         chunk_sizes=range(1, max_chunk_words + 1, chunk_stride),
         correctable_bits=range(1, max_correctable_bits + 1),
@@ -247,9 +257,12 @@ class BatchCampaignExecutor(Executor):
     the behavioural record shape, so sessions, campaigns, sweeps and the
     figure harnesses consume them unchanged.
 
-    Specs the batch engine cannot serve — ``optimize`` / ``feasibility``
-    kinds and trace-collecting runs — are delegated to ``fallback``
-    (default: a :class:`SerialExecutor`).
+    ``optimize`` and ``feasibility`` specs are served by the vectorized
+    design engine (:mod:`repro.batch.design`) — bit-identical to the
+    behavioural per-point sweeps, so unlike execute-kind batching there is
+    no statistical caveat.  Only specs no batch path can serve —
+    trace-collecting runs — are delegated to ``fallback`` (default: a
+    :class:`SerialExecutor`).
 
     Each group's workload input is profiled at the group's first seed, and
     the fault streams of the whole group come from one deterministic
@@ -301,10 +314,17 @@ class BatchCampaignExecutor(Executor):
         passthrough: list[int] = []
         for index, spec in enumerate(specs):
             key = self._group_key(spec)
-            if key is None:
-                passthrough.append(index)
-            else:
+            if key is not None:
                 groups.setdefault(key, []).append(index)
+            elif spec.kind in ("optimize", "feasibility") and not spec.collect_trace:
+                # Design-space kinds vectorize per spec (no seed grouping
+                # needed); results are bit-identical to the behavioural
+                # path, so there is nothing to fall back for.
+                outcomes[index] = _KIND_HANDLERS[spec.kind](
+                    spec if spec.engine == "batched" else replace(spec, engine="batched")
+                )
+            else:
+                passthrough.append(index)
 
         for indices in groups.values():
             group = [specs[i] for i in indices]

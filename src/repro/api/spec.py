@@ -41,10 +41,14 @@ from . import registry
 #: Experiment kinds understood by :func:`repro.api.executors.execute_spec`.
 KINDS: tuple[str, ...] = ("execute", "optimize", "feasibility")
 
-#: Execution engines for ``kind="execute"`` specs.  ``"behavioural"`` replays
-#: every event through :class:`repro.runtime.executor.TaskExecutor`;
-#: ``"batched"`` runs the NumPy-vectorized campaign engine of
-#: :mod:`repro.batch`, which simulates many seeds at once.
+#: Execution engines.  ``"behavioural"`` replays every event through
+#: :class:`repro.runtime.executor.TaskExecutor` (for ``execute`` specs)
+#: or walks the design space point by point in Python (for ``optimize`` /
+#: ``feasibility`` specs).  ``"batched"`` selects the NumPy engines of
+#: :mod:`repro.batch`: the vectorized campaign engine (many seeds at
+#: once, statistically equivalent) for ``execute`` specs and the
+#: vectorized design-space engine (whole grid at once, bit-identical)
+#: for ``optimize`` / ``feasibility`` specs.
 ENGINES: tuple[str, ...] = ("behavioural", "batched")
 
 
@@ -104,11 +108,14 @@ class ExperimentSpec:
     collect_trace:
         Whether the behavioural run records a detailed execution trace.
     engine:
-        Execution engine for ``kind="execute"`` specs: ``"behavioural"``
-        (the event-by-event :class:`~repro.runtime.executor.TaskExecutor`,
-        the default) or ``"batched"`` (the vectorized campaign engine of
-        :mod:`repro.batch`, statistically equivalent and much faster for
-        many-seed campaigns).
+        Execution engine: ``"behavioural"`` (the default) replays
+        ``execute`` specs event by event through
+        :class:`~repro.runtime.executor.TaskExecutor` and walks
+        ``optimize``/``feasibility`` sweeps point by point;
+        ``"batched"`` selects the NumPy engines of :mod:`repro.batch` —
+        statistically equivalent (and much faster) for many-seed
+        campaigns, *bit-identical* (and much faster) for design-space
+        kinds.
     """
 
     app: str | StreamingApplication | None = None

@@ -20,6 +20,11 @@ per-event work.  This package simulates **many seeds at once** instead:
 Entry points: :class:`BatchTaskModel` (one campaign configuration) and
 :class:`~repro.api.executors.BatchCampaignExecutor` (drop-in executor that
 groups specs by everything-but-seed and simulates each group in one shot).
+The *design-space* side — Fig. 4 feasibility and the Eq. 3–7 chunk-size
+optimization — is vectorized by :mod:`repro.batch.design`
+(:func:`grid_feasible_region`, :func:`grid_optimize`), which is
+bit-identical to the per-point Python sweeps rather than statistically
+equivalent.
 
 Approximations relative to the behavioural engine (all documented in
 :mod:`repro.batch.model`): the workload content is frozen at the
@@ -31,6 +36,12 @@ exact for every registered strategy code (see
 :func:`classify_outcomes`).
 """
 
+from .design import (
+    grid_feasible_region,
+    grid_optimal_chunks_for_rates,
+    grid_optimize,
+    grid_optimize_characterization,
+)
 from .model import BatchTaskModel, CumulativeRate, OutcomeProbabilities, classify_outcomes
 
 __all__ = [
@@ -38,4 +49,8 @@ __all__ = [
     "CumulativeRate",
     "OutcomeProbabilities",
     "classify_outcomes",
+    "grid_feasible_region",
+    "grid_optimal_chunks_for_rates",
+    "grid_optimize",
+    "grid_optimize_characterization",
 ]

@@ -24,6 +24,11 @@ terminal through the unified experiment API::
 Every subcommand accepts ``--format table|json|csv`` and ``--output PATH``
 for machine-readable results, and the behavioural workloads accept
 ``--jobs N`` to fan the underlying simulations out across CPU cores.
+``--engine batched`` switches to the NumPy engines — vectorized campaigns
+for fault injection, and a bit-identical vectorized grid solver for the
+design-space artefacts (fig4, table1, ablations, optimize sweeps).
+``--no-cache`` disables the on-disk/in-process task-profile cache
+(``~/.cache/repro``, relocatable via ``REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -54,6 +59,7 @@ from .api.session import Session
 from .api.spec import CampaignSpec, ENGINES, ExperimentSpec, SweepSpec
 from .apps.registry import available_applications
 from .core.config import PAPER_OPERATING_POINT
+from .runtime.profile_cache import configure as configure_profile_cache
 
 #: The paper artefacts and the composite ``all``.
 ARTEFACTS: tuple[str, ...] = ("fig4", "table1", "fig5", "timing", "ablations", "all")
@@ -110,9 +116,20 @@ def _add_engine_option(parser: argparse.ArgumentParser) -> None:
         "--engine",
         choices=ENGINES,
         default="behavioural",
-        help="simulation engine: 'behavioural' replays every event, "
-        "'batched' vectorizes all seeds of a campaign at once "
-        "(default: behavioural)",
+        help="simulation engine: 'behavioural' replays every event / walks "
+        "the design space point by point, 'batched' vectorizes campaigns "
+        "(all seeds at once) and design-space sweeps (whole grid at once, "
+        "bit-identical) (default: behavioural)",
+    )
+
+
+def _add_cache_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the task-profile cache (in-process memo and the "
+        "on-disk store under ~/.cache/repro, see REPRO_CACHE_DIR); "
+        "profiles are then recomputed for every use",
     )
 
 
@@ -212,9 +229,10 @@ def _build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=artefact_help[name])
         _add_constraint_options(sub)
         _add_output_options(sub)
+        _add_engine_option(sub)
+        _add_cache_option(sub)
         if name in ("fig5", "timing", "all"):
             _add_seeds_option(sub)
-            _add_engine_option(sub)
         if name in ("table1", "fig5", "timing", "ablations", "all"):
             _add_jobs_option(sub)
 
@@ -223,6 +241,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_spec_options(run)
     run.add_argument("--seed", type=int, default=0, help="workload/fault seed (default: 0)")
     _add_constraint_options(run)
+    _add_cache_option(run)
     _add_output_options(run)
 
     campaign = subparsers.add_parser(
@@ -243,6 +262,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_constraint_options(campaign)
     _add_jobs_option(campaign)
     _add_engine_option(campaign)
+    _add_cache_option(campaign)
     _add_output_options(campaign)
 
     sweep = subparsers.add_parser(
@@ -269,8 +289,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="values of the swept parameter",
     )
     sweep.add_argument("--seed", type=int, default=0, help="base seed (default: 0)")
+    _add_engine_option(sweep)
     _add_constraint_options(sweep)
     _add_jobs_option(sweep)
+    _add_cache_option(sweep)
     _add_output_options(sweep)
 
     # --- registry discovery ---------------------------------------------- #
@@ -296,6 +318,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_spec_options(scn_run)
     scn_run.add_argument("--seed", type=int, default=0, help="workload/fault seed (default: 0)")
     _add_constraint_options(scn_run)
+    _add_cache_option(scn_run)
     _add_output_options(scn_run)
 
     scn_sweep = scenario_sub.add_parser(
@@ -326,6 +349,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_constraint_options(scn_sweep)
     _add_jobs_option(scn_sweep)
     _add_engine_option(scn_sweep)
+    _add_cache_option(scn_sweep)
     _add_output_options(scn_sweep)
 
     return parser
@@ -432,32 +456,32 @@ def _artefact_sections(args: argparse.Namespace, session: Session) -> list:
     seeds = tuple(getattr(args, "seeds", (0, 1, 2)))
     name = args.command
 
+    engine = getattr(args, "engine", None)
     sections: list[ResultSet] = []
     if name in ("fig4", "all"):
-        sections.append(fig4_feasible_region(constraints, session=session))
+        sections.append(fig4_feasible_region(constraints, session=session, engine=engine))
     if name in ("table1", "all"):
-        sections.append(table1_optimal_chunks(constraints, session=session, jobs=jobs))
+        sections.append(
+            table1_optimal_chunks(constraints, session=session, jobs=jobs, engine=engine)
+        )
     if name in ("fig5", "timing", "all"):
         fig5 = fig5_energy(
             constraints,
             seeds=seeds,
             session=session,
             jobs=jobs,
-            engine=getattr(args, "engine", None),
+            engine=engine,
         )
         if name in ("fig5", "all"):
             sections.append(fig5)
         if name in ("timing", "all"):
             sections.append(timing_overhead(fig5=fig5))
     if name in ("ablations", "all"):
-        sections.append(ablation_error_rate(constraints=constraints, session=session, jobs=jobs))
-        sections.append(ablation_area_budget(constraints=constraints, session=session, jobs=jobs))
-        sections.append(
-            ablation_correction_strength(constraints=constraints, session=session, jobs=jobs)
-        )
-        sections.append(
-            ablation_drain_latency(constraints=constraints, session=session, jobs=jobs)
-        )
+        common = {"constraints": constraints, "session": session, "jobs": jobs, "engine": engine}
+        sections.append(ablation_error_rate(**common))
+        sections.append(ablation_area_budget(**common))
+        sections.append(ablation_correction_strength(**common))
+        sections.append(ablation_drain_latency(**common))
     return sections
 
 
@@ -500,6 +524,8 @@ def _run_sections(args: argparse.Namespace) -> list:
 def main(argv: list[str] | None = None) -> int:
     """Entry point used by the ``repro-experiments`` console script."""
     args = _build_parser().parse_args(argv)
+    if getattr(args, "no_cache", False):
+        configure_profile_cache(memory=False, disk=False)
     try:
         sections = _run_sections(args)
     except (KeyError, ValueError) as error:

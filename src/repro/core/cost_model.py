@@ -76,13 +76,19 @@ class PlatformCostParameters:
     l1p_scheme: str = "interleaved-secded"
 
     @classmethod
+    @lru_cache(maxsize=64)
     def from_defaults(
         cls,
         l1_bytes: int = 64 * 1024,
         processor: ProcessorSpec | None = None,
         technology: TechnologyNode = NODE_65NM,
     ) -> "PlatformCostParameters":
-        """Derive the parameters from the memory model and processor spec."""
+        """Derive the parameters from the memory model and processor spec.
+
+        Memoized: the derivation re-estimates the 64 KB L1 macro, and
+        every optimizer / design-engine invocation starts here.  All
+        inputs and the result are frozen, so sharing instances is safe.
+        """
         spec = processor if processor is not None else ProcessorSpec()
         l1 = SramMacro(l1_bytes, word_bits=32, technology=technology).estimate()
         period_ns = 1e9 / spec.frequency_hz

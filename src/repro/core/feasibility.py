@@ -11,6 +11,7 @@ boundary is what the optimizer searches inside.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..ecc.overhead import EccOverheadModel
 from ..memmodel import NODE_65NM, SramMacro, TechnologyNode
@@ -46,26 +47,45 @@ class FeasibleRegion:
     area_budget: float
     points: tuple[FeasiblePoint, ...]
 
+    @cached_property
+    def _max_bits_by_chunk(self) -> dict[int, int]:
+        """Per-chunk maximum feasible correction strength, scanned once.
+
+        (Queries used to re-scan all points per call — O(points) per
+        lookup, O(points * chunks) for a full boundary.)
+        """
+        best: dict[int, int] = {}
+        for point in self.points:
+            if point.feasible and point.correctable_bits > best.get(point.chunk_words, 0):
+                best[point.chunk_words] = point.correctable_bits
+        return best
+
+    @cached_property
+    def _max_chunk_by_bits(self) -> dict[int, int]:
+        """Per-strength maximum feasible chunk size, scanned once."""
+        best: dict[int, int] = {}
+        for point in self.points:
+            if point.feasible and point.chunk_words > best.get(point.correctable_bits, 0):
+                best[point.correctable_bits] = point.chunk_words
+        return best
+
+    @cached_property
+    def _chunk_axis(self) -> tuple[int, ...]:
+        """All swept chunk sizes, ascending."""
+        return tuple(sorted({point.chunk_words for point in self.points}))
+
     def max_correctable_bits(self, chunk_words: int) -> int:
         """Largest correctable-bit count feasible at ``chunk_words`` (0 if none)."""
-        best = 0
-        for point in self.points:
-            if point.chunk_words == chunk_words and point.feasible:
-                best = max(best, point.correctable_bits)
-        return best
+        return self._max_bits_by_chunk.get(chunk_words, 0)
 
     def max_chunk_words(self, correctable_bits: int) -> int:
         """Largest feasible chunk size at a given correction strength (0 if none)."""
-        best = 0
-        for point in self.points:
-            if point.correctable_bits == correctable_bits and point.feasible:
-                best = max(best, point.chunk_words)
-        return best
+        return self._max_chunk_by_bits.get(correctable_bits, 0)
 
     def boundary(self) -> list[tuple[int, int]]:
         """The Fig. 4 staircase: (chunk size, max feasible correctable bits)."""
-        chunks = sorted({point.chunk_words for point in self.points})
-        return [(chunk, self.max_correctable_bits(chunk)) for chunk in chunks]
+        lookup = self._max_bits_by_chunk
+        return [(chunk, lookup.get(chunk, 0)) for chunk in self._chunk_axis]
 
     def feasible_points(self) -> list[FeasiblePoint]:
         """Only the feasible points of the sweep."""

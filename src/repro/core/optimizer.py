@@ -125,10 +125,20 @@ class ChunkSizeOptimizer:
     def optimize(
         self, app: StreamingApplication, task_input=None, seed: int = 0
     ) -> OptimizationResult:
-        """Profile ``app`` (on a generated input) and optimize its chunk size."""
+        """Profile ``app`` (on a generated input) and optimize its chunk size.
+
+        Profiling goes through the content-keyed task-profile cache
+        (:mod:`repro.runtime.profile_cache`), so repeated optimizations of
+        the same (app, params, input) — strategy sizing, Table I, the
+        ablation sweeps — walk the workload once per session.
+        """
+        from ..runtime.executor import characterize_app, characterize_task
+
         if task_input is None:
-            task_input = app.generate_input(seed)
-        return self.optimize_characterization(app.characterize(task_input))
+            characterization = characterize_app(app, seed)
+        else:
+            characterization = characterize_task(app, task_input)
+        return self.optimize_characterization(characterization)
 
 
 def optimize_chunk_size(

@@ -257,10 +257,14 @@ class AdaptiveHybridStrategy(HybridStrategy):
         label: str = "hybrid-adaptive",
         opt_seed: int = 0,
     ) -> None:
+        from ..runtime.executor import characterize_app
+
         constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
         if extra_buffer_words is None:
             extra_buffer_words = app.state_words()
-        self._characterization = app.characterize(app.generate_input(opt_seed))
+        # Cached characterization: campaigns re-instantiate this strategy
+        # per run, so the workload walk must not be repeated each time.
+        self._characterization = characterize_app(app, opt_seed)
         self._chunk_cache: dict[float, int] = {}
         # Optimize the nominal rate through the same quantized/cached path
         # plan_schedule uses, so a ConstantRate(error_rate) scenario plans
@@ -286,15 +290,18 @@ class AdaptiveHybridStrategy(HybridStrategy):
         return float(f"{rate:.1e}")
 
     def _optimize_chunk(self, constraints: DesignConstraints, rate: float) -> int:
-        from .optimizer import ChunkSizeOptimizer
+        # The vectorized grid engine returns the exact argmin the scalar
+        # ChunkSizeOptimizer would (asserted by tests/batch/test_design.py)
+        # at a fraction of the cost — this runs once per scenario rate
+        # level per strategy instantiation, i.e. in every adaptive run.
+        from ..batch.design import grid_optimal_chunks_for_rates
 
-        optimizer = ChunkSizeOptimizer(constraints.with_overrides(error_rate=rate))
-        try:
-            return optimizer.optimize_characterization(self._characterization).chunk_words
-        except ValueError:
-            # No feasible chunk at this rate (pathologically hostile
-            # environment): fall back to maximum checkpoint density.
-            return 1
+        # infeasible_chunk=1: no feasible chunk at this rate
+        # (pathologically hostile environment) falls back to maximum
+        # checkpoint density.
+        return grid_optimal_chunks_for_rates(
+            self._characterization, constraints, [rate], infeasible_chunk=1
+        )[0]
 
     def chunk_words_for_rate(self, rate: float) -> int:
         """Optimum chunk size for one (quantized) error rate, cached."""

@@ -1,14 +1,31 @@
 """Execution engine: checkpointed task execution with fault injection."""
 
-from .executor import ExecutionResult, MAX_ROLLBACK_ATTEMPTS, TaskExecutor, run_task
+from .executor import (
+    ExecutionResult,
+    MAX_ROLLBACK_ATTEMPTS,
+    TaskExecutor,
+    TaskProfile,
+    characterize_app,
+    characterize_task,
+    profile_task,
+    run_task,
+)
 from .isr import ReadErrorServiceRoutine
+from .profile_cache import ProfileCache, cache_stats, configure as configure_profile_cache
 from .trace import EventKind, ExecutionTrace, TraceEvent
 
 __all__ = [
     "ExecutionResult",
     "MAX_ROLLBACK_ATTEMPTS",
     "TaskExecutor",
+    "TaskProfile",
+    "characterize_app",
+    "characterize_task",
+    "profile_task",
     "run_task",
+    "ProfileCache",
+    "cache_stats",
+    "configure_profile_cache",
     "ReadErrorServiceRoutine",
     "EventKind",
     "ExecutionTrace",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..apps.base import StreamingApplication
+from ..apps.base import AppCharacterization, StreamingApplication
 from ..core.chunking import CheckpointSchedule, Phase
 from ..core.config import DesignConstraints, PAPER_OPERATING_POINT
 from ..core.strategies import MitigationStrategy, RecoveryPolicy
@@ -37,6 +37,7 @@ from ..soc.energy import (
 from ..soc.interrupt import READ_ERROR_INTERRUPT
 from ..soc.platform import Platform
 from ..soc.stats import SimulationStats
+from . import profile_cache
 from .isr import ReadErrorServiceRoutine
 from .trace import EventKind, ExecutionTrace
 
@@ -104,13 +105,7 @@ class TaskProfile:
         ]
 
 
-def profile_task(app: StreamingApplication, task_input) -> TaskProfile:
-    """Run the task fault-free and collect its per-step cost profile.
-
-    The single profiling path shared by the behavioural executor and the
-    batched campaign engine (:mod:`repro.batch`), so their task skeletons
-    cannot drift apart.
-    """
+def _profile_uncached(app: StreamingApplication, task_input) -> TaskProfile:
     state = app.initial_state(task_input)
     step_words, step_cycles, step_reads, step_writes = [], [], [], []
     golden: list[int] = []
@@ -123,6 +118,85 @@ def profile_task(app: StreamingApplication, task_input) -> TaskProfile:
         golden.extend(result.output_words)
         state = result.state
     return TaskProfile(step_words, step_cycles, step_reads, step_writes, golden)
+
+
+def profile_task(
+    app: StreamingApplication,
+    task_input,
+    cache: profile_cache.ProfileCache | None = None,
+) -> TaskProfile:
+    """Run the task fault-free and collect its per-step cost profile.
+
+    The single profiling path shared by the behavioural executor, the
+    batched campaign engine (:mod:`repro.batch`) and the design-space
+    optimizer, so their task skeletons cannot drift apart.  Results are
+    memoized through the content-keyed
+    :mod:`~repro.runtime.profile_cache` (one profile per (app, params,
+    input) across a whole session); a cache hit returns a bit-identical
+    fresh copy, so cached and uncached runs are indistinguishable.
+    """
+    store = cache if cache is not None else profile_cache.default_cache()
+    key = store.key_for(app, task_input) if store.enabled else None
+    if key is not None:
+        payload = store.get(key)
+        if payload is not None:
+            return TaskProfile(**payload)
+    profile = _profile_uncached(app, task_input)
+    if key is not None:
+        store.put(
+            key,
+            {
+                "step_words": profile.step_words,
+                "step_cycles": profile.step_cycles,
+                "step_reads": profile.step_reads,
+                "step_writes": profile.step_writes,
+                "golden": profile.golden,
+            },
+        )
+    return profile
+
+
+def characterize_task(app: StreamingApplication, task_input) -> "AppCharacterization":
+    """Static per-task characterization, derived from the cached profile.
+
+    Numerically identical to :meth:`StreamingApplication.characterize`
+    (the per-step sums commute), but routed through :func:`profile_task`
+    so design-time consumers — the chunk-size optimizer, hybrid strategy
+    sizing, the vectorized design engine — share one profiling run with
+    the execution engines instead of re-walking the workload.
+    """
+    profile = profile_task(app, task_input)
+    return AppCharacterization(
+        name=app.name,
+        steps=len(profile.step_words),
+        output_words=profile.total_words,
+        compute_cycles=sum(profile.step_cycles),
+        l1_reads=sum(profile.step_reads),
+        l1_writes=sum(profile.step_writes),
+        state_words=app.state_words(),
+    )
+
+
+def characterize_app(app: StreamingApplication, seed: int = 0) -> "AppCharacterization":
+    """Characterize ``app`` on its seed-``seed`` generated input, memoized.
+
+    Design-time consumers (optimizer, strategy sizing, the vectorized
+    design engine) all characterize on ``app.generate_input(seed)``; this
+    entry memoizes the *whole* step — including the input generation,
+    which is itself a non-trivial workload walk — keyed on the app's
+    content and the seed.  The characterization is a frozen dataclass, so
+    sharing the instance is safe.
+    """
+    store = profile_cache.default_cache()
+    key = store.key_for(app, ("characterize-seed", seed)) if store.enabled else None
+    if key is not None:
+        hit = store.derived_get(key)
+        if hit is not None:
+            return hit
+    characterization = characterize_task(app, app.generate_input(seed))
+    if key is not None:
+        store.derived_put(key, characterization)
+    return characterization
 
 
 class TaskExecutor:

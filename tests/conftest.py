@@ -13,6 +13,23 @@ from repro.apps.adpcm import AdpcmDecodeApp, AdpcmEncodeApp
 from repro.apps.g721 import G721DecodeApp, G721EncodeApp
 from repro.apps.jpeg import JpegDecodeApp
 from repro.core.config import DesignConstraints, PAPER_OPERATING_POINT
+from repro.runtime.profile_cache import ENV_CACHE_DIR
+
+
+@pytest.fixture(autouse=True)
+def _isolated_profile_cache(tmp_path, monkeypatch):
+    """Keep the task-profile cache hermetic per test.
+
+    The on-disk store is redirected into the test's tmp dir (never the
+    developer's ``~/.cache/repro``) and the in-process memo is cleared, so
+    no test observes profiles computed by another.
+    """
+    from repro.runtime.profile_cache import default_cache
+
+    monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "repro-cache"))
+    default_cache().clear()
+    yield
+    default_cache().clear()
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
