@@ -62,7 +62,13 @@ from .api import (
     Session,
     SweepSpec,
 )
-from .batch import BatchTaskModel, grid_feasible_region, grid_optimize
+from .batch import (
+    BatchTaskModel,
+    ParetoFront,
+    grid_feasible_region,
+    grid_optimize,
+    grid_pareto_front,
+)
 from .core import (
     AdaptiveHybridStrategy,
     DesignConstraints,
@@ -98,6 +104,7 @@ __all__ = [
     "HybridStrategy",
     "PAPER_OPERATING_POINT",
     "ParallelExecutor",
+    "ParetoFront",
     "PiecewiseScenario",
     "RampScenario",
     "ResultSet",
@@ -110,6 +117,7 @@ __all__ = [
     "build_scenario",
     "grid_feasible_region",
     "grid_optimize",
+    "grid_pareto_front",
     "optimize_chunk_size",
     "register_scenario",
     "run_task",

@@ -2,10 +2,17 @@
 
 Each function in :mod:`repro.analysis.experiments` regenerates one of the
 paper's tables or figures (see DESIGN.md's per-experiment index);
-:mod:`repro.analysis.tables` renders the results as text tables and
-:mod:`repro.analysis.paper_data` holds the paper's reference numbers.
+:mod:`repro.analysis.cross_technology` replays the design-space artefacts
+across process nodes; :mod:`repro.analysis.tables` renders the results as
+text tables and :mod:`repro.analysis.paper_data` holds the paper's
+reference numbers.
 """
 
+from .cross_technology import (
+    CrossTechnologyResult,
+    CrossTechnologyRow,
+    cross_technology_sweep,
+)
 from .experiments import (
     AblationResult,
     Fig4Result,
@@ -30,6 +37,9 @@ from .tables import render_markdown_table, render_table
 
 __all__ = [
     "AblationResult",
+    "CrossTechnologyResult",
+    "CrossTechnologyRow",
+    "cross_technology_sweep",
     "Fig4Result",
     "Fig5Result",
     "ScenarioCell",

@@ -14,10 +14,11 @@ fault streams depend on how the executor groups seeds (one stream per
 group, see :class:`BatchCampaignExecutor`), so batched results are
 reproducible per (spec, executor kind) but not identical between, say, a
 :class:`SerialExecutor` run and a grouped :class:`BatchCampaignExecutor`
-run of the same specs.  ``optimize`` / ``feasibility`` specs carry no
-randomness at all: the vectorized design engine serving their
-``engine="batched"`` path (:mod:`repro.batch.design`) is bit-identical to
-the behavioural sweep, on every executor.
+run of the same specs.  ``optimize`` / ``feasibility`` / ``pareto`` specs
+carry no randomness at all: the vectorized design engines serving their
+``engine="batched"`` path (:mod:`repro.batch.design`,
+:mod:`repro.batch.pareto`) are bit-identical to the behavioural sweeps,
+on every executor.
 """
 
 from __future__ import annotations
@@ -32,6 +33,7 @@ from typing import Any
 
 from ..batch import BatchTaskModel
 from ..batch.design import grid_feasible_region, grid_optimize
+from ..batch.pareto import grid_pareto_front, reference_pareto_front
 from ..core.feasibility import feasible_region
 from ..core.optimizer import ChunkSizeOptimizer
 from ..runtime.executor import TaskExecutor
@@ -146,6 +148,42 @@ def _execute_feasibility(spec: ExperimentSpec) -> RunOutcome:
     return RunOutcome(spec=spec, records=records, artifact=region)
 
 
+def _execute_pareto(spec: ExperimentSpec) -> RunOutcome:
+    app = spec.resolve_app()
+    params = dict(spec.params)
+    kwargs: dict[str, Any] = {}
+    for axis in ("objectives", "nodes", "schemes", "correctable_bits", "rate_levels"):
+        if axis in params:
+            # Passed through verbatim: the explorer normalizes bare
+            # scalars itself (tuple("65nm") would explode the name).
+            kwargs[axis] = params.pop(axis)
+    max_chunk_words = int(params.pop("max_chunk_words", 512))
+    chunk_stride = int(params.pop("chunk_stride", 1))
+    if params:
+        raise ValueError(f"unknown pareto params: {sorted(params)}")
+    # The spec's fault model shapes the failure objective (None keeps the
+    # explorer's default SMU mixture, matching the executor default).
+    if spec.fault_model is None and spec.fault_params:
+        raise ValueError(
+            "pareto specs need fault_model set for fault_params to apply "
+            "(the default SMU mixture would silently ignore them)"
+        )
+    fault_model = build_fault_model(spec.fault_model, **spec.fault_params)
+    # Both engines are bit-identical (tests/batch/test_pareto.py); the
+    # scalar reference exists for exact-equality testing.
+    explore = grid_pareto_front if spec.engine == "batched" else reference_pareto_front
+    front = explore(
+        app,
+        constraints=spec.constraints,
+        seed=spec.seed,
+        max_chunk_words=max_chunk_words,
+        chunk_stride=chunk_stride,
+        fault_model=fault_model,
+        **kwargs,
+    )
+    return RunOutcome(spec=spec, records=front.rows(), artifact=front)
+
+
 def _build_batch_model(spec: ExperimentSpec, profile_seed: int) -> BatchTaskModel:
     app = spec.resolve_app()
     strategy = build_strategy(spec.strategy, app, spec.constraints, **spec.strategy_params)
@@ -179,6 +217,7 @@ _KIND_HANDLERS = {
     "execute": _execute_one,
     "optimize": _execute_optimization,
     "feasibility": _execute_feasibility,
+    "pareto": _execute_pareto,
 }
 
 
@@ -209,6 +248,7 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def map(self, specs: Sequence[ExperimentSpec]) -> list[RunOutcome]:
+        """Execute the specs one by one, in place, in input order."""
         return [execute_spec(spec) for spec in specs]
 
 
@@ -236,6 +276,7 @@ class ParallelExecutor(Executor):
         self.jobs = int(jobs)
 
     def map(self, specs: Sequence[ExperimentSpec]) -> list[RunOutcome]:
+        """Fan the specs out across worker processes, preserving input order."""
         specs = list(specs)
         if len(specs) < 2 or self.jobs == 1:
             return [execute_spec(spec) for spec in specs]
@@ -257,10 +298,11 @@ class BatchCampaignExecutor(Executor):
     the behavioural record shape, so sessions, campaigns, sweeps and the
     figure harnesses consume them unchanged.
 
-    ``optimize`` and ``feasibility`` specs are served by the vectorized
-    design engine (:mod:`repro.batch.design`) — bit-identical to the
-    behavioural per-point sweeps, so unlike execute-kind batching there is
-    no statistical caveat.  Only specs no batch path can serve —
+    ``optimize``, ``feasibility`` and ``pareto`` specs are served by the
+    vectorized design engines (:mod:`repro.batch.design`,
+    :mod:`repro.batch.pareto`) — bit-identical to the behavioural
+    per-point sweeps, so unlike execute-kind batching there is no
+    statistical caveat.  Only specs no batch path can serve —
     trace-collecting runs — are delegated to ``fallback`` (default: a
     :class:`SerialExecutor`).
 
@@ -308,6 +350,7 @@ class BatchCampaignExecutor(Executor):
             )
 
     def map(self, specs: Sequence[ExperimentSpec]) -> list[RunOutcome]:
+        """Serve each same-experiment seed group in one vectorized shot."""
         specs = list(specs)
         outcomes: list[RunOutcome | None] = [None] * len(specs)
         groups: dict[Any, list[int]] = {}
@@ -316,7 +359,7 @@ class BatchCampaignExecutor(Executor):
             key = self._group_key(spec)
             if key is not None:
                 groups.setdefault(key, []).append(index)
-            elif spec.kind in ("optimize", "feasibility") and not spec.collect_trace:
+            elif spec.kind in ("optimize", "feasibility", "pareto") and not spec.collect_trace:
                 # Design-space kinds vectorize per spec (no seed grouping
                 # needed); results are bit-identical to the behavioural
                 # path, so there is nothing to fall back for.

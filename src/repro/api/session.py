@@ -10,7 +10,10 @@ and exposes the three workload shapes every harness reduces to:
 * :meth:`Session.campaign` — the same experiment over many fault seeds,
   aggregated through :func:`repro.faults.campaign.aggregate_runs` into a
   :class:`~repro.faults.campaign.CampaignReport` (mean / stdev / median /
-  p95 / min / max per metric).
+  p95 / min / max per metric);
+* :meth:`Session.pareto` — the cross-technology multi-objective design
+  sweep of :mod:`repro.batch.pareto`, returning a
+  :class:`~repro.batch.pareto.ParetoFront`.
 
 Every entry point accepts an ``executor`` (or ``jobs``) override, so the
 same code runs serially or fans out across cores; outcome ordering — and
@@ -174,3 +177,70 @@ class Session:
             }
             metrics = sorted(observed)
         return aggregate_runs(raw, metrics=metrics, allow_ragged=spec.allow_ragged)
+
+    def pareto(
+        self,
+        app,
+        objectives=None,
+        nodes=None,
+        ecc=None,
+        correctable_bits=None,
+        rate_levels=None,
+        max_chunk_words: int = 512,
+        chunk_stride: int = 1,
+        seed: int = 0,
+        constraints: DesignConstraints | None = None,
+        fault_model: str | None = None,
+        fault_params: dict | None = None,
+        engine: str = "batched",
+        executor: Executor | None = None,
+        jobs: int | None = None,
+    ):
+        """Explore the cross-technology design space and return its Pareto front.
+
+        Builds a ``kind="pareto"`` spec over the (technology node x ECC
+        family x correction strength x chunk size x fault-rate level)
+        grid and executes it, returning the
+        :class:`~repro.batch.pareto.ParetoFront` artifact.  ``None`` axes
+        fall back to the defaults of :mod:`repro.batch.pareto`; ``ecc``
+        names the redundancy-sizing schemes (``"bch"``,
+        ``"interleaved-secded"``, ...).  ``fault_model``/``fault_params``
+        select the registry fault model shaping the failure objective
+        (default: the SMU-dominated mixture).  When ``rate_levels`` is not
+        given, an operating point with a non-paper ``error_rate`` pins the
+        single rate level (the environment you asked about); otherwise the
+        explorer's default levels apply.  The default ``engine="batched"``
+        evaluates the grid vectorized; ``"behavioural"`` walks it point by
+        point — the fronts are bit-identical either way.
+
+        Examples
+        --------
+        >>> front = Session().pareto("adpcm-encode", nodes=("65nm",),
+        ...                          ecc=("bch",), rate_levels=(1e-6,))
+        >>> front.knee_point().technology
+        '65nm'
+        """
+        params: dict = {"max_chunk_words": max_chunk_words, "chunk_stride": chunk_stride}
+        for name, value in (
+            ("objectives", objectives),
+            ("nodes", nodes),
+            ("schemes", ecc),
+            ("correctable_bits", correctable_bits),
+            ("rate_levels", rate_levels),
+        ):
+            if value is not None:
+                # Bare scalars ("65nm", 4, 1e-6) pass through and are
+                # wrapped by the explorer; tuple("65nm") would explode
+                # a name into per-character axis values.
+                params[name] = list(value) if isinstance(value, (list, tuple)) else value
+        spec = ExperimentSpec(
+            app=app,
+            kind="pareto",
+            constraints=constraints if constraints is not None else self.constraints,
+            fault_model=fault_model,
+            fault_params=dict(fault_params or {}),
+            params=params,
+            seed=seed,
+            engine=engine,
+        )
+        return self.run(spec, executor=executor, jobs=jobs).artifact

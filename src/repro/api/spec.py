@@ -39,7 +39,7 @@ from ..scenarios.registry import available_scenarios, scenario_known
 from . import registry
 
 #: Experiment kinds understood by :func:`repro.api.executors.execute_spec`.
-KINDS: tuple[str, ...] = ("execute", "optimize", "feasibility")
+KINDS: tuple[str, ...] = ("execute", "optimize", "feasibility", "pareto")
 
 #: Execution engines.  ``"behavioural"`` replays every event through
 #: :class:`repro.runtime.executor.TaskExecutor` (for ``execute`` specs)
@@ -79,7 +79,9 @@ class ExperimentSpec:
     kind:
         ``"execute"`` runs the behavioural platform under fault injection,
         ``"optimize"`` solves the chunk-size optimization (Eq. 3–7),
-        ``"feasibility"`` sweeps the Fig. 4 feasible region.
+        ``"feasibility"`` sweeps the Fig. 4 feasible region,
+        ``"pareto"`` explores the cross-technology multi-objective design
+        space (:mod:`repro.batch.pareto`).
     strategy_params:
         Keyword arguments forwarded to the strategy factory (e.g.
         ``{"chunk_words": 65}`` for ``"hybrid"``).
@@ -102,7 +104,8 @@ class ExperimentSpec:
         expressed relative to ``constraints.error_rate``).
     params:
         Kind-specific extras (e.g. ``max_chunk_words`` / ``chunk_stride``
-        for feasibility sweeps).
+        for feasibility sweeps; ``nodes`` / ``schemes`` / ``objectives`` /
+        ``correctable_bits`` / ``rate_levels`` for pareto sweeps).
     seed:
         Seed controlling the workload input and the fault stream.
     collect_trace:
@@ -326,6 +329,7 @@ class SweepSpec:
         return total
 
     def to_dict(self) -> dict[str, Any]:
+        """Flatten the sweep (base spec plus axes) into a JSON-able dict."""
         return {
             "base": self.base.to_dict(),
             "parameters": {name: list(values) for name, values in self.parameters.items()},
@@ -333,16 +337,19 @@ class SweepSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        """Rebuild a sweep from :meth:`to_dict` output."""
         return cls(
             base=ExperimentSpec.from_dict(data["base"]),
             parameters=data.get("parameters", {}),
         )
 
     def to_json(self, indent: int | None = None) -> str:
+        """JSON form of :meth:`to_dict`."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "SweepSpec":
+        """Inverse of :meth:`to_json`."""
         return cls.from_dict(json.loads(text))
 
 
@@ -390,6 +397,7 @@ class CampaignSpec:
         return len(self.seeds)
 
     def to_dict(self) -> dict[str, Any]:
+        """Flatten the campaign (base spec plus seeds) into a JSON-able dict."""
         return {
             "base": self.base.to_dict(),
             "seeds": list(self.seeds),
@@ -399,6 +407,7 @@ class CampaignSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Rebuild a campaign from :meth:`to_dict` output."""
         return cls(
             base=ExperimentSpec.from_dict(data["base"]),
             seeds=data.get("seeds", ()),
@@ -407,8 +416,10 @@ class CampaignSpec:
         )
 
     def to_json(self, indent: int | None = None) -> str:
+        """JSON form of :meth:`to_dict`."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "CampaignSpec":
+        """Inverse of :meth:`to_json`."""
         return cls.from_dict(json.loads(text))

@@ -24,7 +24,11 @@ The *design-space* side — Fig. 4 feasibility and the Eq. 3–7 chunk-size
 optimization — is vectorized by :mod:`repro.batch.design`
 (:func:`grid_feasible_region`, :func:`grid_optimize`), which is
 bit-identical to the per-point Python sweeps rather than statistically
-equivalent.
+equivalent.  :mod:`repro.batch.pareto` builds on the same grid engine to
+explore the cross-technology multi-objective space (technology node x
+ECC family x correction strength x chunk size x fault-rate level) and
+extract exact Pareto fronts (:func:`grid_pareto_front`), again
+bit-identical to its scalar reference (:func:`reference_pareto_front`).
 
 Approximations relative to the behavioural engine (all documented in
 :mod:`repro.batch.model`): the workload content is frozen at the
@@ -43,14 +47,26 @@ from .design import (
     grid_optimize_characterization,
 )
 from .model import BatchTaskModel, CumulativeRate, OutcomeProbabilities, classify_outcomes
+from .pareto import (
+    DesignPoint,
+    ParetoFront,
+    grid_pareto_front,
+    reference_pareto_front,
+    uncorrectable_upset_fraction,
+)
 
 __all__ = [
     "BatchTaskModel",
     "CumulativeRate",
+    "DesignPoint",
     "OutcomeProbabilities",
+    "ParetoFront",
     "classify_outcomes",
     "grid_feasible_region",
     "grid_optimal_chunks_for_rates",
     "grid_optimize",
     "grid_optimize_characterization",
+    "grid_pareto_front",
+    "reference_pareto_front",
+    "uncorrectable_upset_fraction",
 ]

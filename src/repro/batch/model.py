@@ -331,6 +331,7 @@ class BatchTaskModel:
     # ------------------------------------------------------------------ #
     @property
     def num_phases(self) -> int:
+        """Number of checkpoint phases in the campaign's shared schedule."""
         return len(self.schedule.phases)
 
     def leakage_pj(self, total_cycles: np.ndarray) -> np.ndarray:

@@ -15,6 +15,9 @@ terminal through the unified experiment API::
     repro-experiments sweep --app g721-decode --param constraints.error_rate \
         --values 1e-8 1e-7 1e-6
 
+    repro-experiments pareto --app adpcm-encode --nodes 45nm 65nm \
+        --ecc bch interleaved-secded --objectives energy area failure
+
     repro-experiments list
     repro-experiments scenarios list
     repro-experiments scenarios run --app adpcm-encode --strategy hybrid-adaptive \
@@ -58,7 +61,16 @@ from .api.results import FORMATS, ResultSet, render_result_sets, write_report
 from .api.session import Session
 from .api.spec import CampaignSpec, ENGINES, ExperimentSpec, SweepSpec
 from .apps.registry import available_applications
+from .batch.pareto import (
+    DEFAULT_CORRECTABLE_BITS,
+    DEFAULT_NODES,
+    DEFAULT_RATE_LEVELS,
+    DEFAULT_SCHEMES,
+    OBJECTIVES,
+)
 from .core.config import PAPER_OPERATING_POINT
+from .ecc.redundancy import available_schemes
+from .memmodel.technology import available_nodes
 from .runtime.profile_cache import configure as configure_profile_cache
 
 #: The paper artefacts and the composite ``all``.
@@ -111,15 +123,17 @@ def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_engine_option(parser: argparse.ArgumentParser) -> None:
+def _add_engine_option(
+    parser: argparse.ArgumentParser, default: str = "behavioural"
+) -> None:
     parser.add_argument(
         "--engine",
         choices=ENGINES,
-        default="behavioural",
+        default=default,
         help="simulation engine: 'behavioural' replays every event / walks "
         "the design space point by point, 'batched' vectorizes campaigns "
         "(all seeds at once) and design-space sweeps (whole grid at once, "
-        "bit-identical) (default: behavioural)",
+        f"bit-identical) (default: {default})",
     )
 
 
@@ -133,11 +147,16 @@ def _add_cache_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_constraint_options(parser: argparse.ArgumentParser) -> None:
+def _add_constraint_options(
+    parser: argparse.ArgumentParser, error_rate_default: float | None = None
+) -> None:
+    # None means "not overridden" so subcommands with their own rate axis
+    # (pareto) can distinguish an explicit request from the default; the
+    # paper value is substituted in _constraints_from_args either way.
     parser.add_argument(
         "--error-rate",
         type=float,
-        default=PAPER_OPERATING_POINT.error_rate,
+        default=error_rate_default,
         help="upset rate per word per cycle (default: the paper's 1e-6)",
     )
     parser.add_argument(
@@ -295,6 +314,89 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_cache_option(sweep)
     _add_output_options(sweep)
 
+    # --- cross-technology Pareto exploration ------------------------------ #
+    pareto = subparsers.add_parser(
+        "pareto",
+        help="cross-technology multi-objective design-space Pareto front",
+    )
+    pareto.add_argument(
+        "--app",
+        required=True,
+        metavar="NAME",
+        help=f"application to explore (one of: {', '.join(available_applications())})",
+    )
+    pareto.add_argument(
+        "--nodes",
+        nargs="+",
+        default=None,
+        metavar="NODE",
+        help=f"technology nodes to sweep (known: {', '.join(available_nodes())}; "
+        f"default: {' '.join(DEFAULT_NODES)})",
+    )
+    pareto.add_argument(
+        "--ecc",
+        nargs="+",
+        default=None,
+        metavar="SCHEME",
+        help=f"ECC families to sweep (known: {', '.join(available_schemes())}; "
+        f"default: {' '.join(DEFAULT_SCHEMES)})",
+    )
+    pareto.add_argument(
+        "--objectives",
+        nargs="+",
+        choices=OBJECTIVES,
+        default=None,
+        metavar="NAME",
+        help=f"objectives to minimize (subset of: {', '.join(OBJECTIVES)}; "
+        "default: all four)",
+    )
+    pareto.add_argument(
+        "--correctable-bits",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="T",
+        help="ECC correction strengths to sweep "
+        f"(default: {' '.join(str(t) for t in DEFAULT_CORRECTABLE_BITS)})",
+    )
+    pareto.add_argument(
+        "--rates",
+        nargs="+",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="fault-rate levels (upsets/word/cycle); dominance is compared "
+        "within each level (default: an overridden --error-rate, else "
+        f"{' '.join(f'{r:g}' for r in DEFAULT_RATE_LEVELS)})",
+    )
+    pareto.add_argument(
+        "--max-chunk",
+        type=int,
+        default=512,
+        metavar="N",
+        help="largest candidate chunk size in words (default: 512)",
+    )
+    pareto.add_argument(
+        "--chunk-stride",
+        type=int,
+        default=1,
+        metavar="N",
+        help="subsample the chunk axis (use >1 to speed up smoke runs)",
+    )
+    pareto.add_argument(
+        "--fault-model",
+        default=None,
+        metavar="NAME",
+        help=f"upset model shaping the failure objective (one of: "
+        f"{', '.join(available_fault_models())}; default: the SMU-dominated mixture)",
+    )
+    pareto.add_argument("--seed", type=int, default=0, help="workload seed (default: 0)")
+    _add_engine_option(pareto, default="batched")
+    _add_jobs_option(pareto)
+    _add_constraint_options(pareto)
+    _add_cache_option(pareto)
+    _add_output_options(pareto)
+
     # --- registry discovery ---------------------------------------------- #
     listing = subparsers.add_parser(
         "list", help="enumerate every registry (apps, strategies, fault models, scenarios)"
@@ -356,8 +458,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _constraints_from_args(args: argparse.Namespace):
+    error_rate = args.error_rate
+    if error_rate is None:
+        error_rate = PAPER_OPERATING_POINT.error_rate
     return PAPER_OPERATING_POINT.with_overrides(
-        error_rate=args.error_rate,
+        error_rate=error_rate,
         area_overhead=args.area_budget,
         cycle_overhead=args.cycle_budget,
     )
@@ -498,6 +603,36 @@ def _run_sections(args: argparse.Namespace) -> list:
 
     if args.command == "run":
         return _run_spec_section(args, session)
+
+    if args.command == "pareto":
+        # The grid's rate axis supersedes the scalar --error-rate: an
+        # explicitly passed --error-rate becomes the (single) rate level
+        # rather than being silently ignored; combining both is ambiguous
+        # and rejected loudly.
+        rates = args.rates
+        if rates is not None and args.error_rate is not None:
+            raise ValueError(
+                "pass either --rates (the grid's fault-rate levels) or "
+                "--error-rate (a single level), not both"
+            )
+        if rates is None and args.error_rate is not None:
+            rates = [args.error_rate]
+        front = session.pareto(
+            args.app,
+            objectives=args.objectives,
+            nodes=args.nodes,
+            ecc=args.ecc,
+            correctable_bits=args.correctable_bits,
+            rate_levels=rates,
+            max_chunk_words=args.max_chunk,
+            chunk_stride=args.chunk_stride,
+            seed=args.seed,
+            constraints=_constraints_from_args(args),
+            fault_model=args.fault_model,
+            engine=args.engine,
+            jobs=args.jobs,
+        )
+        return [front.to_result_set()]
 
     if args.command == "campaign":
         spec = CampaignSpec(

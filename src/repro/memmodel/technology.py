@@ -78,11 +78,29 @@ class TechnologyNode:
         """Return a copy of this node with selected fields replaced.
 
         Convenient for sensitivity studies (e.g. pessimistic leakage).
+        Every numeric field is a physical quantity, so overrides must be
+        strictly positive (and ``array_efficiency`` at most 1); unknown
+        field names raise :class:`KeyError`.
+
+        Examples
+        --------
+        >>> NODE_65NM.scaled(leakage_uw_per_kb=3.8).leakage_uw_per_kb
+        3.8
         """
         values = self.__dict__.copy()
         for key, value in overrides.items():
             if key not in values:
                 raise KeyError(f"unknown technology field: {key!r}")
+            if key != "name":
+                value = float(value)
+                if not value > 0.0:
+                    raise ValueError(
+                        f"technology field {key!r} must be positive, got {value!r}"
+                    )
+                if key == "array_efficiency" and value > 1.0:
+                    raise ValueError(
+                        f"array_efficiency must be in (0, 1], got {value!r}"
+                    )
             values[key] = value
         return TechnologyNode(**values)
 

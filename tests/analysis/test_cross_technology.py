@@ -1,0 +1,75 @@
+"""Tests for the cross-technology Table I / Fig. 4 replay harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import cross_technology_sweep
+from repro.memmodel import NODE_65NM
+
+
+class TestCrossTechnologySweep:
+    def test_engines_bit_identical(self, small_adpcm_encode, small_g721_encode):
+        apps = [small_adpcm_encode, small_g721_encode]
+        behavioural = cross_technology_sweep(applications=apps)
+        batched = cross_technology_sweep(applications=apps, engine="batched")
+        assert behavioural.table_rows == batched.table_rows
+        assert behavioural.nodes == ("45nm", "65nm", "90nm")
+
+    def test_row_shape_and_lookup(self, small_adpcm_encode):
+        result = cross_technology_sweep(
+            nodes=("65nm",), applications=[small_adpcm_encode]
+        )
+        (row,) = result.rows_for("65nm")
+        assert row.application == small_adpcm_encode.name
+        assert row.chunk_words > 0
+        assert row.fig4_max_chunk_words > 0
+        assert row.fig4_max_t_at_64_words > 0
+        assert 0.0 < row.area_fraction <= result.constraints.area_overhead
+        records = result.to_result_set().to_dict()["rows"]
+        assert records[0]["technology"] == "65nm"
+        assert "node" in result.render()
+
+    def test_scaled_overrides_change_the_replay(self, small_adpcm_encode):
+        baseline = cross_technology_sweep(
+            nodes=("65nm",), applications=[small_adpcm_encode]
+        )
+        # Pricier ECC logic gates inflate only the protected buffer (the
+        # vulnerable L1 carries no decoder), shrinking the feasible space.
+        shrunk = cross_technology_sweep(
+            nodes=("65nm",),
+            applications=[small_adpcm_encode],
+            scale_overrides={"65nm": {"logic_gate_area_um2": 4.8}},
+        )
+        assert (
+            shrunk.rows_for("65nm")[0].fig4_max_chunk_words
+            < baseline.rows_for("65nm")[0].fig4_max_chunk_words
+        )
+        assert shrunk.rows_for("65nm")[0].l1_area_mm2 == (
+            baseline.rows_for("65nm")[0].l1_area_mm2
+        )
+
+    def test_technology_node_instances_accepted(self, small_adpcm_encode):
+        variant = NODE_65NM.scaled(name="65nm-lowleak", leakage_uw_per_kb=0.5)
+        result = cross_technology_sweep(
+            nodes=(variant,), applications=[small_adpcm_encode]
+        )
+        assert result.nodes == ("65nm-lowleak",)
+
+    def test_bad_inputs_rejected(self, small_adpcm_encode):
+        with pytest.raises(KeyError, match="unknown nodes"):
+            cross_technology_sweep(
+                nodes=("65nm",),
+                applications=[small_adpcm_encode],
+                scale_overrides={"28nm": {"vdd": 1.0}},
+            )
+        with pytest.raises(ValueError, match="at least one technology node"):
+            cross_technology_sweep(nodes=(), applications=[small_adpcm_encode])
+        with pytest.raises(ValueError, match="nodes must be unique"):
+            cross_technology_sweep(
+                nodes=("65nm", "65nm"), applications=[small_adpcm_encode]
+            )
+        with pytest.raises(ValueError, match="unknown engine"):
+            cross_technology_sweep(
+                applications=[small_adpcm_encode], engine="quantum"
+            )

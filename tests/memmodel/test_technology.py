@@ -43,3 +43,40 @@ class TestScalingTrends:
     def test_scaled_rejects_unknown_field(self):
         with pytest.raises(KeyError):
             NODE_65NM.scaled(not_a_field=1.0)
+
+    def test_scaled_rejects_zero_and_negative_overrides(self):
+        # Every numeric field is a physical quantity; silently accepting a
+        # zero/negative value would poison downstream area/energy figures.
+        with pytest.raises(ValueError, match="must be positive"):
+            NODE_65NM.scaled(sram_cell_area_um2=0.0)
+        with pytest.raises(ValueError, match="must be positive"):
+            NODE_65NM.scaled(leakage_uw_per_kb=-1.9)
+        with pytest.raises(ValueError, match="must be positive"):
+            NODE_65NM.scaled(vdd=0)
+
+    def test_scaled_rejects_nan_and_overfull_efficiency(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            NODE_65NM.scaled(bitline_energy_fj_per_bit=float("nan"))
+        with pytest.raises(ValueError, match="array_efficiency"):
+            NODE_65NM.scaled(array_efficiency=1.2)
+        assert NODE_65NM.scaled(array_efficiency=1.0).array_efficiency == 1.0
+
+    def test_scaled_with_no_overrides_round_trips(self):
+        assert NODE_65NM.scaled() == NODE_65NM
+
+    def test_scaled_coerces_integer_overrides_to_float(self):
+        assert NODE_90NM.scaled(sense_delay_ps=250).sense_delay_ps == 250.0
+
+
+class TestRegistryRoundTrip:
+    def test_every_available_node_resolves_and_round_trips(self):
+        for name in available_nodes():
+            node = get_node(name)
+            assert node.name == name
+            # A scaled copy with a changed name does not alias the registry.
+            renamed = node.scaled(name=f"{name}-variant")
+            assert renamed.name == f"{name}-variant"
+            assert get_node(name) is node
+
+    def test_predefined_constants_are_registered(self):
+        assert {NODE_45NM.name, NODE_65NM.name, NODE_90NM.name} == set(available_nodes())

@@ -258,3 +258,61 @@ class TestEngineOption:
         assert len(rows) == 2
         assert all(row["relative_energy"] == 1.0 for row in rows)
         assert all(row["fully_mitigated_fraction"] == 1.0 for row in rows)
+
+
+class TestParetoCommand:
+    ARGS = [
+        "pareto", "--app", "adpcm-encode",
+        "--nodes", "65nm", "--ecc", "bch",
+        "--correctable-bits", "2", "4", "--rates", "1e-6",
+        "--max-chunk", "48",
+    ]
+
+    def test_pareto_prints_front_with_knee(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front — adpcm-encode" in out
+        assert "knee per rate level" in out
+        assert "65nm" in out
+
+    def test_pareto_engines_emit_identical_json(self, capsys):
+        assert main(self.ARGS + ["--format", "json"]) == 0
+        batched = json.loads(capsys.readouterr().out)
+        assert main(self.ARGS + ["--format", "json", "--engine", "behavioural"]) == 0
+        behavioural = json.loads(capsys.readouterr().out)
+        assert batched == behavioural
+        assert batched["rows"]
+        assert all(row["technology"] == "65nm" for row in batched["rows"])
+
+    def test_pareto_objective_subset(self, capsys):
+        assert main(self.ARGS + ["--objectives", "energy", "area", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[1]  # line 0 is the "# title" comment
+        assert "energy_overhead" in header and "area_fraction" in header
+        assert "failure_probability" not in header
+
+    def test_pareto_error_rate_becomes_the_rate_level(self, capsys):
+        args = [a for a in self.ARGS if a != "1e-6"]
+        args.remove("--rates")
+        assert main(args + ["--error-rate", "2e-6", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {row["error_rate"] for row in payload["rows"]} == {2e-6}
+        # Explicitly requesting the paper rate must also pin the level
+        # (it is not conflated with "flag unset").
+        assert main(args + ["--error-rate", "1e-6", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {row["error_rate"] for row in payload["rows"]} == {1e-6}
+
+    def test_pareto_rejects_rates_combined_with_error_rate(self, capsys):
+        assert main(self.ARGS + ["--error-rate", "2e-6"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_pareto_rejects_unknown_node(self, capsys):
+        assert main(self.ARGS[:3] + ["--nodes", "28nm"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown technology node" in err
+
+    def test_help_mentions_pareto(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "pareto" in capsys.readouterr().out
