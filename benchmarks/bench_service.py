@@ -1,0 +1,205 @@
+"""Benchmark: the experiment service — latency, streaming rate, elasticity.
+
+Boots an :class:`~repro.service.server.ExperimentServer` in-process,
+measures the service-layer costs that matter to a client —
+
+* **submit latency**: wall-clock of ``POST /v1/experiments`` (median over
+  a handful of submissions),
+* **streaming rate**: rows/second of a campaign streamed back over the
+  NDJSON results endpoint,
+* **scale-up reaction**: seconds from a burst of queued jobs to the pool
+  reaching ``max_workers`` (observed via ``GET /v1/stats``),
+
+asserts the service's correctness contract (a campaign over HTTP is
+byte-identical to the in-process ``Session`` run, for both engines), and
+archives everything as ``benchmarks/results/BENCH_service.json``::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke
+
+``--smoke`` uses a thread-mode pool and small campaigns (CI-friendly);
+the full mode uses a process pool at fig5 campaign scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.api.session import Session
+from repro.api.spec import ExperimentSpec
+from repro.service import ExperimentServer, ScalingPolicy, ServiceClient
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_APP = "adpcm-encode"
+BENCH_STRATEGY = "hybrid-optimal"
+
+#: Jobs in the scale-up burst (the acceptance bar is ≥ 8 queued jobs).
+BURST_JOBS = 8
+
+
+def _spec() -> ExperimentSpec:
+    return ExperimentSpec(app=BENCH_APP, strategy=BENCH_STRATEGY)
+
+
+def _submit_latency(client: ServiceClient, samples: int) -> dict:
+    """Median/percentile wall-clock of POST /v1/experiments."""
+    latencies = []
+    for _ in range(samples):
+        start = time.perf_counter()
+        job = client.submit(
+            {"kind": "experiment", "spec": _spec().to_dict()}
+        )
+        latencies.append((time.perf_counter() - start) * 1000.0)
+        client.results(job["job_id"], wait=True)  # drain before the next probe
+    return {
+        "samples": samples,
+        "median_ms": round(statistics.median(latencies), 3),
+        "max_ms": round(max(latencies), 3),
+    }
+
+
+def _streaming_rate(client: ServiceClient, seeds: int) -> dict:
+    """Rows/second of one campaign streamed over the results endpoint."""
+    spec = _spec().to_dict() | {"engine": "batched"}
+    job = client.submit(
+        {"kind": "campaign", "spec": {"base": spec, "seeds": list(range(seeds))}}
+    )
+    start = time.perf_counter()
+    meta, rows = client.results(job["job_id"], wait=True)
+    elapsed = time.perf_counter() - start
+    assert meta["state"] == "done", f"stream ended in state {meta['state']!r}"
+    assert len(rows) == seeds, f"streamed {len(rows)} rows, expected {seeds}"
+    return {
+        "rows": len(rows),
+        "seconds": round(elapsed, 3),
+        "rows_per_second": round(len(rows) / elapsed, 1),
+    }
+
+
+def _scale_reaction(client: ServiceClient, policy: ScalingPolicy, seeds: int) -> dict:
+    """Seconds from a burst of jobs to the pool reaching max_workers,
+    then back to min_workers after the idle timeout."""
+    start = time.perf_counter()
+    jobs = [
+        client.submit(
+            {
+                "kind": "campaign",
+                "spec": {"base": _spec().to_dict(), "seeds": list(range(seeds))},
+                "shard_size": 1,
+            }
+        )
+        for _ in range(BURST_JOBS)
+    ]
+    scale_up_s = None
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if client.stats()["pool"]["workers"] >= policy.max_workers:
+            scale_up_s = time.perf_counter() - start
+            break
+        time.sleep(0.02)
+    assert scale_up_s is not None, "pool never reached max_workers under the burst"
+
+    for job in jobs:
+        client.results(job["job_id"], wait=True)
+    idle_start = time.perf_counter()
+    scale_down_s = None
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if client.stats()["pool"]["workers"] <= policy.min_workers:
+            scale_down_s = time.perf_counter() - idle_start
+            break
+        time.sleep(0.05)
+    assert scale_down_s is not None, "pool never scaled back down to min_workers"
+    return {
+        "burst_jobs": BURST_JOBS,
+        "max_workers": policy.max_workers,
+        "scale_up_reaction_s": round(scale_up_s, 3),
+        "scale_down_after_idle_s": round(scale_down_s, 3),
+    }
+
+
+def _byte_equality(server_url: str, seeds: int) -> dict:
+    """Assert HTTP campaigns match in-process Session runs byte for byte."""
+    spec = _spec()
+    local, remote = Session(), Session.connect(server_url)
+    verdicts = {}
+    for engine in ("behavioural", "batched"):
+        a = local.campaign(spec, seeds=range(seeds), engine=engine).to_result_set()
+        b = remote.campaign(spec, seeds=range(seeds), engine=engine).to_result_set()
+        identical = a.to_json() == b.to_json()
+        assert identical, f"{engine} campaign over HTTP diverged from in-process run"
+        verdicts[engine] = identical
+    return {"seeds": seeds, "identical": verdicts}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="thread-mode pool and small campaigns (CI-friendly)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(RESULTS_DIR / "BENCH_service.json"),
+        metavar="PATH",
+        help="where to write the JSON artefact",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "thread" if args.smoke else "process"
+    stream_seeds = 200 if args.smoke else 2000
+    burst_seeds = 3 if args.smoke else 8
+    equality_seeds = 6 if args.smoke else 32
+    policy = ScalingPolicy(
+        min_workers=1,
+        init_workers=1,
+        max_workers=3 if args.smoke else 4,
+        idle_timeout_s=1.0,
+        interval_s=0.05,
+    )
+
+    with ExperimentServer(port=0, policy=policy, mode=mode) as server:
+        client = ServiceClient(server.url, timeout=120.0)
+        submit = _submit_latency(client, samples=5)
+        print(f"submit latency: median {submit['median_ms']:.1f} ms")
+        stream = _streaming_rate(client, seeds=stream_seeds)
+        print(
+            f"streaming: {stream['rows']} rows in {stream['seconds']:.2f}s "
+            f"-> {stream['rows_per_second']:.0f} rows/s"
+        )
+        scaling = _scale_reaction(client, policy, seeds=burst_seeds)
+        print(
+            f"scaling: {policy.max_workers} workers in "
+            f"{scaling['scale_up_reaction_s']:.2f}s under {BURST_JOBS} jobs, "
+            f"back to {policy.min_workers} after "
+            f"{scaling['scale_down_after_idle_s']:.2f}s idle"
+        )
+        equality = _byte_equality(server.url, seeds=equality_seeds)
+        print(f"byte-equality (behavioural + batched over HTTP): {equality['identical']}")
+
+    payload = {
+        "bench": "service",
+        "mode": "smoke" if args.smoke else "full",
+        "pool_mode": mode,
+        "app": BENCH_APP,
+        "strategy": BENCH_STRATEGY,
+        "submit_latency": submit,
+        "streaming": stream,
+        "scaling": scaling,
+        "byte_equality": equality,
+    }
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\n[{payload['mode']}] archived to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,8 +24,10 @@ on every executor.
 from __future__ import annotations
 
 import abc
+import atexit
 import json
 import os
+import weakref
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
@@ -234,12 +236,40 @@ class Executor(abc.ABC):
 
     name: str = "abstract"
 
+    #: Whether this backend already serves ``engine="batched"`` specs
+    #: vectorized (or ships them somewhere that does).  ``Session.campaign``
+    #: wraps executors that do not in a :class:`BatchCampaignExecutor`.
+    serves_batched: bool = False
+
     @abc.abstractmethod
     def map(self, specs: Sequence[ExperimentSpec]) -> list[RunOutcome]:
         """Execute every spec and return outcomes in input order."""
 
+    def close(self) -> None:
+        """Release any resources held between :meth:`map` calls (no-op here)."""
+
+    def __enter__(self) -> "Executor":
+        """Enter a scope that guarantees :meth:`close` on exit."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Release held resources when the scope ends."""
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
+
+
+#: Executors holding live worker pools, so one atexit pass can release
+#: them even when an interpreter shutdown interrupts a campaign mid-map.
+_LIVE_EXECUTORS: "weakref.WeakSet[ParallelExecutor]" = weakref.WeakSet()
+
+
+@atexit.register
+def _shutdown_live_executors() -> None:
+    """Last-resort guard: never leave orphaned worker processes behind."""
+    for executor in list(_LIVE_EXECUTORS):
+        executor.close(wait=False)
 
 
 class SerialExecutor(Executor):
@@ -258,6 +288,14 @@ class ParallelExecutor(Executor):
     Results are returned in input order, so aggregates computed from them
     are bit-identical to a :class:`SerialExecutor` run of the same specs.
 
+    The process pool is created lazily, sized to ``min(jobs, len(specs))``
+    (a 4-spec campaign never provisions 16 workers), and reused across
+    :meth:`map` calls.  Interrupting a campaign (``SIGINT``/``SIGTERM``,
+    or any error raised by a spec) cancels the pending specs and releases
+    the pool immediately; :meth:`close`, the context-manager protocol,
+    garbage collection and a process-wide ``atexit`` guard all release it
+    too, so a cancelled campaign cannot leave orphaned workers behind.
+
     Parameters
     ----------
     jobs:
@@ -274,18 +312,61 @@ class ParallelExecutor(Executor):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = int(jobs)
+        # The pool lives in a shared one-slot holder so the gc finalizer
+        # can reach it without keeping the executor itself alive.
+        self._pool_holder: list[ProcessPoolExecutor] = []
+        self._pool_size = 0
+        _LIVE_EXECUTORS.add(self)
+        self._finalizer = weakref.finalize(self, _release_pool_holder, self._pool_holder)
+
+    def effective_workers(self, spec_count: int) -> int:
+        """Worker count actually provisioned for a batch of ``spec_count``."""
+        return max(1, min(self.jobs, spec_count))
+
+    @property
+    def _pool(self) -> ProcessPoolExecutor | None:
+        return self._pool_holder[0] if self._pool_holder else None
+
+    def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
+        if self._pool_holder and self._pool_size < workers:
+            self.close()
+        if not self._pool_holder:
+            self._pool_holder.append(ProcessPoolExecutor(max_workers=workers))
+            self._pool_size = workers
+        return self._pool_holder[0]
 
     def map(self, specs: Sequence[ExperimentSpec]) -> list[RunOutcome]:
         """Fan the specs out across worker processes, preserving input order."""
         specs = list(specs)
         if len(specs) < 2 or self.jobs == 1:
             return [execute_spec(spec) for spec in specs]
-        workers = min(self.jobs, len(specs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_spec, specs))
+        pool = self._ensure_pool(self.effective_workers(len(specs)))
+        futures = [pool.submit(execute_spec, spec) for spec in specs]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            # KeyboardInterrupt / SIGTERM / a failing spec: drop the
+            # not-yet-started specs and tear the pool down rather than
+            # letting __exit__-style semantics block on in-flight work.
+            for future in futures:
+                future.cancel()
+            self.close(wait=False)
+            raise
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the worker pool down (idempotent; pending work is cancelled)."""
+        self._pool_size = 0
+        while self._pool_holder:
+            self._pool_holder.pop().shutdown(wait=wait, cancel_futures=True)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ParallelExecutor(jobs={self.jobs})"
+
+
+def _release_pool_holder(holder: list[ProcessPoolExecutor]) -> None:
+    """Finalizer body: shut down whatever pool the executor still held."""
+    while holder:
+        holder.pop().shutdown(wait=False, cancel_futures=True)
 
 
 class BatchCampaignExecutor(Executor):
@@ -317,9 +398,14 @@ class BatchCampaignExecutor(Executor):
     """
 
     name = "batched"
+    serves_batched = True
 
     def __init__(self, fallback: Executor | None = None) -> None:
         self.fallback = fallback if fallback is not None else SerialExecutor()
+
+    def close(self) -> None:
+        """Release whatever resources the fallback executor holds."""
+        self.fallback.close()
 
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -58,6 +58,35 @@ class Session:
         self.constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
         self.executor = executor if executor is not None else SerialExecutor()
 
+    @classmethod
+    def connect(
+        cls,
+        url: str,
+        constraints: DesignConstraints | None = None,
+        timeout: float = 300.0,
+    ) -> "Session":
+        """Open a session that executes on a remote experiment server.
+
+        The returned session is a thin HTTP client: every entry point
+        (``run`` / ``sweep`` / ``campaign``) submits its specs to the
+        ``repro-experiments serve`` instance at ``url`` as one job on the
+        same queue the service CLI uses, streams the outcome rows back,
+        and aggregates locally — so a campaign submitted over HTTP is
+        bit-identical (same rows, same order) to the in-process run, for
+        both engines.  Specs must be registry-named (serializable), and
+        rich artifacts (``optimize``/``pareto`` objects) stay server-side:
+        only metric records travel.
+
+        >>> session = Session.connect("http://127.0.0.1:8077")  # doctest: +SKIP
+        >>> session.campaign(spec).mean("energy_nj")  # doctest: +SKIP
+        """
+        from ..service.client import RemoteExecutor, ServiceClient
+
+        return cls(
+            constraints=constraints,
+            executor=RemoteExecutor(ServiceClient(url, timeout=timeout)),
+        )
+
     def _resolve_executor(self, executor: Executor | None, jobs: int | None) -> Executor:
         if executor is not None:
             return executor
@@ -154,14 +183,17 @@ class Session:
             # against the ground-truth engine instead of being ignored.
             spec = replace(spec, base=replace(spec.base, engine=engine))
         if engine == "batched":
-            if executor is None:
-                executor = make_executor(jobs, engine="batched")
-            elif not isinstance(executor, BatchCampaignExecutor):
+            executor = self._resolve_executor(executor, jobs)
+            if not executor.serves_batched:
                 # Keep the vectorized grouping (one task model per seed
                 # group) and let the caller's executor serve whatever the
                 # batch engine cannot — running batched specs one by one
                 # through a plain executor would rebuild the model per seed.
+                # Backends that already serve batched specs vectorized
+                # (BatchCampaignExecutor itself, the service's
+                # RemoteExecutor) pass through untouched.
                 executor = BatchCampaignExecutor(fallback=executor)
+            jobs = None
         outcomes = self.run_all(spec.expand(), executor=executor, jobs=jobs)
         raw = [outcome.record for outcome in outcomes]
         metrics: Sequence[str] = spec.metrics

@@ -18,6 +18,11 @@ terminal through the unified experiment API::
     repro-experiments pareto --app adpcm-encode --nodes 45nm 65nm \
         --ecc bch interleaved-secded --objectives energy area failure
 
+    repro-experiments serve --port 8077 --max-workers 4
+    repro-experiments submit --app adpcm-encode --strategy hybrid-optimal --runs 20
+    repro-experiments jobs
+    repro-experiments results job-000001
+
     repro-experiments list
     repro-experiments scenarios list
     repro-experiments scenarios run --app adpcm-encode --strategy hybrid-adaptive \
@@ -37,6 +42,8 @@ design-space artefacts (fig4, table1, ablations, optimize sweeps).
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
 
 from .analysis import (
@@ -75,6 +82,13 @@ from .runtime.profile_cache import configure as configure_profile_cache
 
 #: The paper artefacts and the composite ``all``.
 ARTEFACTS: tuple[str, ...] = ("fig4", "table1", "fig5", "timing", "ablations", "all")
+
+#: Where service-client subcommands connect when ``--url`` is not given.
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8077"
+
+
+def _default_service_url() -> str:
+    return os.environ.get("REPRO_SERVICE_URL", DEFAULT_SERVICE_URL)
 
 
 def _parse_value(text: str):
@@ -397,6 +411,100 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_cache_option(pareto)
     _add_output_options(pareto)
 
+    # --- campaign-as-a-service ------------------------------------------- #
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived experiment server (HTTP + worker pool)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8077, help="bind port (default: 8077)")
+    serve.add_argument(
+        "--mode",
+        choices=("process", "thread"),
+        default="process",
+        help="worker backend (default: process)",
+    )
+    serve.add_argument(
+        "--min-workers", type=int, default=1, help="pool floor (default: 1)"
+    )
+    serve.add_argument(
+        "--init-workers", type=int, default=None,
+        help="workers at startup (default: --min-workers)",
+    )
+    serve.add_argument(
+        "--max-workers", type=int, default=4, help="pool ceiling (default: 4)"
+    )
+    serve.add_argument(
+        "--parallelism",
+        type=float,
+        default=1.0,
+        help="shards-per-worker pressure in (0, 1] (default: 1.0)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="empty-queue seconds before scaling down to the floor (default: 30)",
+    )
+    serve.add_argument(
+        "--scale-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between scaling ticks (default: 1)",
+    )
+
+    def _add_url_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--url",
+            default=None,
+            help="server base URL (default: $REPRO_SERVICE_URL "
+            f"or {DEFAULT_SERVICE_URL})",
+        )
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a campaign to a running experiment server"
+    )
+    _add_url_option(submit)
+    _add_spec_options(submit)
+    submit.add_argument(
+        "--seeds", type=int, nargs="+", default=None, help="explicit campaign seeds"
+    )
+    submit.add_argument(
+        "--runs", type=int, default=10, help="number of runs when --seeds is not given"
+    )
+    submit.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seeds per behavioural shard (default: the server's planner default)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="stream the results and render them instead of printing the job id",
+    )
+    _add_engine_option(submit)
+    _add_constraint_options(submit)
+    _add_output_options(submit)
+
+    jobs_cmd = subparsers.add_parser("jobs", help="list a server's jobs")
+    _add_url_option(jobs_cmd)
+    _add_output_options(jobs_cmd)
+
+    results_cmd = subparsers.add_parser(
+        "results", help="fetch (and by default follow) one job's result rows"
+    )
+    _add_url_option(results_cmd)
+    results_cmd.add_argument("job_id", help="job id, e.g. job-000001")
+    results_cmd.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return only the rows ready now instead of following the job",
+    )
+    _add_output_options(results_cmd)
+
     # --- registry discovery ---------------------------------------------- #
     listing = subparsers.add_parser(
         "list", help="enumerate every registry (apps, strategies, fault models, scenarios)"
@@ -590,7 +698,108 @@ def _artefact_sections(args: argparse.Namespace, session: Session) -> list:
     return sections
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """Run the experiment server until SIGINT/SIGTERM."""
+    from .service.logs import configure_logging
+    from .service.scaling import ScalingPolicy
+    from .service.server import ExperimentServer
+
+    configure_logging()
+    policy = ScalingPolicy(
+        min_workers=args.min_workers,
+        init_workers=args.init_workers if args.init_workers is not None else args.min_workers,
+        max_workers=args.max_workers,
+        parallelism=args.parallelism,
+        idle_timeout_s=args.idle_timeout,
+        interval_s=args.scale_interval,
+    )
+    server = ExperimentServer(host=args.host, port=args.port, policy=policy, mode=args.mode)
+
+    def _shutdown(signum, frame):  # noqa: ARG001 - signal handler signature
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    print(f"repro-experiments: serving on {server.url} (Ctrl-C to stop)", file=sys.stderr)
+    server.serve_forever()
+    return 0
+
+
+def _service_sections(args: argparse.Namespace) -> list:
+    """Shared implementation of ``submit``, ``jobs`` and ``results``."""
+    from urllib.error import URLError
+
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url or _default_service_url())
+    try:
+        return _service_sections_inner(args, client)
+    except ServiceError as error:
+        hint = ""
+        if error.choices:
+            hint = "".join(
+                f"; valid {name}: {', '.join(values)}"
+                for name, values in error.choices.items()
+            )
+        raise ValueError(f"{error}{hint}") from None
+    except URLError as error:
+        raise ValueError(
+            f"cannot reach {client.base_url} ({error.reason}); "
+            "is `repro-experiments serve` running?"
+        ) from None
+
+
+def _service_sections_inner(args: argparse.Namespace, client) -> list:
+    if args.command == "jobs":
+        records = [
+            {
+                "job_id": job["job_id"],
+                "state": job["state"],
+                "kind": job["kind"],
+                "specs": job["specs"],
+                "rows_ready": job["rows_ready"],
+                "duration_s": job["duration_s"],
+                "label": job["label"],
+            }
+            for job in client.jobs()
+        ]
+        return [ResultSet.from_records(f"Jobs — {client.base_url}", records)]
+
+    if args.command == "results":
+        return [client.result_set(args.job_id, wait=not args.no_wait)]
+
+    # submit
+    spec = CampaignSpec(
+        base=_spec_from_args(args),
+        seeds=tuple(args.seeds) if args.seeds is not None else (),
+        runs=args.runs,
+    )
+    payload: dict = {"kind": "campaign", "spec": spec.to_dict()}
+    if args.shard_size is not None:
+        payload["shard_size"] = args.shard_size
+    job = client.submit(payload)
+    if args.wait:
+        return [client.result_set(job["job_id"], wait=True)]
+    return [
+        ResultSet.from_records(
+            f"Submitted — {job['job_id']}",
+            [
+                {
+                    "job_id": job["job_id"],
+                    "state": job["state"],
+                    "specs": job["specs"],
+                    "shards": job["shards"]["total"],
+                    "spec_sha256": job["spec_sha256"],
+                }
+            ],
+        )
+    ]
+
+
 def _run_sections(args: argparse.Namespace) -> list:
+    if args.command in ("submit", "jobs", "results"):
+        return _service_sections(args)
+
     session = Session()
     if args.command in ARTEFACTS:
         return _artefact_sections(args, session)
@@ -659,6 +868,8 @@ def _run_sections(args: argparse.Namespace) -> list:
 def main(argv: list[str] | None = None) -> int:
     """Entry point used by the ``repro-experiments`` console script."""
     args = _build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _serve(args)
     if getattr(args, "no_cache", False):
         configure_profile_cache(memory=False, disk=False)
     try:

@@ -1,0 +1,143 @@
+"""Optional FastAPI adapter for the experiment service.
+
+The stdlib :class:`~repro.service.server.ExperimentServer` is the
+canonical deployment — this module only exists for hosts that already
+run a FastAPI/ASGI stack and want the same v1 API mounted there.  It is
+import-gated: ``fastapi`` is **not** a dependency of this project, and
+importing this module without it raises a clear error instead of an
+``ImportError`` deep inside a web framework.
+
+Usage (only where fastapi is installed)::
+
+    from repro.service.fastapi_app import create_app
+    app = create_app()          # uvicorn repro.service.fastapi_app:app
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .jobs import JobQueue
+from .pool import WorkerPool
+from .scaling import ScalingPolicy
+from .server import registries_payload
+from .wire import WireError, validate_job_payload
+
+try:  # pragma: no cover - exercised only where fastapi is installed
+    import fastapi
+except ImportError:  # pragma: no cover
+    fastapi = None
+
+#: Whether the optional FastAPI adapter can be used in this environment.
+HAVE_FASTAPI = fastapi is not None
+
+
+def create_app(policy: ScalingPolicy | None = None, mode: str = "process") -> Any:
+    """Build a FastAPI app exposing the v1 experiment API.
+
+    Raises
+    ------
+    RuntimeError
+        When ``fastapi`` is not installed (it is an optional extra; the
+        stdlib server needs nothing beyond the standard library).
+    """
+    if not HAVE_FASTAPI:  # pragma: no cover - the gate is the point
+        raise RuntimeError(
+            "fastapi is not installed; use repro.service.server.ExperimentServer "
+            "(stdlib) or install the optional 'fastapi' extra"
+        )
+
+    # pragma: no cover start - mirror of server.py routes, fastapi-only
+    from fastapi import FastAPI, HTTPException, Request
+    from fastapi.responses import JSONResponse, StreamingResponse
+
+    jobs = JobQueue()
+    pool = WorkerPool(jobs, policy=policy, mode=mode)
+    app = FastAPI(title="repro experiment service", version="1")
+
+    @app.on_event("startup")
+    def _startup() -> None:
+        pool.start()
+
+    @app.on_event("shutdown")
+    def _shutdown() -> None:
+        pool.stop()
+
+    @app.exception_handler(WireError)
+    def _wire_error(_request: Request, error: WireError) -> JSONResponse:
+        return JSONResponse(status_code=error.status, content=error.payload())
+
+    @app.get("/v1/healthz")
+    def healthz() -> dict:
+        return {"status": "ok", "workers": pool.worker_count()}
+
+    @app.get("/v1/registries")
+    def registries() -> dict:
+        return registries_payload()
+
+    @app.get("/v1/stats")
+    def stats() -> dict:
+        return {"queue": jobs.stats(), "pool": pool.stats()}
+
+    @app.post("/v1/experiments", status_code=202)
+    async def submit(request: Request) -> dict:
+        payload = await request.json()
+        return jobs.submit(validate_job_payload(payload)).describe()
+
+    @app.get("/v1/jobs")
+    def list_jobs() -> dict:
+        return {"jobs": [job.describe() for job in jobs.jobs()]}
+
+    @app.get("/v1/jobs/{job_id}")
+    def job_status(job_id: str) -> dict:
+        job = jobs.get(job_id)
+        if job is None:
+            raise HTTPException(status_code=404, detail=f"job {job_id!r} not found")
+        return job.describe()
+
+    @app.delete("/v1/jobs/{job_id}")
+    def cancel(job_id: str) -> dict:
+        job = jobs.cancel(job_id)
+        if job is None:
+            raise HTTPException(status_code=404, detail=f"job {job_id!r} not found")
+        return job.describe()
+
+    @app.get("/v1/jobs/{job_id}/results")
+    def results(job_id: str, wait: int = 1) -> StreamingResponse:
+        import json as json_mod
+
+        from ..api.results import NDJSON_FORMAT, NDJSON_META_KEY
+        from .jobs import TERMINAL_STATES
+
+        job = jobs.get(job_id)
+        if job is None:
+            raise HTTPException(status_code=404, detail=f"job {job_id!r} not found")
+
+        def lines():
+            yield json_mod.dumps(
+                {
+                    NDJSON_META_KEY: NDJSON_FORMAT,
+                    "title": job.request.label,
+                    "job_id": job.id,
+                    "spec_sha256": job.request.spec_hash,
+                }
+            ) + "\n"
+            emitted = 0
+            while True:
+                ready = job.ready_prefix()
+                for index in range(emitted, ready):
+                    for record in job.records_per_spec[index] or ():
+                        yield json_mod.dumps({**record, "_spec": index}) + "\n"
+                emitted = ready
+                if job.state in TERMINAL_STATES or not wait:
+                    break
+                jobs.wait_for_change(
+                    lambda: job.state in TERMINAL_STATES or job.ready_prefix() > emitted,
+                    timeout=1.0,
+                )
+            yield json_mod.dumps({NDJSON_META_KEY: "end", "state": job.state}) + "\n"
+
+        return StreamingResponse(lines(), media_type="application/x-ndjson")
+    # pragma: no cover end
+
+    return app

@@ -1,0 +1,302 @@
+"""The in-process job queue: states, bookkeeping, and streaming waits.
+
+One :class:`JobQueue` instance is shared by the HTTP server (submit,
+status, cancel, stream) and the worker pool (claim shards, deliver
+results).  Jobs move ``queued → running → done | failed | cancelled``;
+shards move ``pending → dispatched → done | failed | skipped``.  All
+mutation happens under one lock, and a single condition variable wakes
+both the pool's dispatcher (new work) and streaming result readers (new
+rows), so a ``GET /v1/jobs/{id}/results?wait=1`` can emit rows the moment
+their shard lands.
+
+The queue is *persistent in-process*: finished jobs (and their rows) stay
+addressable for the lifetime of the server, which is what lets clients
+submit, disconnect and fetch results later.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from .shards import Shard, plan_shards
+from .wire import JobRequest
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES: tuple[str, ...] = (DONE, FAILED, CANCELLED)
+
+#: Shard lifecycle states.
+SHARD_PENDING = "pending"
+SHARD_DISPATCHED = "dispatched"
+SHARD_DONE = "done"
+SHARD_FAILED = "failed"
+SHARD_SKIPPED = "skipped"
+
+
+@dataclass
+class Job:
+    """One submitted job and everything it has produced so far."""
+
+    id: str
+    request: JobRequest
+    shards: list[Shard]
+    state: str = QUEUED
+    error: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    shard_states: list[str] = field(default_factory=list)
+    records_per_spec: list[list[dict[str, Any]] | None] = field(default_factory=list)
+    spec_dicts: list[dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.shard_states:
+            self.shard_states = [SHARD_PENDING] * len(self.shards)
+        if not self.records_per_spec:
+            self.records_per_spec = [None] * len(self.request.specs)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def spec_count(self) -> int:
+        """Number of concrete specs the job expands to."""
+        return len(self.request.specs)
+
+    @property
+    def duration_s(self) -> float | None:
+        """Wall-clock seconds from first dispatch to completion, if known."""
+        if self.started_at is None:
+            return None
+        end = self.finished_at if self.finished_at is not None else time.time()
+        return end - self.started_at
+
+    def ready_prefix(self) -> int:
+        """Number of leading specs whose records are available.
+
+        Streaming emits rows in spec order, so only the contiguous
+        completed prefix is observable — that keeps a streamed result
+        byte-identical to the finished job's row order.
+        """
+        count = 0
+        for records in self.records_per_spec:
+            if records is None:
+                break
+            count += 1
+        return count
+
+    def rows(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Flat result rows of the first ``limit`` specs (default: all ready).
+
+        Each row carries its spec index under the private ``_spec`` key —
+        hidden from rendered columns, used by clients to regroup rows into
+        per-spec outcomes.
+        """
+        prefix = self.ready_prefix() if limit is None else limit
+        flat: list[dict[str, Any]] = []
+        for index in range(prefix):
+            records = self.records_per_spec[index]
+            for record in records or ():
+                flat.append({**record, "_spec": index})
+        return flat
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-able status payload for ``GET /v1/jobs/{id}``."""
+        payload: dict[str, Any] = {
+            "job_id": self.id,
+            "kind": self.request.kind,
+            "label": self.request.label,
+            "state": self.state,
+            "spec_sha256": self.request.spec_hash,
+            "specs": self.spec_count,
+            "shards": {
+                "total": len(self.shards),
+                "pending": self.shard_states.count(SHARD_PENDING),
+                "dispatched": self.shard_states.count(SHARD_DISPATCHED),
+                "done": self.shard_states.count(SHARD_DONE),
+            },
+            "rows_ready": sum(
+                len(records) for records in self.records_per_spec if records is not None
+            ),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "duration_s": self.duration_s,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class JobQueue:
+    """Thread-safe queue + registry of every job the server has seen."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # Submission / lookup
+    # ------------------------------------------------------------------ #
+    def submit(self, request: JobRequest) -> Job:
+        """Plan the job's shards and enqueue it."""
+        spec_dicts = _spec_dicts(request)
+        shards = plan_shards(spec_dicts, shard_size=request.shard_size)
+        with self._changed:
+            job = Job(
+                id=f"job-{next(self._ids):06d}",
+                request=request,
+                shards=shards,
+                spec_dicts=spec_dicts,
+            )
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._changed.notify_all()
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        """Look one job up by id (``None`` when unknown)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """Every job, oldest first."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    # ------------------------------------------------------------------ #
+    # Worker-pool side
+    # ------------------------------------------------------------------ #
+    def claim_shard(self, timeout: float | None = None) -> tuple[Job, Shard] | None:
+        """Claim the next pending shard, blocking up to ``timeout`` seconds.
+
+        Marks the shard dispatched (and its job running).  Returns ``None``
+        when nothing became available before the timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._changed:
+            while True:
+                claimed = self._claim_locked()
+                if claimed is not None:
+                    return claimed
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._changed.wait(remaining)
+
+    def _claim_locked(self) -> tuple[Job, Shard] | None:
+        for job_id in self._order:
+            job = self._jobs[job_id]
+            if job.state not in (QUEUED, RUNNING):
+                continue
+            for shard in job.shards:
+                if job.shard_states[shard.index] == SHARD_PENDING:
+                    job.shard_states[shard.index] = SHARD_DISPATCHED
+                    if job.state == QUEUED:
+                        job.state = RUNNING
+                        job.started_at = time.time()
+                    return job, shard
+        return None
+
+    def complete_shard(
+        self,
+        job_id: str,
+        shard_index: int,
+        records_per_spec: Sequence[Sequence[Mapping[str, Any]]],
+    ) -> None:
+        """Record a shard's results; finishes the job when it was the last."""
+        with self._changed:
+            job = self._jobs.get(job_id)
+            if job is None or job.state in TERMINAL_STATES:
+                return  # cancelled/failed while in flight: drain silently
+            job.shard_states[shard_index] = SHARD_DONE
+            shard = job.shards[shard_index]
+            for spec_index, records in zip(shard.spec_indices, records_per_spec):
+                job.records_per_spec[spec_index] = [dict(r) for r in records]
+            if all(state == SHARD_DONE for state in job.shard_states):
+                job.state = DONE
+                job.finished_at = time.time()
+            self._changed.notify_all()
+
+    def fail_shard(self, job_id: str, shard_index: int, error: str) -> None:
+        """Mark a shard (and thereby its job) failed; pending shards are skipped."""
+        with self._changed:
+            job = self._jobs.get(job_id)
+            if job is None or job.state in TERMINAL_STATES:
+                return
+            job.shard_states[shard_index] = SHARD_FAILED
+            for index, state in enumerate(job.shard_states):
+                if state == SHARD_PENDING:
+                    job.shard_states[index] = SHARD_SKIPPED
+            job.state = FAILED
+            job.error = error
+            job.finished_at = time.time()
+            self._changed.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Control plane
+    # ------------------------------------------------------------------ #
+    def cancel(self, job_id: str) -> Job | None:
+        """Cancel a job: pending shards are skipped, in-flight results drained."""
+        with self._changed:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state not in TERMINAL_STATES:
+                for index, state in enumerate(job.shard_states):
+                    if state == SHARD_PENDING:
+                        job.shard_states[index] = SHARD_SKIPPED
+                job.state = CANCELLED
+                job.finished_at = time.time()
+                self._changed.notify_all()
+            return job
+
+    def active_shards(self) -> int:
+        """Outstanding (pending + dispatched) shards across live jobs."""
+        with self._lock:
+            return self._active_shards_locked()
+
+    def _active_shards_locked(self) -> int:
+        total = 0
+        for job in self._jobs.values():
+            if job.state in (QUEUED, RUNNING):
+                total += sum(
+                    1
+                    for state in job.shard_states
+                    if state in (SHARD_PENDING, SHARD_DISPATCHED)
+                )
+        return total
+
+    def wait_for_change(self, predicate, timeout: float | None = None) -> bool:
+        """Block until ``predicate()`` holds (evaluated under the lock)."""
+        with self._changed:
+            return self._changed.wait_for(predicate, timeout)
+
+    def stats(self) -> dict[str, Any]:
+        """Queue-depth snapshot for ``GET /v1/stats``."""
+        with self._lock:
+            states = {state: 0 for state in (QUEUED, RUNNING, *TERMINAL_STATES)}
+            for job in self._jobs.values():
+                states[job.state] += 1
+            return {
+                "jobs": states,
+                "shards": {"active": self._active_shards_locked()},
+                "total_submitted": len(self._jobs),
+            }
+
+
+def _spec_dicts(request: JobRequest) -> list[dict[str, Any]]:
+    """Canonical per-spec dicts (the worker wire form) of a request."""
+    return [spec.to_dict() for spec in request.specs]

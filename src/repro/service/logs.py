@@ -1,0 +1,31 @@
+"""Structured JSON logging for the experiment service.
+
+Every service-side event — request handled, job submitted/finished,
+scaling decision applied, worker spawned/retired — goes through
+:func:`log_event`, which emits one JSON object per log line on the
+``repro.service`` logger.  Machine-parseable by construction, silent
+unless the host application configures logging (the ``serve`` CLI does).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+#: The one logger the whole service tree logs through.
+logger = logging.getLogger("repro.service")
+
+
+def log_event(event: str, **fields) -> None:
+    """Emit one structured log line: ``{"event": ..., **fields}``."""
+    if logger.isEnabledFor(logging.INFO):
+        logger.info(json.dumps({"event": event, **fields}, default=str, sort_keys=True))
+
+
+def configure_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the service logger (used by ``serve``)."""
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(asctime)s %(message)s"))
+        logger.addHandler(handler)

@@ -1,0 +1,119 @@
+"""Campaign sharding: how a job's specs become worker-sized units.
+
+A *shard* is the unit the elastic worker pool schedules: a contiguous
+block of a job's specs executed by one worker call.  The planner follows
+the engines' reproducibility contracts:
+
+* ``engine="batched"`` specs all go into **one** shard, executed through
+  :class:`~repro.api.executors.BatchCampaignExecutor` — the batch engine
+  derives one fault stream per same-experiment seed group, so splitting a
+  batched campaign across workers would change its batch composition and
+  break bit-identity with :meth:`Session.campaign`.  The engine is
+  vectorized precisely so this single shard stays cheap.
+* ``engine="behavioural"`` specs are split into seed blocks of
+  ``shard_size`` — each spec's outcome depends only on the spec itself,
+  so any partition reassembled in input order is bit-identical to a
+  serial run.
+
+The shard count is clamped to the spec count by construction
+(``shard_size >= 1``), and the pool's scaling policy in turn clamps its
+worker target to the number of outstanding shards — so a 4-seed campaign
+never provisions 16 workers no matter what ``max_workers`` allows.
+
+:func:`execute_shard_payload` is the module-level worker function
+(picklable, JSON-in/JSON-out) that process workers run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ..api.executors import BatchCampaignExecutor, execute_spec
+from ..api.spec import ExperimentSpec
+
+#: Default behavioural seeds per shard.  Small enough that a burst of
+#: modest campaigns produces real queue pressure for the scaler to react
+#: to, large enough to amortize dispatch overhead.
+DEFAULT_SHARD_SIZE = 4
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One schedulable block of a job.
+
+    Attributes
+    ----------
+    index:
+        Position within the job's shard plan.
+    spec_indices:
+        Indices into the job's spec list served by this shard, in result
+        order.
+    batched:
+        Whether the shard runs through the vectorized
+        :class:`~repro.api.executors.BatchCampaignExecutor`.
+    """
+
+    index: int
+    spec_indices: tuple[int, ...]
+    batched: bool = False
+
+    def payload(self, spec_dicts: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+        """The JSON-able work order shipped to a worker."""
+        return {
+            "specs": [dict(spec_dicts[i]) for i in self.spec_indices],
+            "batched": self.batched,
+        }
+
+
+def plan_shards(
+    spec_dicts: Sequence[Mapping[str, Any]], shard_size: int | None = None
+) -> list[Shard]:
+    """Partition a job's spec dicts into schedulable shards.
+
+    Batched specs form one shard (preserving their relative order, which
+    fixes the batch engine's seed-group composition); behavioural specs
+    form seed blocks of ``shard_size``.  The plan never contains more
+    shards than specs.
+    """
+    if shard_size is None:
+        shard_size = DEFAULT_SHARD_SIZE
+    if shard_size < 1:
+        raise ValueError("shard_size must be at least 1")
+    batched = [i for i, spec in enumerate(spec_dicts) if spec.get("engine") == "batched"]
+    serial = [i for i, spec in enumerate(spec_dicts) if spec.get("engine") != "batched"]
+    shards: list[Shard] = []
+    if batched:
+        shards.append(Shard(index=len(shards), spec_indices=tuple(batched), batched=True))
+    for start in range(0, len(serial), shard_size):
+        block = tuple(serial[start : start + shard_size])
+        shards.append(Shard(index=len(shards), spec_indices=block))
+    return shards
+
+
+def max_useful_workers(shards: Sequence[Shard]) -> int:
+    """Largest worker count a shard plan can keep busy."""
+    return max(1, len(shards))
+
+
+def execute_shard_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Execute one shard work order and return its per-spec records.
+
+    The inverse of :meth:`Shard.payload`: rebuilds the specs, runs them —
+    through one :class:`~repro.api.executors.BatchCampaignExecutor` call
+    for batched shards (identical grouping to an in-process
+    ``Session.campaign``), spec by spec otherwise — and returns records
+    in spec order.  Module-level and dict-typed on both ends so process
+    workers can receive it over a ``multiprocessing`` queue.
+    """
+    specs = [ExperimentSpec.from_dict(entry) for entry in payload["specs"]]
+    if payload.get("batched"):
+        outcomes = BatchCampaignExecutor().map(specs)
+    else:
+        outcomes = [execute_spec(spec) for spec in specs]
+    return {
+        "records_per_spec": [
+            [dict(record) for record in outcome.records] for outcome in outcomes
+        ]
+    }

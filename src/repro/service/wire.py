@@ -1,0 +1,278 @@
+"""Wire-level request validation and canonical spec hashing.
+
+The experiment server accepts JSON job payloads of four kinds::
+
+    {"kind": "experiment", "spec": {...ExperimentSpec...}}
+    {"kind": "campaign",   "spec": {...CampaignSpec...}}
+    {"kind": "sweep",      "spec": {...SweepSpec...}}
+    {"kind": "batch",      "specs": [{...ExperimentSpec...}, ...]}
+
+:func:`validate_job_payload` turns such a payload into a
+:class:`JobRequest` — the queue's unit of work — or raises a
+:class:`WireError` whose :meth:`WireError.payload` is the structured 400
+body the server returns: a message plus, for registry lookups, the
+registry's valid choices.  Validation happens *before* any spec object is
+built, so a malformed request never reaches the executor layer (and never
+surfaces as a 500/traceback).
+
+:func:`spec_sha256` is the canonical content hash of a payload — the
+identity the streaming NDJSON header carries so a result stream can be
+matched to the spec that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..api.registry import (
+    available_fault_models,
+    available_scenarios,
+    available_strategies,
+    scenario_known,
+    strategy_known,
+)
+from ..api.spec import ENGINES, KINDS, CampaignSpec, ExperimentSpec, SweepSpec
+from ..apps.registry import available_applications, canonical_name
+
+#: Job kinds accepted by ``POST /v1/experiments``.
+WIRE_KINDS: tuple[str, ...] = ("experiment", "campaign", "sweep", "batch")
+
+
+class WireError(Exception):
+    """A request problem that maps to a structured HTTP error response.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of what is wrong with the request.
+    status:
+        HTTP status code (default 400).
+    choices:
+        Optional mapping of field name to its valid values — filled for
+        registry lookups so clients can self-correct without a round-trip
+        to ``GET /v1/registries``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        choices: Mapping[str, Sequence[str]] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.status = int(status)
+        self.choices = {name: list(values) for name, values in (choices or {}).items()}
+
+    def payload(self) -> dict[str, Any]:
+        """The JSON body the server sends for this error."""
+        error: dict[str, Any] = {"status": self.status, "message": self.message}
+        if self.choices:
+            error["choices"] = self.choices
+        return {"error": error}
+
+
+def spec_sha256(payload: Mapping[str, Any]) -> str:
+    """Canonical content hash of a JSON-able payload.
+
+    Key order and whitespace are normalized before hashing, so the hash is
+    a pure function of the payload's content — the same identity whether
+    the spec was submitted by the CLI, a client library or raw curl.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A validated job: the payload plus its expanded concrete specs.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`WIRE_KINDS`.
+    payload:
+        The canonicalized request payload (spec dicts re-serialized via
+        ``to_dict`` so the hash is insensitive to field order).
+    specs:
+        The concrete :class:`~repro.api.spec.ExperimentSpec` list the job
+        executes, in result order.
+    label:
+        Human-readable one-line description for listings and logs.
+    spec_hash:
+        :func:`spec_sha256` of ``payload``.
+    shard_size:
+        Seeds per behavioural shard (``None`` = the planner's default).
+    """
+
+    kind: str
+    payload: dict[str, Any]
+    specs: tuple[ExperimentSpec, ...]
+    label: str
+    spec_hash: str
+    shard_size: int | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+def _check_registry_names(spec_dict: Mapping[str, Any], where: str) -> None:
+    """Reject unknown registry names with the valid choices attached."""
+    if not isinstance(spec_dict, Mapping):
+        raise WireError(f"{where} must be a JSON object, got {type(spec_dict).__name__}")
+    kind = spec_dict.get("kind", "execute")
+    if kind not in KINDS:
+        raise WireError(
+            f"{where}: unknown experiment kind {kind!r}", choices={"kind": list(KINDS)}
+        )
+    engine = spec_dict.get("engine", "behavioural")
+    if engine not in ENGINES:
+        raise WireError(
+            f"{where}: unknown engine {engine!r}", choices={"engine": list(ENGINES)}
+        )
+    app = spec_dict.get("app")
+    if app is None:
+        if kind != "feasibility":
+            raise WireError(
+                f"{where}: kind={kind!r} requires an application",
+                choices={"app": available_applications()},
+            )
+    elif isinstance(app, str):
+        try:
+            canonical_name(app)
+        except KeyError:
+            raise WireError(
+                f"{where}: unknown application {app!r}",
+                choices={"app": available_applications()},
+            ) from None
+    else:
+        raise WireError(f"{where}: 'app' must be a registry name string")
+    strategy = spec_dict.get("strategy", "default")
+    if kind == "execute" and not strategy_known(strategy):
+        raise WireError(
+            f"{where}: unknown strategy {strategy!r}",
+            choices={"strategy": available_strategies()},
+        )
+    fault_model = spec_dict.get("fault_model")
+    if fault_model is not None and fault_model not in available_fault_models():
+        raise WireError(
+            f"{where}: unknown fault model {fault_model!r}",
+            choices={"fault_model": available_fault_models()},
+        )
+    scenario = spec_dict.get("scenario", "paper-constant")
+    if isinstance(scenario, str) and not scenario_known(scenario):
+        raise WireError(
+            f"{where}: unknown scenario {scenario!r}",
+            choices={"scenario": available_scenarios()},
+        )
+
+
+def _build_spec(spec_dict: Mapping[str, Any], where: str) -> ExperimentSpec:
+    _check_registry_names(spec_dict, where)
+    try:
+        return ExperimentSpec.from_dict(spec_dict)
+    except (TypeError, ValueError) as error:
+        raise WireError(f"{where}: {error}") from None
+
+
+def _spec_label(spec: ExperimentSpec) -> str:
+    app = spec.app_name or spec.kind
+    return f"{app}/{spec.strategy}" if spec.kind == "execute" else f"{app} [{spec.kind}]"
+
+
+def validate_job_payload(payload: Any) -> JobRequest:
+    """Validate a submitted job payload into a :class:`JobRequest`.
+
+    Raises :class:`WireError` (→ structured 400) on every malformed shape:
+    non-object bodies, unknown job kinds, unknown registry names (with the
+    registry's valid choices), bad engines, empty spec lists.
+    """
+    if not isinstance(payload, Mapping):
+        raise WireError(f"request body must be a JSON object, got {type(payload).__name__}")
+    kind = payload.get("kind", "experiment")
+    if kind not in WIRE_KINDS:
+        raise WireError(
+            f"unknown job kind {kind!r}", choices={"kind": list(WIRE_KINDS)}
+        )
+    shard_size = payload.get("shard_size")
+    if shard_size is not None:
+        if not isinstance(shard_size, int) or isinstance(shard_size, bool) or shard_size < 1:
+            raise WireError("'shard_size' must be a positive integer")
+
+    metadata: dict[str, Any] = {}
+    if kind == "batch":
+        raw_specs = payload.get("specs")
+        if not isinstance(raw_specs, Sequence) or isinstance(raw_specs, (str, bytes)):
+            raise WireError("'specs' must be a list of experiment spec objects")
+        if not raw_specs:
+            raise WireError("'specs' must contain at least one spec")
+        specs = tuple(
+            _build_spec(entry, f"specs[{index}]") for index, entry in enumerate(raw_specs)
+        )
+        label = f"batch of {len(specs)} specs ({_spec_label(specs[0])}, ...)"
+        canonical = {"kind": kind, "specs": [spec.to_dict() for spec in specs]}
+    elif kind == "experiment":
+        spec = _build_spec(_require_spec(payload), "spec")
+        specs = (spec,)
+        label = f"experiment {_spec_label(spec)} (seed {spec.seed})"
+        canonical = {"kind": kind, "spec": spec.to_dict()}
+    elif kind == "campaign":
+        raw = _require_spec(payload)
+        base = _build_spec(_require_field(raw, "base", "spec.base"), "spec.base")
+        try:
+            campaign = CampaignSpec(
+                base=base,
+                seeds=raw.get("seeds", ()),
+                runs=raw.get("runs", 10),
+                metrics=raw.get("metrics", ()),
+                allow_ragged=raw.get("allow_ragged", False),
+            )
+        except (TypeError, ValueError) as error:
+            raise WireError(f"spec: {error}") from None
+        specs = tuple(campaign.expand())
+        label = f"campaign {_spec_label(base)} ({len(specs)} seeds)"
+        canonical = {"kind": kind, "spec": campaign.to_dict()}
+        metadata = {
+            "metrics": list(campaign.metrics),
+            "allow_ragged": campaign.allow_ragged,
+        }
+    else:  # sweep
+        raw = _require_spec(payload)
+        base = _build_spec(_require_field(raw, "base", "spec.base"), "spec.base")
+        try:
+            sweep = SweepSpec(base=base, parameters=raw.get("parameters", {}))
+            specs = tuple(sweep.expand())
+        except (TypeError, ValueError) as error:
+            raise WireError(f"spec: {error}") from None
+        axes = ", ".join(sweep.parameters)
+        label = f"sweep {_spec_label(base)} over {axes} ({len(specs)} points)"
+        canonical = {"kind": kind, "spec": sweep.to_dict()}
+        metadata = {"points": sweep.points(), "axes": list(sweep.parameters)}
+
+    if shard_size is not None:
+        canonical["shard_size"] = shard_size
+    return JobRequest(
+        kind=kind,
+        payload=canonical,
+        specs=specs,
+        label=label,
+        spec_hash=spec_sha256(canonical),
+        shard_size=shard_size,
+        metadata=metadata,
+    )
+
+
+def _require_spec(payload: Mapping[str, Any]) -> Mapping[str, Any]:
+    spec = payload.get("spec")
+    if not isinstance(spec, Mapping):
+        raise WireError("'spec' must be a JSON object")
+    return spec
+
+
+def _require_field(raw: Mapping[str, Any], name: str, where: str) -> Mapping[str, Any]:
+    value = raw.get(name)
+    if not isinstance(value, Mapping):
+        raise WireError(f"{where} must be a JSON object")
+    return value

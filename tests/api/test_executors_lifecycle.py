@@ -1,0 +1,91 @@
+"""Worker-pool lifecycle tests: clamping, shutdown, no orphaned workers."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.api.executors import ParallelExecutor, SerialExecutor
+from repro.api.spec import ExperimentSpec
+
+
+def _specs(app, count: int) -> list[ExperimentSpec]:
+    return [ExperimentSpec(app=app, seed=seed) for seed in range(count)]
+
+
+class TestWorkerClamp:
+    def test_effective_workers_clamps_to_spec_count(self):
+        # --jobs 8 on a 3-seed campaign must provision 3 workers, not 8.
+        executor = ParallelExecutor(jobs=8)
+        assert executor.effective_workers(3) == 3
+        assert executor.effective_workers(8) == 8
+        assert executor.effective_workers(100) == 8
+        assert executor.effective_workers(0) == 1
+        executor.close()
+
+    def test_pool_size_never_exceeds_spec_count(self, small_adpcm_encode):
+        executor = ParallelExecutor(jobs=8)
+        try:
+            outcomes = executor.map(_specs(small_adpcm_encode, 2))
+            assert len(outcomes) == 2
+            assert executor._pool_size == 2
+        finally:
+            executor.close()
+
+    def test_single_spec_runs_inline(self, small_adpcm_encode):
+        executor = ParallelExecutor(jobs=4)
+        try:
+            outcomes = executor.map(_specs(small_adpcm_encode, 1))
+            assert len(outcomes) == 1
+            assert not executor._pool_holder  # no pool was ever provisioned
+        finally:
+            executor.close()
+
+
+class TestShutdown:
+    def test_close_is_idempotent(self):
+        executor = ParallelExecutor(jobs=2)
+        executor.close()
+        executor.close()
+
+    def test_context_manager_releases_pool(self, small_adpcm_encode):
+        with ParallelExecutor(jobs=2) as executor:
+            executor.map(_specs(small_adpcm_encode, 2))
+            assert executor._pool_holder
+        assert not executor._pool_holder
+
+    def test_map_after_close_reprovisions(self, small_adpcm_encode):
+        executor = ParallelExecutor(jobs=2)
+        try:
+            executor.map(_specs(small_adpcm_encode, 2))
+            executor.close()
+            outcomes = executor.map(_specs(small_adpcm_encode, 2))
+            assert len(outcomes) == 2
+        finally:
+            executor.close()
+
+    def test_no_orphaned_workers_after_close(self, small_adpcm_encode):
+        executor = ParallelExecutor(jobs=2)
+        executor.map(_specs(small_adpcm_encode, 2))
+        executor.close()
+        # ProcessPoolExecutor children must all be reaped by close().
+        assert not [
+            p for p in multiprocessing.active_children() if "Process-" in p.name
+        ] or all(not p.is_alive() for p in multiprocessing.active_children())
+
+    def test_serial_executor_close_is_noop(self, small_adpcm_encode):
+        executor = SerialExecutor()
+        executor.map(_specs(small_adpcm_encode, 1))
+        executor.close()
+
+
+class TestFailurePropagation:
+    def test_failing_spec_releases_pool(self, small_adpcm_encode):
+        executor = ParallelExecutor(jobs=2)
+        bad = ExperimentSpec(app="adpcm-encode", strategy="hybrid", seed=0)
+        # 'hybrid' without chunk_words raises inside the worker; the pool
+        # must be torn down, not leaked with a poisoned future.
+        with pytest.raises(Exception):
+            executor.map([bad, bad])
+        assert not executor._pool_holder

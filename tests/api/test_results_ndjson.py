@@ -1,0 +1,110 @@
+"""NDJSON wire-format round-trip tests for ResultSet."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api.results import (
+    NDJSON_FORMAT,
+    NDJSON_META_KEY,
+    ResultSet,
+    parse_ndjson,
+)
+
+#: JSON-safe scalar cell values (NaN/inf excluded: JSON cannot carry them).
+_cells = st.one_of(
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.booleans(),
+    st.text(max_size=12),
+)
+
+_column_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_-"),
+    min_size=1,
+    max_size=10,
+).filter(lambda name: not name.startswith("_"))
+
+
+@st.composite
+def _result_sets(draw) -> ResultSet:
+    columns = draw(
+        st.lists(_column_names, min_size=1, max_size=5, unique=True)
+    )
+    rows = draw(
+        st.lists(
+            st.fixed_dictionaries({name: _cells for name in columns}),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    title = draw(st.text(max_size=20))
+    return ResultSet.from_records(title, rows, columns=columns)
+
+
+class TestNdjsonRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(_result_sets())
+    def test_round_trip_preserves_to_json(self, result_set: ResultSet) -> None:
+        # The ndjson round trip must be lossless down to float bits: the
+        # service's byte-equality guarantee is built on exactly this.
+        restored = ResultSet.from_ndjson(result_set.to_ndjson())
+        assert restored.to_json() == result_set.to_json()
+
+    @settings(max_examples=20, deadline=None)
+    @given(_result_sets())
+    def test_round_trip_preserves_columns_and_title(self, result_set: ResultSet) -> None:
+        restored = ResultSet.from_ndjson(result_set.to_ndjson())
+        assert restored.title == result_set.title
+        assert restored.columns == result_set.columns
+
+    def test_header_carries_format_and_spec_hash(self) -> None:
+        rs = ResultSet.from_records("t", [{"a": 1}])
+        lines = rs.to_ndjson(spec_sha256="cafe" * 16).splitlines()
+        header = json.loads(lines[0])
+        assert header[NDJSON_META_KEY] == NDJSON_FORMAT
+        assert header["spec_sha256"] == "cafe" * 16
+        assert json.loads(lines[1]) == {"a": 1}
+
+    def test_one_row_per_line(self) -> None:
+        rs = ResultSet.from_records("t", [{"a": 1}, {"a": 2}, {"a": 3}])
+        lines = rs.to_ndjson().splitlines()
+        assert len(lines) == 1 + 3
+        assert [json.loads(line)["a"] for line in lines[1:]] == [1, 2, 3]
+
+
+class TestParseNdjson:
+    def test_merges_meta_lines(self) -> None:
+        text = "\n".join(
+            [
+                json.dumps({NDJSON_META_KEY: NDJSON_FORMAT, "title": "t"}),
+                json.dumps({"a": 1}),
+                json.dumps({NDJSON_META_KEY: "end", "state": "done"}),
+            ]
+        )
+        meta, records = parse_ndjson(text)
+        assert meta is not None
+        assert meta["title"] == "t"
+        assert meta["state"] == "done"
+        assert records == [{"a": 1}]
+
+    def test_rejects_non_object_lines(self) -> None:
+        with pytest.raises(ValueError, match="not an object"):
+            parse_ndjson('[1, 2]\n')
+
+    def test_from_ndjson_requires_header(self) -> None:
+        with pytest.raises(ValueError, match="header"):
+            ResultSet.from_ndjson(json.dumps({"a": 1}) + "\n")
+
+    def test_blank_lines_are_ignored(self) -> None:
+        text = (
+            json.dumps({NDJSON_META_KEY: NDJSON_FORMAT, "title": "t"})
+            + "\n\n"
+            + json.dumps({"a": 1})
+            + "\n\n"
+        )
+        meta, records = parse_ndjson(text)
+        assert records == [{"a": 1}]

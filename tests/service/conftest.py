@@ -1,0 +1,32 @@
+"""Shared fixtures for the service tests: fast thread-mode servers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ExperimentServer, ScalingPolicy, ServiceClient
+
+
+@pytest.fixture
+def fast_policy() -> ScalingPolicy:
+    """A snappy policy so scaling behaviour is observable in test time."""
+    return ScalingPolicy(
+        min_workers=1,
+        init_workers=1,
+        max_workers=3,
+        idle_timeout_s=1.0,
+        interval_s=0.05,
+    )
+
+
+@pytest.fixture
+def server(fast_policy):
+    """A running thread-mode server on an ephemeral port."""
+    with ExperimentServer(port=0, policy=fast_policy, mode="thread") as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server) -> ServiceClient:
+    """A client bound to the test server."""
+    return ServiceClient(server.url, timeout=60.0)

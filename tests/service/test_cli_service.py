@@ -1,0 +1,82 @@
+"""CLI tests for the service subcommands: submit / jobs / results."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestSubmitJobsResults:
+    def test_submit_prints_job_id(self, server, capsys):
+        rc = main(
+            [
+                "submit",
+                "--url",
+                server.url,
+                "--app",
+                "adpcm-encode",
+                "--strategy",
+                "hybrid-optimal",
+                "--runs",
+                "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "job-" in out
+        assert "spec_sha256" in out
+
+    def test_submit_wait_renders_rows(self, server, capsys):
+        rc = main(
+            [
+                "submit",
+                "--url",
+                server.url,
+                "--app",
+                "adpcm-encode",
+                "--runs",
+                "2",
+                "--wait",
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["rows"]) == 2
+
+    def test_jobs_lists_submissions(self, server, capsys):
+        assert main(["submit", "--url", server.url, "--app", "adpcm-encode", "--runs", "2"]) == 0
+        capsys.readouterr()
+        assert main(["jobs", "--url", server.url, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"][0]["kind"] == "campaign"
+
+    def test_results_round_trips_rows(self, server, capsys):
+        assert main(["submit", "--url", server.url, "--app", "adpcm-encode", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        job_id = next(word for word in out.split() if word.startswith("job-"))
+        assert main(["results", job_id, "--url", server.url, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["seed"] for row in payload["rows"]] == [0, 1]
+
+
+class TestServiceCliErrors:
+    def test_unknown_app_is_a_clean_cli_error(self, server, capsys):
+        rc = main(["submit", "--url", server.url, "--app", "not-an-app"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "not-an-app" in err
+        assert "adpcm-encode" in err  # the choices hint made it to the user
+
+    def test_unreachable_server_is_a_clean_cli_error(self, capsys):
+        rc = main(["jobs", "--url", "http://127.0.0.1:1"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cannot reach" in err
+
+    def test_unknown_job_results_is_a_clean_cli_error(self, server, capsys):
+        rc = main(["results", "job-999999", "--url", server.url])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err

@@ -1,0 +1,258 @@
+"""End-to-end HTTP tests: the v1 API, streaming, and bit-identity."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.session import Session
+from repro.api.spec import ExperimentSpec
+from repro.service import ServiceClient, ServiceError
+
+SPEC = {"app": "adpcm-encode", "strategy": "hybrid-optimal"}
+
+
+def _wait_until(predicate, timeout: float = 60.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def _post_raw(url: str, body: bytes, content_type: str = "application/json"):
+    request = urllib.request.Request(
+        url + "/v1/experiments",
+        data=body,
+        method="POST",
+        headers={"Content-Type": content_type},
+    )
+    return urllib.request.urlopen(request, timeout=30)
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["workers"] >= 1
+
+    def test_registries_lists_every_ingredient(self, client):
+        regs = client.registries()
+        assert "adpcm-encode" in regs["apps"]
+        assert "hybrid-optimal" in regs["strategies"]
+        assert regs["engines"] == ["behavioural", "batched"]
+        assert set(regs["job_kinds"]) == {"experiment", "campaign", "sweep", "batch"}
+
+    def test_submit_status_results_lifecycle(self, client):
+        job = client.submit(
+            {"kind": "campaign", "spec": {"base": SPEC, "seeds": [0, 1, 2]}}
+        )
+        assert job["state"] == "queued"
+        assert len(job["spec_sha256"]) == 64
+        meta, rows = client.results(job["job_id"], wait=True)
+        assert meta["state"] == "done"
+        assert meta["spec_sha256"] == job["spec_sha256"]
+        assert [row["seed"] for row in rows] == [0, 1, 2]
+        status = client.job(job["job_id"])
+        assert status["state"] == "done"
+        assert status["rows_ready"] == 3
+        assert status["duration_s"] is not None
+
+    def test_jobs_listing(self, client):
+        client.submit({"kind": "experiment", "spec": SPEC})
+        assert _wait_until(lambda: client.jobs()[-1]["state"] == "done")
+        assert client.jobs()[-1]["kind"] == "experiment"
+
+    def test_cancel_returns_cancelled_state(self, client):
+        job = client.submit(
+            {
+                "kind": "campaign",
+                "spec": {"base": SPEC, "seeds": list(range(50))},
+                "shard_size": 1,
+            }
+        )
+        cancelled = client.cancel(job["job_id"])
+        assert cancelled["state"] == "cancelled"
+        meta, _rows = client.results(job["job_id"], wait=True)
+        assert meta["state"] == "cancelled"
+
+    def test_stats_exposes_queue_pool_and_decisions(self, client):
+        stats = client.stats()
+        assert stats["uptime_s"] >= 0
+        assert stats["pool"]["mode"] == "thread"
+        assert "active" in stats["queue"]["shards"]
+        assert isinstance(stats["pool"]["decisions"], list)
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("job-424242")
+        assert excinfo.value.status == 404
+
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v2/nope")
+        assert excinfo.value.status == 404
+
+
+class TestWireErrorsOverHTTP:
+    """Satellite: malformed submissions are structured 400s, never 500s."""
+
+    def _submit_error(self, client, payload) -> ServiceError:
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(payload)
+        assert excinfo.value.status == 400, "validation must 400, not 500"
+        return excinfo.value
+
+    def test_malformed_json_body(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_raw(server.url, b"{not json")
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert "not valid JSON" in body["error"]["message"]
+
+    def test_empty_body(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_raw(server.url, b"")
+        assert excinfo.value.code == 400
+
+    def test_unknown_app_offers_choices(self, client):
+        error = self._submit_error(
+            client, {"kind": "experiment", "spec": {"app": "not-an-app"}}
+        )
+        assert "adpcm-encode" in error.choices["app"]
+
+    def test_unknown_strategy_offers_choices(self, client):
+        error = self._submit_error(
+            client,
+            {"kind": "experiment", "spec": {**SPEC, "strategy": "not-a-strategy"}},
+        )
+        assert "hybrid-optimal" in error.choices["strategy"]
+
+    def test_unknown_scenario_offers_choices(self, client):
+        error = self._submit_error(
+            client,
+            {"kind": "experiment", "spec": {**SPEC, "scenario": "not-a-scenario"}},
+        )
+        assert "paper-constant" in error.choices["scenario"]
+
+    def test_bad_engine_offers_choices(self, client):
+        error = self._submit_error(
+            client, {"kind": "experiment", "spec": {**SPEC, "engine": "warp"}}
+        )
+        assert error.choices["engine"] == ["behavioural", "batched"]
+
+    def test_unknown_kind_offers_choices(self, client):
+        error = self._submit_error(client, {"kind": "teleport"})
+        assert "campaign" in error.choices["kind"]
+
+
+class TestStreaming:
+    def test_stream_has_header_rows_trailer(self, client):
+        job = client.submit(
+            {"kind": "campaign", "spec": {"base": SPEC, "seeds": [0, 1]}}
+        )
+        lines = [json.loads(line) for line in client.stream_lines(job["job_id"])]
+        assert lines[0]["__ndjson__"] == "repro.resultset/v1"
+        assert lines[0]["job_id"] == job["job_id"]
+        assert lines[-1]["__ndjson__"] == "end"
+        assert lines[-1]["state"] == "done"
+        assert lines[-1]["rows"] == 2
+        assert [line["seed"] for line in lines[1:-1]] == [0, 1]
+
+    def test_snapshot_does_not_wait(self, client):
+        job = client.submit(
+            {
+                "kind": "campaign",
+                "spec": {"base": SPEC, "seeds": list(range(30))},
+                "shard_size": 1,
+            }
+        )
+        lines = [json.loads(line) for line in client.stream_lines(job["job_id"], wait=False)]
+        # Snapshot returns immediately: trailer present, job possibly unfinished.
+        assert lines[-1]["__ndjson__"] == "end"
+        client.cancel(job["job_id"])
+
+    def test_result_set_parses_stream(self, client):
+        job = client.submit(
+            {"kind": "campaign", "spec": {"base": SPEC, "seeds": [0, 1]}}
+        )
+        result_set = client.result_set(job["job_id"])
+        assert len(result_set) == 2
+        assert "energy_nj" in result_set.columns
+        assert "_spec" not in result_set.columns  # private keys stay hidden
+
+
+class TestBitIdentity:
+    """The service's core contract: HTTP == in-process, byte for byte."""
+
+    @pytest.mark.parametrize("engine", ["behavioural", "batched"])
+    def test_campaign_over_http_matches_in_process(self, server, engine):
+        spec = ExperimentSpec(**SPEC)
+        seeds = range(6)
+        local = Session().campaign(spec, seeds=seeds, engine=engine).to_result_set()
+        remote = (
+            Session.connect(server.url)
+            .campaign(spec, seeds=seeds, engine=engine)
+            .to_result_set()
+        )
+        assert remote.to_json() == local.to_json()
+
+    def test_run_over_http_matches_in_process(self, server):
+        spec = ExperimentSpec(**SPEC, seed=3)
+        local = Session().run(spec)
+        remote = Session.connect(server.url).run(spec)
+        assert remote.records == local.records
+
+    def test_sweep_over_http_matches_in_process(self, server):
+        from repro.api.spec import SweepSpec
+
+        sweep = SweepSpec(base=ExperimentSpec(**SPEC), parameters={"seed": (0, 1, 2)})
+        local = Session().sweep(sweep)
+        remote = Session.connect(server.url).sweep(sweep)
+        assert remote.to_json() == local.to_json()
+
+
+class TestElasticity:
+    """Satellite/acceptance: burst of jobs scales up, idle scales down."""
+
+    def test_burst_scales_up_then_idles_down(self, server):
+        client = ServiceClient(server.url, timeout=60.0)
+        floor = server.pool.policy.min_workers
+        ceiling = server.pool.policy.max_workers
+        jobs = [
+            client.submit(
+                {
+                    "kind": "campaign",
+                    "spec": {"base": SPEC, "seeds": list(range(4))},
+                    "shard_size": 1,
+                }
+            )
+            for _ in range(8)
+        ]
+        assert _wait_until(
+            lambda: client.stats()["pool"]["workers"] >= ceiling, timeout=30.0
+        ), "burst of 8 queued jobs never scaled the pool to max_workers"
+        assert _wait_until(
+            lambda: all(
+                client.job(job["job_id"])["state"] == "done" for job in jobs
+            ),
+            timeout=120.0,
+        )
+        assert _wait_until(
+            lambda: client.stats()["pool"]["workers"] == floor, timeout=30.0
+        ), "pool never scaled back down to min_workers after the queue idled"
+        reasons = [d["reason"] for d in client.stats()["pool"]["decisions"]]
+        assert any("scale up" in reason for reason in reasons)
+        # The idle decision may land a tick after the floor is reached.
+        assert _wait_until(
+            lambda: any(
+                "idle" in d["reason"]
+                for d in client.stats()["pool"]["decisions"]
+            ),
+            timeout=10.0,
+        ), "no idle-driven scaling decision was ever recorded"

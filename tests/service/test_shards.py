@@ -1,0 +1,75 @@
+"""Shard-planning tests: behavioural blocks, batched stays whole."""
+
+from __future__ import annotations
+
+from repro.api.spec import ExperimentSpec
+from repro.service.shards import (
+    DEFAULT_SHARD_SIZE,
+    execute_shard_payload,
+    max_useful_workers,
+    plan_shards,
+)
+
+
+def _dicts(count: int, engine: str = "behavioural") -> list[dict]:
+    return [
+        ExperimentSpec(app="adpcm-encode", seed=seed, engine=engine).to_dict()
+        for seed in range(count)
+    ]
+
+
+class TestPlanShards:
+    def test_behavioural_blocks(self):
+        shards = plan_shards(_dicts(10), shard_size=4)
+        assert [shard.spec_indices for shard in shards] == [(0, 1, 2, 3), (4, 5, 6, 7), (8, 9)]
+        assert all(not shard.batched for shard in shards)
+
+    def test_default_shard_size(self):
+        shards = plan_shards(_dicts(DEFAULT_SHARD_SIZE + 1))
+        assert len(shards) == 2
+
+    def test_batched_specs_form_one_shard(self):
+        # The batch engine derives its RNG streams from the batch
+        # composition — splitting would change every sampled fault time.
+        shards = plan_shards(_dicts(32, engine="batched"), shard_size=4)
+        assert len(shards) == 1
+        assert shards[0].batched
+        assert shards[0].spec_indices == tuple(range(32))
+
+    def test_mixed_engines_split_correctly(self):
+        dicts = _dicts(3) + _dicts(5, engine="batched")
+        shards = plan_shards(dicts, shard_size=2)
+        batched = [shard for shard in shards if shard.batched]
+        behavioural = [shard for shard in shards if not shard.batched]
+        assert len(batched) == 1
+        assert batched[0].spec_indices == (3, 4, 5, 6, 7)
+        assert [shard.spec_indices for shard in behavioural] == [(0, 1), (2,)]
+
+    def test_shard_indices_are_contiguous_ids(self):
+        shards = plan_shards(_dicts(6), shard_size=2)
+        assert [shard.index for shard in shards] == [0, 1, 2]
+
+    def test_max_useful_workers(self):
+        shards = plan_shards(_dicts(10), shard_size=4)
+        assert max_useful_workers(shards) == 3
+        assert max_useful_workers([]) == 1
+
+
+class TestExecuteShardPayload:
+    def test_behavioural_payload_runs(self):
+        shards = plan_shards(_dicts(2), shard_size=2)
+        result = execute_shard_payload(shards[0].payload(_dicts(2)))
+        assert len(result["records_per_spec"]) == 2
+        assert result["records_per_spec"][0][0]["seed"] == 0
+
+    def test_batched_payload_matches_local_batch_executor(self):
+        from repro.api.executors import BatchCampaignExecutor
+        from repro.api.spec import ExperimentSpec
+
+        dicts = _dicts(6, engine="batched")
+        shards = plan_shards(dicts)
+        remote = execute_shard_payload(shards[0].payload(dicts))
+        local = BatchCampaignExecutor().map(
+            [ExperimentSpec.from_dict(d) for d in dicts]
+        )
+        assert remote["records_per_spec"] == [outcome.records for outcome in local]

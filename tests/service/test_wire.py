@@ -1,0 +1,134 @@
+"""Wire-validation tests: every malformed payload maps to a structured error."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.registry import available_scenarios, available_strategies
+from repro.api.spec import ENGINES, ExperimentSpec
+from repro.apps.registry import available_applications
+from repro.service.wire import (
+    WIRE_KINDS,
+    JobRequest,
+    WireError,
+    spec_sha256,
+    validate_job_payload,
+)
+
+
+def _experiment(**overrides) -> dict:
+    spec = {"app": "adpcm-encode", "strategy": "hybrid-optimal", **overrides}
+    return {"kind": "experiment", "spec": spec}
+
+
+class TestSpecHash:
+    def test_insensitive_to_key_order(self):
+        assert spec_sha256({"a": 1, "b": 2}) == spec_sha256({"b": 2, "a": 1})
+
+    def test_sensitive_to_content(self):
+        assert spec_sha256({"a": 1}) != spec_sha256({"a": 2})
+
+
+class TestValidPayloads:
+    def test_experiment(self):
+        request = validate_job_payload(_experiment(seed=7))
+        assert isinstance(request, JobRequest)
+        assert request.kind == "experiment"
+        assert len(request.specs) == 1
+        assert request.specs[0].seed == 7
+        assert len(request.spec_hash) == 64
+
+    def test_campaign_expands_seeds(self):
+        request = validate_job_payload(
+            {
+                "kind": "campaign",
+                "spec": {"base": {"app": "adpcm-encode"}, "seeds": [3, 1, 4]},
+            }
+        )
+        assert [spec.seed for spec in request.specs] == [3, 1, 4]
+
+    def test_batch_keeps_order(self):
+        specs = [ExperimentSpec(app="adpcm-encode", seed=s).to_dict() for s in (5, 2)]
+        request = validate_job_payload({"kind": "batch", "specs": specs})
+        assert [spec.seed for spec in request.specs] == [5, 2]
+
+    def test_sweep_expands_grid(self):
+        request = validate_job_payload(
+            {
+                "kind": "sweep",
+                "spec": {
+                    "base": {"app": "adpcm-encode"},
+                    "parameters": {"seed": [0, 1, 2]},
+                },
+            }
+        )
+        assert len(request.specs) == 3
+
+    def test_hash_is_canonical_across_field_order(self):
+        a = validate_job_payload(_experiment(seed=1, scenario="paper-constant"))
+        b = validate_job_payload(
+            {"kind": "experiment", "spec": {"scenario": "paper-constant",
+                                           "seed": 1, "strategy": "hybrid-optimal",
+                                           "app": "adpcm-encode"}}
+        )
+        assert a.spec_hash == b.spec_hash
+
+
+class TestStructuredErrors:
+    def _error(self, payload) -> WireError:
+        with pytest.raises(WireError) as excinfo:
+            validate_job_payload(payload)
+        return excinfo.value
+
+    def test_non_object_body(self):
+        error = self._error([1, 2, 3])
+        assert error.status == 400
+        assert "JSON object" in error.message
+
+    def test_unknown_job_kind_lists_choices(self):
+        error = self._error({"kind": "teleport"})
+        assert error.choices["kind"] == list(WIRE_KINDS)
+
+    def test_unknown_app_lists_choices(self):
+        error = self._error(_experiment(app="not-an-app"))
+        assert "not-an-app" in error.message
+        assert error.choices["app"] == available_applications()
+
+    def test_unknown_strategy_lists_choices(self):
+        error = self._error(_experiment(strategy="not-a-strategy"))
+        assert error.choices["strategy"] == available_strategies()
+
+    def test_unknown_scenario_lists_choices(self):
+        error = self._error(_experiment(scenario="not-a-scenario"))
+        assert error.choices["scenario"] == available_scenarios()
+
+    def test_bad_engine_lists_choices(self):
+        error = self._error(_experiment(engine="warp"))
+        assert error.choices["engine"] == list(ENGINES)
+
+    def test_missing_spec(self):
+        error = self._error({"kind": "experiment"})
+        assert "'spec'" in error.message
+
+    def test_campaign_without_base(self):
+        error = self._error({"kind": "campaign", "spec": {"seeds": [1]}})
+        assert "spec.base" in error.message
+
+    def test_batch_empty_specs(self):
+        error = self._error({"kind": "batch", "specs": []})
+        assert "at least one" in error.message
+
+    def test_batch_specs_not_a_list(self):
+        error = self._error({"kind": "batch", "specs": "oops"})
+        assert "list" in error.message
+
+    def test_bad_shard_size(self):
+        for bad in (0, -1, "four", True):
+            error = self._error(_experiment() | {"shard_size": bad})
+            assert "shard_size" in error.message
+
+    def test_error_payload_shape(self):
+        error = self._error(_experiment(app="nope"))
+        payload = error.payload()
+        assert payload["error"]["status"] == 400
+        assert "choices" in payload["error"]
