@@ -9,9 +9,12 @@ measures the service-layer costs that matter to a client —
   NDJSON results endpoint,
 * **scale-up reaction**: seconds from a burst of queued jobs to the pool
   reaching ``max_workers`` (observed via ``GET /v1/stats``),
+* **instrumentation overhead**: telemetry-on vs telemetry-off wall-clock
+  of a batched campaign (the acceptance bar is < 2 % at 1000 seeds),
 
 asserts the service's correctness contract (a campaign over HTTP is
-byte-identical to the in-process ``Session`` run, for both engines), and
+byte-identical to the in-process ``Session`` run, for both engines),
+archives a ``metrics.jsonl`` snapshot of the server's registry, and
 archives everything as ``benchmarks/results/BENCH_service.json``::
 
     PYTHONPATH=src python benchmarks/bench_service.py --smoke
@@ -29,9 +32,11 @@ import sys
 import time
 from pathlib import Path
 
+from repro import telemetry
 from repro.api.session import Session
-from repro.api.spec import ExperimentSpec
+from repro.api.spec import CampaignSpec, ExperimentSpec
 from repro.service import ExperimentServer, ScalingPolicy, ServiceClient
+from repro.telemetry import append_snapshot, parse_prometheus, series_total
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -123,6 +128,61 @@ def _scale_reaction(client: ServiceClient, policy: ScalingPolicy, seeds: int) ->
     }
 
 
+def _telemetry_overhead(seeds: int, repeats: int = 3) -> dict:
+    """Telemetry-on vs telemetry-off wall-clock of one batched campaign.
+
+    The campaign runs once first to warm the profile cache, then each
+    configuration takes the best of ``repeats`` timings so scheduler
+    noise does not masquerade as instrumentation cost.
+    """
+    spec = CampaignSpec(
+        base=ExperimentSpec(app=BENCH_APP, strategy=BENCH_STRATEGY, engine="batched"),
+        seeds=tuple(range(seeds)),
+    )
+    session = Session()
+    session.campaign(spec)  # warm the profile cache
+
+    def best_of() -> float:
+        timings = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            session.campaign(spec)
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    enabled_s = best_of()
+    telemetry.set_enabled(False)
+    try:
+        disabled_s = best_of()
+    finally:
+        telemetry.set_enabled(True)
+    overhead_pct = (enabled_s - disabled_s) / disabled_s * 100.0
+    return {
+        "seeds": seeds,
+        "repeats": repeats,
+        "enabled_s": round(enabled_s, 4),
+        "disabled_s": round(disabled_s, 4),
+        "overhead_pct": round(overhead_pct, 2),
+    }
+
+
+def _scrape_metrics(client: ServiceClient) -> dict:
+    """Scrape /v1/metrics and sanity-check the headline series."""
+    parsed = parse_prometheus(client.metrics_text())
+    requests = series_total(parsed, "repro_http_requests_total")
+    submitted = series_total(parsed, "repro_shards_submitted_total")
+    completed = series_total(parsed, "repro_shards_completed_total")
+    assert requests > 0, "server served requests but repro_http_requests_total is 0"
+    assert submitted == completed, (
+        f"shards diverged: {submitted} submitted vs {completed} completed"
+    )
+    return {
+        "http_requests_total": requests,
+        "shards_submitted_total": submitted,
+        "shards_completed_total": completed,
+    }
+
+
 def _byte_equality(server_url: str, seeds: int) -> dict:
     """Assert HTTP campaigns match in-process Session runs byte for byte."""
     spec = _spec()
@@ -156,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
     stream_seeds = 200 if args.smoke else 2000
     burst_seeds = 3 if args.smoke else 8
     equality_seeds = 6 if args.smoke else 32
+    overhead_seeds = 200 if args.smoke else 1000
     policy = ScalingPolicy(
         min_workers=1,
         init_workers=1,
@@ -182,6 +243,22 @@ def main(argv: list[str] | None = None) -> int:
         )
         equality = _byte_equality(server.url, seeds=equality_seeds)
         print(f"byte-equality (behavioural + batched over HTTP): {equality['identical']}")
+        scraped = _scrape_metrics(client)
+        print(
+            f"metrics: {scraped['http_requests_total']:.0f} requests, "
+            f"{scraped['shards_completed_total']:.0f}/"
+            f"{scraped['shards_submitted_total']:.0f} shards completed"
+        )
+        metrics_path = Path(args.output).parent / "metrics.jsonl"
+        append_snapshot(metrics_path, bench="service", pool_mode=mode)
+        print(f"metrics snapshot appended to {metrics_path}")
+
+    overhead = _telemetry_overhead(seeds=overhead_seeds)
+    print(
+        f"telemetry overhead: {overhead['overhead_pct']:+.2f}% "
+        f"({overhead['enabled_s']:.3f}s on vs {overhead['disabled_s']:.3f}s off, "
+        f"{overhead_seeds} seeds, batched)"
+    )
 
     payload = {
         "bench": "service",
@@ -193,6 +270,8 @@ def main(argv: list[str] | None = None) -> int:
         "streaming": stream,
         "scaling": scaling,
         "byte_equality": equality,
+        "metrics": scraped,
+        "telemetry_overhead": overhead,
     }
     output = Path(args.output)
     output.parent.mkdir(parents=True, exist_ok=True)

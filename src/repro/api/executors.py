@@ -27,6 +27,7 @@ import abc
 import atexit
 import json
 import os
+import time
 import weakref
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
@@ -39,8 +40,37 @@ from ..batch.pareto import grid_pareto_front, reference_pareto_front
 from ..core.feasibility import feasible_region
 from ..core.optimizer import ChunkSizeOptimizer
 from ..runtime.executor import TaskExecutor
+from ..telemetry import counter as _telemetry_counter
+from ..telemetry import histogram as _telemetry_histogram
+from ..telemetry import log_event
 from .registry import build_fault_model, build_scenario, build_strategy
 from .spec import ExperimentSpec
+
+#: Specs executed, labeled by spec kind and engine.
+SPECS_EXECUTED = _telemetry_counter(
+    "repro_specs_executed_total",
+    "Experiment specs executed, by spec kind and engine.",
+    labels=("kind", "engine"),
+)
+
+#: Vectorized seed groups served by the batch campaign executor.
+BATCH_GROUPS = _telemetry_counter(
+    "repro_batch_groups_total",
+    "Same-experiment seed groups simulated vectorized by BatchCampaignExecutor.",
+)
+
+#: Specs the batch executor could not vectorize (behavioural fallback).
+BATCH_FALLBACKS = _telemetry_counter(
+    "repro_batch_fallback_specs_total",
+    "Specs BatchCampaignExecutor delegated to its behavioural fallback.",
+)
+
+#: Wall-clock of whole executor map() calls, by executor backend.
+MAP_SECONDS = _telemetry_histogram(
+    "repro_executor_map_seconds",
+    "Wall-clock seconds of executor map() calls, by backend.",
+    labels=("executor",),
+)
 
 
 @dataclass
@@ -225,7 +255,9 @@ _KIND_HANDLERS = {
 
 def execute_spec(spec: ExperimentSpec) -> RunOutcome:
     """Execute one spec in the current process and return its outcome."""
-    return _KIND_HANDLERS[spec.kind](spec)
+    outcome = _KIND_HANDLERS[spec.kind](spec)
+    SPECS_EXECUTED.inc(kind=spec.kind, engine=spec.engine)
+    return outcome
 
 
 # ---------------------------------------------------------------------- #
@@ -279,7 +311,11 @@ class SerialExecutor(Executor):
 
     def map(self, specs: Sequence[ExperimentSpec]) -> list[RunOutcome]:
         """Execute the specs one by one, in place, in input order."""
-        return [execute_spec(spec) for spec in specs]
+        started = time.monotonic()
+        try:
+            return [execute_spec(spec) for spec in specs]
+        finally:
+            MAP_SECONDS.observe(time.monotonic() - started, executor=self.name)
 
 
 class ParallelExecutor(Executor):
@@ -333,31 +369,49 @@ class ParallelExecutor(Executor):
         if not self._pool_holder:
             self._pool_holder.append(ProcessPoolExecutor(max_workers=workers))
             self._pool_size = workers
+            log_event("executor.pool_start", executor=self.name, workers=workers)
         return self._pool_holder[0]
 
     def map(self, specs: Sequence[ExperimentSpec]) -> list[RunOutcome]:
         """Fan the specs out across worker processes, preserving input order."""
         specs = list(specs)
+        started = time.monotonic()
         if len(specs) < 2 or self.jobs == 1:
-            return [execute_spec(spec) for spec in specs]
+            try:
+                return [execute_spec(spec) for spec in specs]
+            finally:
+                MAP_SECONDS.observe(time.monotonic() - started, executor=self.name)
         pool = self._ensure_pool(self.effective_workers(len(specs)))
         futures = [pool.submit(execute_spec, spec) for spec in specs]
         try:
-            return [future.result() for future in futures]
-        except BaseException:
+            outcomes = [future.result() for future in futures]
+        except BaseException as error:
             # KeyboardInterrupt / SIGTERM / a failing spec: drop the
             # not-yet-started specs and tear the pool down rather than
             # letting __exit__-style semantics block on in-flight work.
-            for future in futures:
-                future.cancel()
+            cancelled = sum(1 for future in futures if future.cancel())
+            log_event(
+                "executor.pool_cancel",
+                executor=self.name,
+                specs=len(specs),
+                cancelled=cancelled,
+                cause=type(error).__name__,
+            )
             self.close(wait=False)
             raise
+        for spec in specs:
+            SPECS_EXECUTED.inc(kind=spec.kind, engine=spec.engine)
+        MAP_SECONDS.observe(time.monotonic() - started, executor=self.name)
+        return outcomes
 
     def close(self, wait: bool = True) -> None:
         """Shut the worker pool down (idempotent; pending work is cancelled)."""
         self._pool_size = 0
+        had_pool = bool(self._pool_holder)
         while self._pool_holder:
             self._pool_holder.pop().shutdown(wait=wait, cancel_futures=True)
+        if had_pool:
+            log_event("executor.pool_teardown", executor=self.name, waited=wait)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ParallelExecutor(jobs={self.jobs})"
@@ -438,6 +492,7 @@ class BatchCampaignExecutor(Executor):
     def map(self, specs: Sequence[ExperimentSpec]) -> list[RunOutcome]:
         """Serve each same-experiment seed group in one vectorized shot."""
         specs = list(specs)
+        started = time.monotonic()
         outcomes: list[RunOutcome | None] = [None] * len(specs)
         groups: dict[Any, list[int]] = {}
         passthrough: list[int] = []
@@ -452,6 +507,7 @@ class BatchCampaignExecutor(Executor):
                 outcomes[index] = _KIND_HANDLERS[spec.kind](
                     spec if spec.engine == "batched" else replace(spec, engine="batched")
                 )
+                SPECS_EXECUTED.inc(kind=spec.kind, engine="batched")
             else:
                 passthrough.append(index)
 
@@ -463,11 +519,15 @@ class BatchCampaignExecutor(Executor):
             )
             for i, spec, record in zip(indices, group, records):
                 outcomes[i] = RunOutcome(spec=spec, records=[record])
+            BATCH_GROUPS.inc()
+            SPECS_EXECUTED.inc(len(group), kind="execute", engine="batched")
 
         if passthrough:
+            BATCH_FALLBACKS.inc(len(passthrough))
             delegated = self.fallback.map([specs[i] for i in passthrough])
             for i, outcome in zip(passthrough, delegated):
                 outcomes[i] = outcome
+        MAP_SECONDS.observe(time.monotonic() - started, executor=self.name)
         return outcomes
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -15,7 +15,7 @@ import io
 import json
 import os
 from collections.abc import Iterable, Mapping, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 #: Placeholder shown for a column missing from one record.
@@ -56,16 +56,27 @@ class ResultSet:
     footer:
         Optional free-text annotation appended to ``render()`` output and
         carried through ``to_dict()``.
+    metrics:
+        Optional telemetry snapshot taken when the set was produced
+        (attached by :meth:`Session.sweep` / :meth:`with_metrics`).
+        Excluded from equality and from every serialized form
+        (``to_dict()``, NDJSON, CSV) — two runs with identical rows stay
+        equal and byte-identical regardless of telemetry.
     """
 
     title: str
     columns: tuple[str, ...]
     records: tuple[Mapping[str, Any], ...]
     footer: str = ""
+    metrics: Mapping[str, Any] | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "columns", tuple(self.columns))
         object.__setattr__(self, "records", tuple(dict(r) for r in self.records))
+
+    def with_metrics(self, metrics: Mapping[str, Any] | None) -> "ResultSet":
+        """A copy of this set carrying a telemetry snapshot (or ``None``)."""
+        return replace(self, metrics=metrics)
 
     # ------------------------------------------------------------------ #
     # Construction

@@ -25,8 +25,12 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import replace
 
+from typing import Any
+
 from ..core.config import DesignConstraints, PAPER_OPERATING_POINT
 from ..faults.campaign import CampaignReport, aggregate_runs
+from ..telemetry import log_event, span
+from ..telemetry import snapshot as _telemetry_snapshot
 from .executors import (
     BatchCampaignExecutor,
     Executor,
@@ -94,6 +98,16 @@ class Session:
             return make_executor(jobs)
         return self.executor
 
+    @staticmethod
+    def metrics() -> dict[str, Any]:
+        """A snapshot of the process-wide telemetry registry.
+
+        Counters/gauges/histograms accumulated by everything this process
+        ran — executors, engines, the profile cache, service clients —
+        keyed by metric name (see :func:`repro.telemetry.snapshot`).
+        """
+        return _telemetry_snapshot()
+
     # ------------------------------------------------------------------ #
     # Spec construction sugar
     # ------------------------------------------------------------------ #
@@ -121,7 +135,11 @@ class Session:
         jobs: int | None = None,
     ) -> list[RunOutcome]:
         """Execute a batch of specs, preserving input order."""
-        return self._resolve_executor(executor, jobs).map(list(specs))
+        # One correlation span per entry: nested calls (campaign → run_all)
+        # inherit the enclosing run ID, and Session.connect submits carry
+        # it over the wire to the server.
+        with span("session.run_all"):
+            return self._resolve_executor(executor, jobs).map(list(specs))
 
     def sweep(
         self,
@@ -136,17 +154,25 @@ class Session:
         name → value), so the returned :class:`ResultSet` is directly
         renderable and machine-readable.
         """
-        points = spec.points()
-        outcomes = self.run_all(spec.expand(), executor=executor, jobs=jobs)
-        records = []
-        for point, outcome in zip(points, outcomes):
-            for record in outcome.records:
-                records.append({**point, **record})
-        axes = ", ".join(spec.parameters)
-        return ResultSet.from_records(
-            title if title is not None else f"Sweep over {axes}",
-            records,
-        )
+        with span("session.sweep") as sweep_span:
+            points = spec.points()
+            log_event("sweep.start", points=len(points))
+            outcomes = self.run_all(spec.expand(), executor=executor, jobs=jobs)
+            records = []
+            for point, outcome in zip(points, outcomes):
+                for record in outcome.records:
+                    records.append({**point, **record})
+            axes = ", ".join(spec.parameters)
+            log_event(
+                "sweep.done",
+                points=len(points),
+                rows=len(records),
+                elapsed_s=round(sweep_span.elapsed(), 6),
+            )
+            return ResultSet.from_records(
+                title if title is not None else f"Sweep over {axes}",
+                records,
+            ).with_metrics(_telemetry_snapshot())
 
     def campaign(
         self,
@@ -194,7 +220,16 @@ class Session:
                 # RemoteExecutor) pass through untouched.
                 executor = BatchCampaignExecutor(fallback=executor)
             jobs = None
-        outcomes = self.run_all(spec.expand(), executor=executor, jobs=jobs)
+        expanded = spec.expand()
+        with span("session.campaign") as campaign_span:
+            log_event("campaign.start", seeds=len(expanded), engine=engine)
+            outcomes = self.run_all(expanded, executor=executor, jobs=jobs)
+            log_event(
+                "campaign.done",
+                seeds=len(expanded),
+                engine=engine,
+                elapsed_s=round(campaign_span.elapsed(), 6),
+            )
         raw = [outcome.record for outcome in outcomes]
         metrics: Sequence[str] = spec.metrics
         if not metrics:

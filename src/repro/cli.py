@@ -45,6 +45,7 @@ import argparse
 import os
 import signal
 import sys
+import time
 
 from .analysis import (
     ablation_area_budget,
@@ -124,6 +125,17 @@ def _add_output_options(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         default=None,
         help="write the report to PATH instead of stdout",
+    )
+
+
+def _add_metrics_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="append one JSON telemetry snapshot line to PATH after the "
+        "run (a metrics.jsonl file: counters, gauges and histograms of "
+        "this process)",
     )
 
 
@@ -296,6 +308,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_jobs_option(campaign)
     _add_engine_option(campaign)
     _add_cache_option(campaign)
+    _add_metrics_option(campaign)
     _add_output_options(campaign)
 
     sweep = subparsers.add_parser(
@@ -326,6 +339,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_constraint_options(sweep)
     _add_jobs_option(sweep)
     _add_cache_option(sweep)
+    _add_metrics_option(sweep)
     _add_output_options(sweep)
 
     # --- cross-technology Pareto exploration ------------------------------ #
@@ -409,6 +423,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_jobs_option(pareto)
     _add_constraint_options(pareto)
     _add_cache_option(pareto)
+    _add_metrics_option(pareto)
     _add_output_options(pareto)
 
     # --- campaign-as-a-service ------------------------------------------- #
@@ -504,6 +519,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="return only the rows ready now instead of following the job",
     )
     _add_output_options(results_cmd)
+
+    stats_cmd = subparsers.add_parser(
+        "stats", help="show a running server's queue/pool/telemetry summary"
+    )
+    _add_url_option(stats_cmd)
+    stats_cmd.add_argument(
+        "--watch",
+        action="store_true",
+        help="keep polling and reprinting the summary until interrupted",
+    )
+    stats_cmd.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between polls with --watch (default: 2)",
+    )
+    stats_cmd.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N polls with --watch (default: until Ctrl-C)",
+    )
+    _add_output_options(stats_cmd)
 
     # --- registry discovery ---------------------------------------------- #
     listing = subparsers.add_parser(
@@ -749,7 +789,63 @@ def _service_sections(args: argparse.Namespace) -> list:
         ) from None
 
 
+def _stats_record(stats: dict) -> dict:
+    """Flatten one ``/v1/stats`` payload into a single summary row."""
+    queue = stats.get("queue", {})
+    pool = stats.get("pool", {})
+    jobs = queue.get("jobs", {})
+    uptime = stats.get("uptime_s")
+    return {
+        "uptime_s": None if uptime is None else round(uptime, 1),
+        "mode": pool.get("mode"),
+        "workers": pool.get("workers"),
+        "busy": pool.get("busy"),
+        "active_shards": queue.get("shards", {}).get("active"),
+        "queued": jobs.get("queued"),
+        "running": jobs.get("running"),
+        "done": jobs.get("done"),
+        "failed": jobs.get("failed"),
+        "cancelled": jobs.get("cancelled"),
+        "submitted": queue.get("total_submitted"),
+        "telemetry": "on" if stats.get("telemetry", {}).get("enabled") else "off",
+    }
+
+
+def _stats_watch(args: argparse.Namespace, client) -> int:
+    """Poll ``/v1/stats`` and reprint the summary every ``--interval``."""
+    from urllib.error import URLError
+
+    polls = 0
+    try:
+        while args.count is None or polls < args.count:
+            section = ResultSet.from_records(
+                f"Stats — {client.base_url}", [_stats_record(client.stats())]
+            )
+            print(section.render(), flush=True)
+            polls += 1
+            if args.count is not None and polls >= args.count:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    except URLError as error:
+        print(
+            f"repro-experiments: error: cannot reach {client.base_url} "
+            f"({error.reason}); is `repro-experiments serve` running?",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def _service_sections_inner(args: argparse.Namespace, client) -> list:
+    if args.command == "stats":
+        return [
+            ResultSet.from_records(
+                f"Stats — {client.base_url}", [_stats_record(client.stats())]
+            )
+        ]
+
     if args.command == "jobs":
         records = [
             {
@@ -797,7 +893,7 @@ def _service_sections_inner(args: argparse.Namespace, client) -> list:
 
 
 def _run_sections(args: argparse.Namespace) -> list:
-    if args.command in ("submit", "jobs", "results"):
+    if args.command in ("submit", "jobs", "results", "stats"):
         return _service_sections(args)
 
     session = Session()
@@ -873,6 +969,10 @@ def main(argv: list[str] | None = None) -> int:
     if getattr(args, "no_cache", False):
         configure_profile_cache(memory=False, disk=False)
     try:
+        if args.command == "stats" and args.watch:
+            from .service.client import ServiceClient
+
+            return _stats_watch(args, ServiceClient(args.url or _default_service_url()))
         sections = _run_sections(args)
     except (KeyError, ValueError) as error:
         # Spec construction / registry lookup problems carry a readable
@@ -880,6 +980,11 @@ def main(argv: list[str] | None = None) -> int:
         message = error.args[0] if error.args else str(error)
         print(f"repro-experiments: error: {message}", file=sys.stderr)
         return 2
+    if getattr(args, "metrics_out", None):
+        from .telemetry import append_snapshot
+
+        append_snapshot(args.metrics_out, command=args.command)
+        print(f"appended metrics snapshot to {args.metrics_out}", file=sys.stderr)
     if args.format == "table":
         # Human output keeps each artefact's curated rendering (subsampled
         # Fig. 4 boundary, percent-formatted Table I/Fig. 5 columns, ...).

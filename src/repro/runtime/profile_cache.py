@@ -41,8 +41,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from ..telemetry import counter as _telemetry_counter
+
 #: Environment variable overriding the on-disk cache root.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Cache outcomes by kind, for ``/v1/metrics`` and ``metrics.jsonl``
+#: (kinds: memory_hit, disk_hit, miss, store, corrupt, key_failure).
+CACHE_EVENTS = _telemetry_counter(
+    "repro_profile_cache_events_total",
+    "Task-profile cache outcomes (hits by tier, misses, stores, corrupt entries).",
+    labels=("outcome",),
+)
 
 #: Environment variable disabling the cache entirely (set to "1").
 ENV_NO_CACHE = "REPRO_NO_CACHE"
@@ -75,6 +85,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     key_failures: int = 0
+    corrupt: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -83,6 +94,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "key_failures": self.key_failures,
+            "corrupt": self.corrupt,
         }
 
 
@@ -140,6 +152,7 @@ class ProfileCache:
             )
         except Exception:
             self.stats.key_failures += 1
+            CACHE_EVENTS.inc(outcome="key_failure")
             return None
         return hashlib.sha256(blob).hexdigest()
 
@@ -151,15 +164,18 @@ class ProfileCache:
         if self.memory and key in self._memo:
             self._memo.move_to_end(key)
             self.stats.memory_hits += 1
+            CACHE_EVENTS.inc(outcome="memory_hit")
             return self._copy(self._memo[key])
         if self.disk:
             payload = self._read_disk(key)
             if payload is not None:
                 self.stats.disk_hits += 1
+                CACHE_EVENTS.inc(outcome="disk_hit")
                 if self.memory:
                     self._remember(key, payload)
                 return self._copy(payload)
         self.stats.misses += 1
+        CACHE_EVENTS.inc(outcome="miss")
         return None
 
     def put(self, key: str, payload: dict[str, list[int]]) -> None:
@@ -172,6 +188,7 @@ class ProfileCache:
         if self.disk:
             self._write_disk(key, payload)
         self.stats.stores += 1
+        CACHE_EVENTS.inc(outcome="store")
 
     def derived_get(self, key: str) -> Any | None:
         """Fetch an immutable derived value (e.g. an AppCharacterization).
@@ -228,22 +245,34 @@ class ProfileCache:
     def _disk_path(self, key: str) -> Path:
         return self._disk_dir() / f"{key}.json"
 
+    def _corrupt_entry(self) -> None:
+        self.stats.corrupt += 1
+        CACHE_EVENTS.inc(outcome="corrupt")
+
     def _read_disk(self, key: str) -> dict[str, list[int]] | None:
         path = self._disk_path(key)
         try:
-            document = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None  # absent (or unreadable) entry: an ordinary miss
+        try:
+            document = json.loads(text)
+        except ValueError:
+            self._corrupt_entry()
             return None
-        if document.get("version") != DISK_FORMAT_VERSION:
+        if not isinstance(document, dict) or document.get("version") != DISK_FORMAT_VERSION:
+            self._corrupt_entry()
             return None
         payload = document.get("profile")
         if not isinstance(payload, dict):
+            self._corrupt_entry()
             return None
         for name in _PROFILE_FIELDS:
             values = payload.get(name)
             # Element-level validation: a truncated or hand-edited entry
             # must degrade to recomputation, never crash or skew numbers.
             if not isinstance(values, list) or any(type(v) is not int for v in values):
+                self._corrupt_entry()
                 return None
         return {name: payload[name] for name in _PROFILE_FIELDS}
 

@@ -29,6 +29,7 @@ from typing import Any
 from ..api.executors import Executor, RunOutcome
 from ..api.results import ResultSet, parse_ndjson
 from ..api.spec import ExperimentSpec
+from ..telemetry import RUN_ID_HEADER, current_run_id, log_event, span
 
 #: Row key carrying the originating spec index over the wire.
 SPEC_INDEX_KEY = "_spec"
@@ -82,6 +83,11 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
     def _request(self, method: str, path: str, body: Any = None) -> Any:
         headers = {"Accept": "application/json"}
+        run_id = current_run_id()
+        if run_id is not None:
+            # Carry the ambient correlation ID over the wire: the server
+            # adopts it for the request's span (and the submitted job).
+            headers[RUN_ID_HEADER] = run_id
         data = None
         if body is not None:
             data = json.dumps(body).encode("utf-8")
@@ -109,6 +115,17 @@ class ServiceClient:
     def stats(self) -> dict[str, Any]:
         """``GET /v1/stats`` — queue depth, pool size, scaling log."""
         return self._request("GET", "/v1/stats")
+
+    def metrics_text(self) -> str:
+        """``GET /v1/metrics`` — the server's Prometheus exposition text."""
+        request = urllib.request.Request(
+            self.base_url + "/v1/metrics", headers={"Accept": "text/plain"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServiceError.from_http(error) from None
 
     def submit(self, payload: dict[str, Any]) -> dict[str, Any]:
         """``POST /v1/experiments`` — returns the job's status payload."""
@@ -192,15 +209,22 @@ class RemoteExecutor(Executor):
         specs = list(specs)
         if not specs:
             return []
-        job = self.client.submit(
-            {
-                "kind": "batch",
-                "label": self.label,
-                "specs": [spec.to_dict() for spec in specs],
-            }
-        )
-        self.last_job_id = job["job_id"]
-        meta, rows = self.client.results(job["job_id"], wait=True)
+        with span("remote.map"):
+            job = self.client.submit(
+                {
+                    "kind": "batch",
+                    "label": self.label,
+                    "specs": [spec.to_dict() for spec in specs],
+                }
+            )
+            self.last_job_id = job["job_id"]
+            log_event(
+                "client.submitted",
+                job=job["job_id"],
+                specs=len(specs),
+                url=self.client.base_url,
+            )
+            meta, rows = self.client.results(job["job_id"], wait=True)
         state = meta.get("state")
         if state != "done":
             detail = meta.get("error") or f"job finished in state {state!r}"

@@ -23,8 +23,48 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..telemetry import counter as _telemetry_counter
+from ..telemetry import gauge as _telemetry_gauge
 from .shards import Shard, plan_shards
 from .wire import JobRequest
+
+#: Jobs accepted by the queue, by request kind.
+JOBS_SUBMITTED = _telemetry_counter(
+    "repro_jobs_submitted_total",
+    "Jobs accepted by the queue, by request kind.",
+    labels=("kind",),
+)
+
+#: Jobs that reached a terminal state, by that state.
+JOBS_FINISHED = _telemetry_counter(
+    "repro_jobs_finished_total",
+    "Jobs that reached a terminal state (done, failed, cancelled).",
+    labels=("state",),
+)
+
+#: Shards planned at submission time.
+SHARDS_SUBMITTED = _telemetry_counter(
+    "repro_shards_submitted_total",
+    "Shards planned across all submitted jobs.",
+)
+
+#: Shards whose results were recorded successfully.
+SHARDS_COMPLETED = _telemetry_counter(
+    "repro_shards_completed_total",
+    "Shards whose results were recorded successfully.",
+)
+
+#: Shards that failed (their jobs fail with them).
+SHARDS_FAILED = _telemetry_counter(
+    "repro_shards_failed_total",
+    "Shards that raised during execution.",
+)
+
+#: Outstanding (pending + dispatched) shards across live jobs.
+QUEUE_DEPTH = _telemetry_gauge(
+    "repro_queue_depth_shards",
+    "Outstanding (pending + dispatched) shards across live jobs.",
+)
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -51,6 +91,7 @@ class Job:
     id: str
     request: JobRequest
     shards: list[Shard]
+    run_id: str | None = None
     state: str = QUEUED
     error: str | None = None
     submitted_at: float = field(default_factory=time.time)
@@ -132,6 +173,8 @@ class Job:
             "finished_at": self.finished_at,
             "duration_s": self.duration_s,
         }
+        if self.run_id is not None:
+            payload["run_id"] = self.run_id
         if self.error is not None:
             payload["error"] = self.error
         return payload
@@ -150,8 +193,13 @@ class JobQueue:
     # ------------------------------------------------------------------ #
     # Submission / lookup
     # ------------------------------------------------------------------ #
-    def submit(self, request: JobRequest) -> Job:
-        """Plan the job's shards and enqueue it."""
+    def submit(self, request: JobRequest, run_id: str | None = None) -> Job:
+        """Plan the job's shards and enqueue it.
+
+        ``run_id`` is the submitter's correlation ID (from the
+        ``X-Repro-Run-Id`` header or the ambient span); it rides on the
+        job so dispatch/worker/completion events all carry it.
+        """
         spec_dicts = _spec_dicts(request)
         shards = plan_shards(spec_dicts, shard_size=request.shard_size)
         with self._changed:
@@ -159,10 +207,14 @@ class JobQueue:
                 id=f"job-{next(self._ids):06d}",
                 request=request,
                 shards=shards,
+                run_id=run_id,
                 spec_dicts=spec_dicts,
             )
             self._jobs[job.id] = job
             self._order.append(job.id)
+            JOBS_SUBMITTED.inc(kind=request.kind)
+            SHARDS_SUBMITTED.inc(len(shards))
+            QUEUE_DEPTH.set(self._active_shards_locked())
             self._changed.notify_all()
         return job
 
@@ -225,9 +277,12 @@ class JobQueue:
             shard = job.shards[shard_index]
             for spec_index, records in zip(shard.spec_indices, records_per_spec):
                 job.records_per_spec[spec_index] = [dict(r) for r in records]
+            SHARDS_COMPLETED.inc()
             if all(state == SHARD_DONE for state in job.shard_states):
                 job.state = DONE
                 job.finished_at = time.time()
+                JOBS_FINISHED.inc(state=DONE)
+            QUEUE_DEPTH.set(self._active_shards_locked())
             self._changed.notify_all()
 
     def fail_shard(self, job_id: str, shard_index: int, error: str) -> None:
@@ -243,6 +298,9 @@ class JobQueue:
             job.state = FAILED
             job.error = error
             job.finished_at = time.time()
+            SHARDS_FAILED.inc()
+            JOBS_FINISHED.inc(state=FAILED)
+            QUEUE_DEPTH.set(self._active_shards_locked())
             self._changed.notify_all()
 
     # ------------------------------------------------------------------ #
@@ -260,6 +318,8 @@ class JobQueue:
                         job.shard_states[index] = SHARD_SKIPPED
                 job.state = CANCELLED
                 job.finished_at = time.time()
+                JOBS_FINISHED.inc(state=CANCELLED)
+                QUEUE_DEPTH.set(self._active_shards_locked())
                 self._changed.notify_all()
             return job
 

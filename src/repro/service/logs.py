@@ -3,29 +3,30 @@
 Every service-side event — request handled, job submitted/finished,
 scaling decision applied, worker spawned/retired — goes through
 :func:`log_event`, which emits one JSON object per log line on the
-``repro.service`` logger.  Machine-parseable by construction, silent
-unless the host application configures logging (the ``serve`` CLI does).
+``repro.service`` logger and stamps it with the ambient correlation IDs
+(``run_id``, ``job``, ``shard``) of :mod:`repro.telemetry.spans`.
+
+Since the telemetry layer landed this module is a thin binding of
+:mod:`repro.telemetry.logs` to the service's logger: handlers attach at
+the shared ``repro`` root, so configuring logging here also surfaces
+client- and executor-side telemetry events, and one run ID greps across
+all of them.  :func:`configure_logging` is idempotent but
+*reconfigurable* — repeated calls with a different ``level`` retune the
+logger and its handler (they used to be silently ignored) — and honours
+``REPRO_LOG_LEVEL`` when no explicit level is given.
 """
 
 from __future__ import annotations
 
-import json
 import logging
 
-#: The one logger the whole service tree logs through.
+from ..telemetry.logs import configure_logging  # noqa: F401  (re-export)
+from ..telemetry.logs import log_event as _log_event
+
+#: The logger the whole service tree logs through (child of ``repro``).
 logger = logging.getLogger("repro.service")
 
 
 def log_event(event: str, **fields) -> None:
-    """Emit one structured log line: ``{"event": ..., **fields}``."""
-    if logger.isEnabledFor(logging.INFO):
-        logger.info(json.dumps({"event": event, **fields}, default=str, sort_keys=True))
-
-
-def configure_logging(level: int = logging.INFO) -> None:
-    """Attach a stderr handler to the service logger (used by ``serve``)."""
-    logger.setLevel(level)
-    if not logger.handlers:
-        handler = logging.StreamHandler()
-        handler.setFormatter(logging.Formatter("%(asctime)s %(message)s"))
-        logger.addHandler(handler)
+    """Emit one structured service log line (correlation IDs included)."""
+    _log_event(event, logger_=logger, **fields)

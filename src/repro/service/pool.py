@@ -39,6 +39,10 @@ import threading
 import time
 from typing import Any
 
+from ..telemetry import counter as _telemetry_counter
+from ..telemetry import gauge as _telemetry_gauge
+from ..telemetry import histogram as _telemetry_histogram
+from ..telemetry import span
 from .jobs import JobQueue
 from .logs import log_event
 from .scaling import ScalingDecision, ScalingPolicy
@@ -46,6 +50,32 @@ from .shards import execute_shard_payload
 
 #: Supported worker backends.
 MODES: tuple[str, ...] = ("process", "thread")
+
+#: Workers currently alive, per backend mode.
+POOL_WORKERS = _telemetry_gauge(
+    "repro_pool_workers",
+    "Workers currently alive in the elastic pool.",
+    labels=("mode",),
+)
+
+#: Elastic scaling decisions that changed the pool size.
+SCALE_EVENTS = _telemetry_counter(
+    "repro_pool_scale_events_total",
+    "Scaling decisions that changed the pool size, by direction.",
+    labels=("direction",),
+)
+
+#: Per-shard wall-clock execution latency, recorded by the collector.
+#:
+#: Workers time their own execution and ship ``elapsed`` back in the
+#: result tuple — process workers live in a forked registry the server
+#: cannot see, so the server-side collector is the one place every
+#: shard's latency (thread or process mode) can land in *this* registry.
+SHARD_SECONDS = _telemetry_histogram(
+    "repro_shard_seconds",
+    "Wall-clock seconds spent executing one shard, by outcome.",
+    labels=("status",),
+)
 
 
 def _worker_loop(worker_id: int, tasks, results, is_process: bool = False) -> None:
@@ -58,14 +88,30 @@ def _worker_loop(worker_id: int, tasks, results, is_process: bool = False) -> No
         task = tasks.get()
         if task is None:
             break
-        job_id, shard_index, payload = task
-        try:
-            outcome = execute_shard_payload(payload)
-            results.put((job_id, shard_index, "ok", outcome["records_per_spec"], worker_id))
-        except Exception as error:  # noqa: BLE001 - shipped to the queue as job failure
-            results.put(
-                (job_id, shard_index, "error", f"{type(error).__name__}: {error}", worker_id)
-            )
+        job_id, shard_index, payload, run_id = task
+        started = time.monotonic()
+        with span("worker.shard", run_id=run_id, job=job_id, shard=shard_index,
+                  worker=worker_id):
+            try:
+                outcome = execute_shard_payload(payload)
+                elapsed = time.monotonic() - started
+                log_event("worker.shard_done", elapsed_s=round(elapsed, 6))
+                results.put(
+                    (job_id, shard_index, "ok", outcome["records_per_spec"], worker_id, elapsed)
+                )
+            except Exception as error:  # noqa: BLE001 - shipped to the queue as job failure
+                elapsed = time.monotonic() - started
+                log_event("worker.shard_error", error=f"{type(error).__name__}: {error}")
+                results.put(
+                    (
+                        job_id,
+                        shard_index,
+                        "error",
+                        f"{type(error).__name__}: {error}",
+                        worker_id,
+                        elapsed,
+                    )
+                )
 
 
 #: Live pools, for the atexit guard.
@@ -187,6 +233,7 @@ class WorkerPool:
                 q.cancel_join_thread()
         if self in _LIVE_POOLS:
             _LIVE_POOLS.remove(self)
+        POOL_WORKERS.set(0, mode=self.mode)
         log_event("pool.stop", mode=self.mode)
 
     def __enter__(self) -> "WorkerPool":
@@ -219,6 +266,7 @@ class WorkerPool:
         handle.start()
         self._workers[worker_id] = handle
         self._spawned_total += 1
+        POOL_WORKERS.set(len(self._workers), mode=self.mode)
         log_event("pool.spawn", worker=worker_id, count=len(self._workers))
 
     def _retire_worker(self) -> None:
@@ -230,6 +278,7 @@ class WorkerPool:
             if not handle.is_alive():
                 handle.join(timeout=0.0)
                 self._workers.pop(worker_id, None)
+                POOL_WORKERS.set(len(self._workers), mode=self.mode)
                 log_event("pool.reap", worker=worker_id, count=len(self._workers))
 
     def worker_count(self) -> int:
@@ -251,8 +300,11 @@ class WorkerPool:
             job, shard = claimed
             with self._state_lock:
                 self._in_flight += 1
-            self._tasks.put((job.id, shard.index, shard.payload(job.spec_dicts)))
-            log_event("job.dispatch", job=job.id, shard=shard.index, specs=len(shard.spec_indices))
+            self._tasks.put((job.id, shard.index, shard.payload(job.spec_dicts), job.run_id))
+            fields = {"job": job.id, "shard": shard.index, "specs": len(shard.spec_indices)}
+            if job.run_id is not None:
+                fields["run_id"] = job.run_id
+            log_event("job.dispatch", **fields)
 
     def _collect_loop(self) -> None:
         while not self._stop.is_set() or self._in_flight > 0:
@@ -260,22 +312,22 @@ class WorkerPool:
                 result = self._results.get(timeout=0.1)
             except queue_mod.Empty:
                 continue
-            job_id, shard_index, status, payload, worker_id = result
+            job_id, shard_index, status, payload, worker_id, elapsed = result
             with self._state_lock:
                 self._in_flight = max(0, self._in_flight - 1)
             self._dispatch_window.release()
+            SHARD_SECONDS.observe(elapsed, status=status)
+            job = self.jobs.get(job_id)
+            fields = {"job": job_id, "shard": shard_index, "worker": worker_id,
+                      "elapsed_s": round(elapsed, 6)}
+            if job is not None and job.run_id is not None:
+                fields["run_id"] = job.run_id
             if status == "ok":
                 self.jobs.complete_shard(job_id, shard_index, payload)
-                log_event("job.shard_done", job=job_id, shard=shard_index, worker=worker_id)
+                log_event("job.shard_done", **fields)
             else:
                 self.jobs.fail_shard(job_id, shard_index, payload)
-                log_event(
-                    "job.shard_failed",
-                    job=job_id,
-                    shard=shard_index,
-                    worker=worker_id,
-                    error=payload,
-                )
+                log_event("job.shard_failed", error=payload, **fields)
 
     def _scale_loop(self) -> None:
         while not self._stop.wait(self.policy.interval_s):
@@ -300,10 +352,12 @@ class WorkerPool:
         if decision.target > current:
             for _ in range(decision.target - current):
                 self._spawn_worker()
+            SCALE_EVENTS.inc(direction="up")
             log_event("pool.scale_up", **decision.to_dict())
         elif decision.target < current:
             for _ in range(current - decision.target):
                 self._retire_worker()
+            SCALE_EVENTS.inc(direction="down")
             log_event("pool.scale_down", **decision.to_dict())
         return decision
 

@@ -38,6 +38,17 @@ from urllib.parse import parse_qs, urlparse
 from ..api.results import NDJSON_FORMAT, NDJSON_META_KEY, _infer_columns
 from ..api.spec import ENGINES, KINDS
 from ..apps.registry import available_applications
+from ..telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    RUN_ID_HEADER,
+    current_run_id,
+    enabled as telemetry_enabled,
+    render_prometheus,
+    snapshot as telemetry_snapshot,
+    span,
+)
+from ..telemetry import counter as _telemetry_counter
+from ..telemetry import histogram as _telemetry_histogram
 from .jobs import TERMINAL_STATES, JobQueue
 from .logs import log_event
 from .pool import WorkerPool
@@ -47,6 +58,46 @@ from .wire import WIRE_KINDS, WireError, validate_job_payload
 #: Default bind address of ``repro-experiments serve``.
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8077
+
+#: Requests served, by method / route template / status class.
+HTTP_REQUESTS = _telemetry_counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method, route template and status.",
+    labels=("method", "route", "status"),
+)
+
+#: Request latency per route template.
+HTTP_SECONDS = _telemetry_histogram(
+    "repro_http_request_seconds",
+    "Wall-clock seconds spent serving one HTTP request, by route template.",
+    labels=("route",),
+)
+
+#: First path segments under ``/v1`` that map to real routes; anything
+#: else collapses to the ``other`` route label so hostile or mistyped
+#: paths cannot inflate label cardinality.
+_KNOWN_HEADS = frozenset(
+    {"healthz", "registries", "stats", "metrics", "experiments", "jobs"}
+)
+
+
+def route_template(parts: list[str]) -> str:
+    """Normalize a request path to a bounded-cardinality route label.
+
+    Job IDs collapse to ``{id}`` (``/v1/jobs/{id}/results``), and paths
+    outside the known API surface collapse to ``other``.
+    """
+    if len(parts) < 2 or parts[0] != "v1" or parts[1] not in _KNOWN_HEADS:
+        return "other"
+    if parts[1] != "jobs":
+        return f"/v1/{parts[1]}" if len(parts) == 2 else "other"
+    if len(parts) == 2:
+        return "/v1/jobs"
+    if len(parts) == 3:
+        return "/v1/jobs/{id}"
+    if len(parts) == 4 and parts[3] == "results":
+        return "/v1/jobs/{id}/results"
+    return "other"
 
 
 def registries_payload() -> dict[str, list[str]]:
@@ -96,6 +147,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        run_id = current_run_id()
+        if run_id is not None:
+            self.send_header(RUN_ID_HEADER, run_id)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, content_type: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
@@ -119,28 +181,36 @@ class _Handler(BaseHTTPRequestHandler):
         started = time.monotonic()
         parsed = urlparse(self.path)
         parts = [part for part in parsed.path.split("/") if part]
+        route = route_template(parts)
         status = 200
-        try:
-            status = self._route(method, parts, parse_qs(parsed.query)) or 200
-        except WireError as error:
-            status = error.status
-            self._send_error_payload(error)
-        except BrokenPipeError:  # client went away mid-stream
-            status = 499
-        except Exception as error:  # noqa: BLE001 - surface as structured 500
-            status = 500
-            self._send_json(
-                {"error": {"status": 500, "message": f"{type(error).__name__}: {error}"}},
-                status=500,
-            )
-        finally:
-            log_event(
-                "http.request",
-                method=method,
-                path=parsed.path,
-                status=status,
-                ms=round((time.monotonic() - started) * 1000.0, 3),
-            )
+        # Adopt the client's correlation ID when the header carries one;
+        # otherwise the span mints a fresh run ID for this request.
+        with span("http.request", run_id=self.headers.get(RUN_ID_HEADER) or None):
+            try:
+                status = self._route(method, parts, parse_qs(parsed.query)) or 200
+            except WireError as error:
+                status = error.status
+                self._send_error_payload(error)
+            except BrokenPipeError:  # client went away mid-stream
+                status = 499
+            except Exception as error:  # noqa: BLE001 - surface as structured 500
+                status = 500
+                self._send_json(
+                    {"error": {"status": 500, "message": f"{type(error).__name__}: {error}"}},
+                    status=500,
+                )
+            finally:
+                elapsed = time.monotonic() - started
+                HTTP_REQUESTS.inc(method=method, route=route, status=status)
+                HTTP_SECONDS.observe(elapsed, route=route)
+                log_event(
+                    "http.request",
+                    method=method,
+                    path=parsed.path,
+                    route=route,
+                    status=status,
+                    ms=round(elapsed * 1000.0, 3),
+                )
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         """Serve the read-only endpoints."""
@@ -174,6 +244,9 @@ class _Handler(BaseHTTPRequestHandler):
         if method == "GET" and head == "stats" and not rest:
             self._send_json(service.stats())
             return 200
+        if method == "GET" and head == "metrics" and not rest:
+            self._send_text(render_prometheus(), PROMETHEUS_CONTENT_TYPE)
+            return 200
         if method == "POST" and head == "experiments" and not rest:
             return self._submit()
         if head == "jobs":
@@ -205,7 +278,10 @@ class _Handler(BaseHTTPRequestHandler):
     def _submit(self) -> int:
         service = self.server.service
         request = validate_job_payload(self._read_json_body())
-        job = service.jobs.submit(request)
+        # The request span's run ID (header-adopted or freshly minted)
+        # rides on the job, stamping every dispatch/worker/completion
+        # event downstream with the submitter's correlation ID.
+        job = service.jobs.submit(request, run_id=current_run_id())
         log_event(
             "job.submitted",
             job=job.id,
@@ -353,4 +429,8 @@ class ExperimentServer:
             "queue": self.jobs.stats(),
             "pool": self.pool.stats(),
             "jobs": [job.describe() for job in self.jobs.jobs()],
+            "telemetry": {
+                "enabled": telemetry_enabled(),
+                "metrics": telemetry_snapshot(),
+            },
         }

@@ -1,0 +1,118 @@
+"""Unified telemetry: metrics, correlation tracing, structured logging.
+
+The observability layer every execution surface threads through —
+standard-library only, near-zero overhead when disabled, and shared by
+in-process sessions, the batch engines and the experiment service:
+
+* :mod:`~repro.telemetry.metrics` — process-wide counters, gauges and
+  bucketed histograms with Prometheus-style labeled families
+  (:func:`counter`, :func:`gauge`, :func:`histogram`), snapshot/reset
+  APIs and an on/off switch (``REPRO_NO_TELEMETRY=1`` or
+  :func:`set_enabled`);
+* :mod:`~repro.telemetry.spans` — lightweight correlation spans
+  (:func:`span`) minting run/job/shard IDs that propagate from
+  :class:`~repro.api.session.Session` through executors and over the
+  wire (``X-Repro-Run-Id``) into service workers;
+* :mod:`~repro.telemetry.logs` — structured JSON :func:`log_event`
+  lines stamped with the ambient span's IDs, under one ``repro`` logger
+  hierarchy with an idempotent-but-reconfigurable
+  :func:`configure_logging`;
+* :mod:`~repro.telemetry.exposition` — the Prometheus text format
+  behind ``GET /v1/metrics`` (:func:`render_prometheus`) and the
+  per-run ``metrics.jsonl`` snapshot writer (:func:`append_snapshot`).
+
+Quick tour::
+
+    from repro import telemetry
+
+    requests = telemetry.counter("myapp_requests_total", labels=("route",))
+    requests.inc(route="/v1/jobs")
+
+    with telemetry.span("campaign") as sp:
+        telemetry.log_event("campaign.start", seeds=1000)  # carries sp.run_id
+
+    print(telemetry.render_prometheus())
+    telemetry.append_snapshot("metrics.jsonl", command="campaign")
+"""
+
+from .exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    append_snapshot,
+    parse_prometheus,
+    read_snapshots,
+    render_prometheus,
+    series_total,
+    snapshot_record,
+)
+from .logs import (
+    ENV_LOG_LEVEL,
+    configure_logging,
+    get_logger,
+    log_event,
+    resolve_level,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    ENV_NO_TELEMETRY,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    counter_total,
+    enabled,
+    gauge,
+    histogram,
+    reset,
+    set_enabled,
+    snapshot,
+)
+from .spans import (
+    RUN_ID_HEADER,
+    RUN_ID_KEY,
+    Span,
+    current_ids,
+    current_run_id,
+    current_span,
+    new_run_id,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "ENV_LOG_LEVEL",
+    "ENV_NO_TELEMETRY",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
+    "REGISTRY",
+    "RUN_ID_HEADER",
+    "RUN_ID_KEY",
+    "Span",
+    "append_snapshot",
+    "configure_logging",
+    "counter",
+    "counter_total",
+    "current_ids",
+    "current_run_id",
+    "current_span",
+    "enabled",
+    "gauge",
+    "get_logger",
+    "histogram",
+    "log_event",
+    "new_run_id",
+    "parse_prometheus",
+    "read_snapshots",
+    "render_prometheus",
+    "reset",
+    "resolve_level",
+    "series_total",
+    "set_enabled",
+    "snapshot",
+    "snapshot_record",
+    "span",
+]

@@ -1,0 +1,146 @@
+"""Exposition: Prometheus text format and ``metrics.jsonl`` snapshots.
+
+Two export shapes for the same registry:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4), served by ``GET /v1/metrics`` and scrapeable by any
+  Prometheus-compatible collector.  Counters and gauges emit one sample
+  per label combination; histograms emit cumulative ``_bucket{le=...}``
+  series plus ``_sum`` and ``_count``.
+* :func:`append_snapshot` — one timestamped JSON object per line,
+  appended to a ``metrics.jsonl`` file.  This is the per-run metrics
+  artefact the CLI's ``--metrics-out`` flag writes and the
+  reproducibility-bundle roadmap item consumes: each campaign/sweep run
+  appends exactly one self-contained snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Mapping
+from pathlib import Path
+from typing import Any
+
+from .metrics import REGISTRY, MetricsRegistry
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Mapping[str, str], extra: Mapping[str, str] | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"' for name, value in merged.items()
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    # Integral values render without a trailing ".0" (Prometheus style).
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Families appear sorted by name, each preceded by its ``# HELP`` and
+    ``# TYPE`` comment lines; label values are escaped per the format
+    spec.  Defaults to the process-wide registry.
+    """
+    registry = registry if registry is not None else REGISTRY
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample in family.samples():
+            labels = sample["labels"]
+            if family.kind == "histogram":
+                for bound, count in sample["buckets"].items():
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_format_labels(labels, {'le': bound})} {count}"
+                    )
+                lines.append(f"{family.name}_sum{_format_labels(labels)} "
+                             f"{_format_value(sample['sum'])}")
+                lines.append(f"{family.name}_count{_format_labels(labels)} {sample['count']}")
+            else:
+                lines.append(
+                    f"{family.name}{_format_labels(labels)} {_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> dict[str, dict[str, float]]:
+    """Parse exposition text back into ``{series: {labelset: value}}``.
+
+    A deliberately small inverse of :func:`render_prometheus` for tests
+    and CI assertions — it handles the subset this module emits (no
+    exemplars, no timestamps).  The labelset key is the raw ``{...}``
+    string (empty for unlabeled series).
+    """
+    series: dict[str, dict[str, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_and_labels, _, value = line.rpartition(" ")
+        name, brace, labels = name_and_labels.partition("{")
+        series.setdefault(name, {})[brace + labels if brace else ""] = float(value)
+    return series
+
+
+def series_total(parsed: Mapping[str, Mapping[str, float]], name: str) -> float:
+    """Sum every labelset of one series in :func:`parse_prometheus` output."""
+    return float(sum(parsed.get(name, {}).values()))
+
+
+def snapshot_record(
+    registry: MetricsRegistry | None = None, **extra: Any
+) -> dict[str, Any]:
+    """One timestamped JSON-able snapshot record of a registry."""
+    registry = registry if registry is not None else REGISTRY
+    return {
+        "at": time.time(),
+        "at_iso": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
+        **extra,
+        "metrics": registry.snapshot(),
+    }
+
+
+def append_snapshot(
+    path, registry: MetricsRegistry | None = None, **extra: Any
+) -> dict[str, Any]:
+    """Append one timestamped snapshot line to a ``metrics.jsonl`` file.
+
+    Creates missing parent directories; returns the record written.
+    ``extra`` keyword fields (e.g. ``command="campaign"``, a run ID) are
+    stored alongside the timestamp at the top level of the record.
+    """
+    record = snapshot_record(registry, **extra)
+    target = Path(path)
+    if target.parent and str(target.parent) not in ("", "."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def read_snapshots(path) -> list[dict[str, Any]]:
+    """Read every snapshot record of a ``metrics.jsonl`` file, in order."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

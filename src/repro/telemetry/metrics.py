@@ -1,0 +1,439 @@
+"""Process-wide metrics: counters, gauges and bucketed histograms.
+
+The registry is deliberately small and standard-library only, but it
+follows the Prometheus data model so the numbers it collects can be
+scraped (``GET /v1/metrics``), archived (``metrics.jsonl``) or asserted
+in tests without translation:
+
+* a **counter** only goes up (requests served, cache hits, shards
+  completed);
+* a **gauge** goes up and down (live workers, queue depth);
+* a **histogram** buckets observations cumulatively (request latency,
+  shard wall-clock) and also tracks their count and sum.
+
+Each metric is a *family*: calling :meth:`Counter.labels` with label
+values returns the child time series for that label combination, created
+on first use.  Instruments are cheap enough to touch from hot paths — an
+increment is one shared-flag check, one dict lookup and one addition
+under a family lock — and when telemetry is disabled
+(:func:`set_enabled`, or the ``REPRO_NO_TELEMETRY`` environment
+variable) every instrument degrades to a single attribute check, so
+instrumented code never pays for observability it did not ask for.
+
+The process-wide default registry is reachable through the module-level
+:func:`counter` / :func:`gauge` / :func:`histogram` helpers; isolated
+:class:`MetricsRegistry` instances exist for tests.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+#: Environment variable disabling telemetry entirely (set to "1").
+ENV_NO_TELEMETRY = "REPRO_NO_TELEMETRY"
+
+#: Default histogram buckets (seconds), tuned for request/shard latency.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _telemetry_disabled_by_env() -> bool:
+    return os.environ.get(ENV_NO_TELEMETRY, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+class _Family:
+    """Shared machinery of one named metric family (all types).
+
+    A family owns its children (one per label-value combination), its
+    lock, and a reference to the registry's shared enabled flag — the
+    one-element list trick lets every instrument check ``self._on[0]``
+    without holding a reference to the registry itself.
+    """
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: tuple[str, ...], on: list[bool]) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._on = on
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], Any] = {}
+
+    # ------------------------------------------------------------------ #
+    def labels(self, **labels: Any) -> Any:
+        """The child time series for one label-value combination.
+
+        Label values are stringified (Prometheus labels are strings);
+        unknown or missing label names raise immediately — silent label
+        drift would corrupt every downstream dashboard.
+        """
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, got {sorted(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    def _unlabeled(self) -> Any:
+        """The single child of a label-less family (created on demand)."""
+        child = self._children.get(())
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault((), self._make_child())
+        return child
+
+    def _make_child(self) -> Any:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _check_no_labels(self) -> None:
+        if self.label_names:
+            raise ValueError(
+                f"metric {self.name!r} is labeled by {self.label_names}; "
+                "call .labels(...) first"
+            )
+
+    def clear(self) -> None:
+        """Drop every child (used by registry reset)."""
+        with self._lock:
+            self._children.clear()
+
+    # ------------------------------------------------------------------ #
+    def samples(self) -> list[dict[str, Any]]:
+        """Snapshot of every child as a JSON-able sample dict."""
+        with self._lock:
+            items = sorted(self._children.items())
+        return [
+            {"labels": dict(zip(self.label_names, key)), **child.sample()}
+            for key, child in items
+        ]
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-able description: type, help, label names, samples."""
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "label_names": list(self.label_names),
+            "samples": self.samples(),
+        }
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def sample(self) -> dict[str, Any]:
+        return {"value": self.value}
+
+
+class Counter(_Family):
+    """A monotonically increasing metric family."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Increment by ``amount`` (labels select/create the child)."""
+        if not self._on[0]:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (amount={amount})")
+        if labels:
+            self.labels(**labels).inc(amount)
+        else:
+            self._check_no_labels()
+            self._unlabeled().inc(amount)
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one child (0.0 before the first increment)."""
+        if labels:
+            return self.labels(**labels).value
+        self._check_no_labels()
+        return self._unlabeled().value
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def sample(self) -> dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge(_Family):
+    """A metric family that can go up and down."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Set the gauge to an absolute value."""
+        if not self._on[0]:
+            return
+        if labels:
+            self.labels(**labels).set(value)
+        else:
+            self._check_no_labels()
+            self._unlabeled().set(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        if not self._on[0]:
+            return
+        if labels:
+            self.labels(**labels).inc(amount)
+        else:
+            self._check_no_labels()
+            self._unlabeled().inc(amount)
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one child (0.0 before the first touch)."""
+        if labels:
+            return self.labels(**labels).value
+        self._check_no_labels()
+        return self._unlabeled().value
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self._lock = threading.Lock()
+        self.bounds = bounds
+        self.bucket_counts = [0] * len(bounds)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            # Prometheus buckets are cumulative with inclusive upper
+            # bounds: an observation lands in every bucket whose bound
+            # is >= the value.
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+
+    def sample(self) -> dict[str, Any]:
+        with self._lock:
+            buckets = {f"{bound:g}": count for bound, count in zip(self.bounds, self.bucket_counts)}
+            buckets["+Inf"] = self.count
+            return {"count": self.count, "sum": self.sum, "buckets": buckets}
+
+
+class Histogram(_Family):
+    """A bucketed distribution family (cumulative Prometheus buckets)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: tuple[str, ...],
+        on: list[bool],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, label_names, on)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name!r} buckets must be strictly increasing")
+        if any(math.isinf(b) for b in bounds):
+            raise ValueError(f"histogram {name!r}: the +Inf bucket is implicit")
+        self.buckets = bounds
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation."""
+        if not self._on[0]:
+            return
+        if labels:
+            self.labels(**labels).observe(value)
+        else:
+            self._check_no_labels()
+            self._unlabeled().observe(value)
+
+
+class MetricsRegistry:
+    """A named collection of metric families with one shared on/off flag.
+
+    ``counter()`` / ``gauge()`` / ``histogram()`` are get-or-create:
+    re-declaring an existing name returns the existing family (so modules
+    can declare their instruments at import time without coordination) but
+    re-declaring it as a *different* type or label set raises — a name
+    collision between two meanings must fail loudly, not merge.
+    """
+
+    def __init__(self, enabled: bool | None = None) -> None:
+        if enabled is None:
+            enabled = not _telemetry_disabled_by_env()
+        self._on = [bool(enabled)]
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def enabled(self) -> bool:
+        """Whether instruments currently record anything."""
+        return self._on[0]
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Turn the whole registry on or off (instruments see it instantly)."""
+        self._on[0] = bool(enabled)
+
+    # ------------------------------------------------------------------ #
+    def _get_or_create(self, cls, name: str, help: str, labels: Iterable[str], **kwargs):
+        label_names = tuple(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help, label_names, self._on, **kwargs)
+                self._families[name] = family
+                return family
+        if not isinstance(family, cls) or family.label_names != label_names:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind} with "
+                f"labels {family.label_names}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", labels: Iterable[str] = ()) -> Counter:
+        """Get or create a counter family."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Iterable[str] = ()) -> Gauge:
+        """Get or create a gauge family."""
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create a histogram family."""
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-able snapshot of every family, sorted by metric name."""
+        with self._lock:
+            families = sorted(self._families.items())
+        return {name: family.describe() for name, family in families}
+
+    def reset(self) -> None:
+        """Zero every family (the families themselves stay registered)."""
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            family.clear()
+
+    def families(self) -> list[_Family]:
+        """Registered families, sorted by name (for exposition)."""
+        with self._lock:
+            return [family for _, family in sorted(self._families.items())]
+
+
+#: The process-wide registry used by every instrumented repro layer.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, help: str = "", labels: Iterable[str] = ()) -> Counter:
+    """Get or create a counter on the process-wide registry."""
+    return REGISTRY.counter(name, help=help, labels=labels)
+
+
+def gauge(name: str, help: str = "", labels: Iterable[str] = ()) -> Gauge:
+    """Get or create a gauge on the process-wide registry."""
+    return REGISTRY.gauge(name, help=help, labels=labels)
+
+
+def histogram(
+    name: str,
+    help: str = "",
+    labels: Iterable[str] = (),
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+) -> Histogram:
+    """Get or create a histogram on the process-wide registry."""
+    return REGISTRY.histogram(name, help=help, labels=labels, buckets=buckets)
+
+
+def snapshot() -> dict[str, dict[str, Any]]:
+    """Snapshot of the process-wide registry."""
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    """Zero the process-wide registry (families stay registered)."""
+    REGISTRY.reset()
+
+
+def set_enabled(enabled: bool) -> None:
+    """Enable or disable the process-wide registry."""
+    REGISTRY.set_enabled(enabled)
+
+
+def enabled() -> bool:
+    """Whether the process-wide registry records anything."""
+    return REGISTRY.enabled
+
+
+def counter_total(snap: Mapping[str, Mapping[str, Any]], name: str) -> float:
+    """Sum of a counter family's samples in a snapshot (0.0 when absent)."""
+    family = snap.get(name)
+    if not family:
+        return 0.0
+    return float(sum(sample.get("value", 0.0) for sample in family.get("samples", ())))

@@ -1,0 +1,121 @@
+"""Correlation tracing: lightweight spans and ambient run/job/shard IDs.
+
+A *span* is a named scope carrying correlation IDs — ``run_id`` above
+all, plus whatever the layer knows (``job``, ``shard``, ``worker``).
+Spans nest: a child span inherits every ID of its parent and may add or
+override its own, and :func:`current_ids` returns the merged mapping of
+whichever span is ambient.  :func:`~repro.telemetry.logs.log_event`
+stamps those IDs onto every structured log line, which is what lets one
+``run_id`` stitch together client logs, server request lines and worker
+shard events of the same campaign.
+
+The ambient span lives in a :class:`contextvars.ContextVar`, so it is
+thread-local in threaded servers and crosses ``fork`` into process
+workers when set before the fork (the worker pool instead passes the IDs
+explicitly with each task and re-opens a span around execution).
+
+Over the wire the run ID travels in the ``X-Repro-Run-Id`` header: the
+:class:`~repro.service.client.ServiceClient` attaches the ambient run ID
+to every request, and the server adopts it for the request's span (minting
+a fresh one otherwise), so a ``Session.connect`` submit and its
+server-side worker events share one ID end to end.
+
+IDs come from :func:`uuid.uuid4` — deliberately *not* from
+:mod:`random`, so opening spans can never perturb an experiment's seeded
+RNG streams: results are bit-identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Any
+
+#: HTTP header carrying the run correlation ID end to end.
+RUN_ID_HEADER = "X-Repro-Run-Id"
+
+#: The ID key every span carries (minted on demand).
+RUN_ID_KEY = "run_id"
+
+_CURRENT: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_telemetry_span", default=None
+)
+
+
+def new_run_id() -> str:
+    """Mint a fresh run correlation ID (short, URL- and label-safe)."""
+    return f"run-{uuid.uuid4().hex[:12]}"
+
+
+class Span:
+    """One named scope and its correlation IDs (parent IDs included).
+
+    Attributes
+    ----------
+    name:
+        Scope label, e.g. ``"campaign"`` or ``"http.request"``.
+    ids:
+        The merged correlation IDs visible inside this span — the
+        parent's IDs overlaid with this span's own.
+    started:
+        ``time.monotonic()`` at entry (for duration reporting).
+    """
+
+    __slots__ = ("ids", "name", "started")
+
+    def __init__(self, name: str, parent: "Span | None", ids: dict[str, Any]) -> None:
+        merged: dict[str, Any] = dict(parent.ids) if parent is not None else {}
+        merged.update({key: value for key, value in ids.items() if value is not None})
+        if RUN_ID_KEY not in merged:
+            merged[RUN_ID_KEY] = new_run_id()
+        self.name = name
+        self.ids = merged
+        self.started = time.monotonic()
+
+    @property
+    def run_id(self) -> str:
+        """This span's run correlation ID."""
+        return self.ids[RUN_ID_KEY]
+
+    def elapsed(self) -> float:
+        """Seconds since the span was entered."""
+        return time.monotonic() - self.started
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.name!r}, {self.ids!r})"
+
+
+def current_span() -> Span | None:
+    """The ambient span, or ``None`` outside any span."""
+    return _CURRENT.get()
+
+
+def current_ids() -> dict[str, Any]:
+    """Correlation IDs of the ambient span (empty mapping outside spans)."""
+    span_ = _CURRENT.get()
+    return dict(span_.ids) if span_ is not None else {}
+
+
+def current_run_id() -> str | None:
+    """The ambient run ID, or ``None`` outside any span."""
+    span_ = _CURRENT.get()
+    return span_.run_id if span_ is not None else None
+
+
+@contextmanager
+def span(name: str, **ids: Any):
+    """Open a correlation span: ``with span("campaign", run_id=...):``.
+
+    Inherits (and may override) the ambient span's IDs; mints a fresh
+    ``run_id`` when neither the caller nor an enclosing span provides
+    one.  ``None``-valued IDs are ignored, so callers can pass optional
+    IDs straight through without filtering.
+    """
+    new = Span(name, _CURRENT.get(), ids)
+    token = _CURRENT.set(new)
+    try:
+        yield new
+    finally:
+        _CURRENT.reset(token)

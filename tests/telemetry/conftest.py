@@ -1,0 +1,23 @@
+"""Shared fixtures: keep the process-wide registry clean per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Zero the global registry before and after every telemetry test.
+
+    The registry is process-wide and other test modules touch it too, so
+    count-asserting tests must start from zero.  Families stay registered
+    (reset only clears children), and the enabled flag is restored.
+    """
+    was_enabled = telemetry.enabled()
+    telemetry.reset()
+    telemetry.set_enabled(True)
+    yield
+    telemetry.reset()
+    telemetry.set_enabled(was_enabled)

@@ -1,0 +1,109 @@
+"""Prometheus text rendering and metrics.jsonl snapshots."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import (
+    MetricsRegistry,
+    append_snapshot,
+    parse_prometheus,
+    read_snapshots,
+    render_prometheus,
+    series_total,
+    snapshot_record,
+)
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry(enabled=True)
+    requests = registry.counter(
+        "app_requests_total", help="Requests served.", labels=("route",)
+    )
+    requests.inc(3, route="/v1/jobs")
+    requests.inc(route="/v1/stats")
+    registry.gauge("app_workers", help="Live workers.").set(2)
+    latency = registry.histogram(
+        "app_latency_seconds", help="Latency.", buckets=(0.1, 1.0)
+    )
+    latency.observe(0.05)
+    latency.observe(0.5)
+    latency.observe(5.0)
+    return registry
+
+
+GOLDEN = """\
+# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="1"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 5.55
+app_latency_seconds_count 3
+# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{route="/v1/jobs"} 3
+app_requests_total{route="/v1/stats"} 1
+# HELP app_workers Live workers.
+# TYPE app_workers gauge
+app_workers 2
+"""
+
+
+class TestRender:
+    def test_golden_text(self):
+        assert render_prometheus(_sample_registry()) == GOLDEN
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry(enabled=True)) == ""
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("odd_total", labels=("path",)).inc(path='a"b\\c\nd')
+        text = render_prometheus(registry)
+        assert 'odd_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_integral_floats_render_without_point(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.gauge("depth").set(4.0)
+        registry.gauge("ratio").set(0.25)
+        text = render_prometheus(registry)
+        assert "depth 4\n" in text
+        assert "ratio 0.25" in text
+
+
+class TestParse:
+    def test_roundtrip(self):
+        parsed = parse_prometheus(render_prometheus(_sample_registry()))
+        assert parsed["app_requests_total"]['{route="/v1/jobs"}'] == 3.0
+        assert parsed["app_workers"][""] == 2.0
+        assert parsed["app_latency_seconds_count"][""] == 3.0
+        assert parsed["app_latency_seconds_bucket"]['{le="+Inf"}'] == 3.0
+
+    def test_series_total_sums_labelsets(self):
+        parsed = parse_prometheus(render_prometheus(_sample_registry()))
+        assert series_total(parsed, "app_requests_total") == 4.0
+        assert series_total(parsed, "missing_total") == 0.0
+
+    def test_skips_comments_and_blanks(self):
+        parsed = parse_prometheus("# HELP x y\n\nx 1\n")
+        assert parsed == {"x": {"": 1.0}}
+
+
+class TestSnapshots:
+    def test_record_carries_extras_and_metrics(self):
+        record = snapshot_record(_sample_registry(), command="campaign")
+        assert record["command"] == "campaign"
+        assert record["at"] > 0
+        assert record["metrics"]["app_workers"]["samples"][0]["value"] == 2.0
+
+    def test_append_and_read(self, tmp_path):
+        path = tmp_path / "out" / "metrics.jsonl"
+        append_snapshot(path, _sample_registry(), command="sweep")
+        append_snapshot(path, _sample_registry(), command="pareto")
+        records = read_snapshots(path)
+        assert [r["command"] for r in records] == ["sweep", "pareto"]
+        # Every line is one standalone JSON object.
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line) for line in lines)

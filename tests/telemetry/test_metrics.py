@@ -1,0 +1,199 @@
+"""Registry semantics: counters, gauges, histograms, labels, reset."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, counter_total
+from repro.telemetry.metrics import DEFAULT_BUCKETS
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_counts_up(self, registry):
+        c = registry.counter("hits_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_starts_at_zero(self, registry):
+        assert registry.counter("untouched_total").value() == 0.0
+
+    def test_rejects_negative_increment(self, registry):
+        c = registry.counter("hits_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_labeled_children_are_independent(self, registry):
+        c = registry.counter("req_total", labels=("route",))
+        c.inc(route="/a")
+        c.inc(3, route="/b")
+        assert c.value(route="/a") == 1.0
+        assert c.value(route="/b") == 3.0
+
+    def test_label_values_are_stringified(self, registry):
+        c = registry.counter("shards_total", labels=("index",))
+        c.inc(index=7)
+        assert c.value(index="7") == 1.0
+
+    def test_wrong_label_names_raise(self, registry):
+        c = registry.counter("req_total", labels=("route",))
+        with pytest.raises(ValueError, match="takes labels"):
+            c.inc(verb="GET")
+        with pytest.raises(ValueError, match="takes labels"):
+            c.inc(route="/a", verb="GET")
+
+    def test_unlabeled_call_on_labeled_family_raises(self, registry):
+        c = registry.counter("req_total", labels=("route",))
+        with pytest.raises(ValueError, match="labeled by"):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("workers")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 3.0
+
+    def test_labeled(self, registry):
+        g = registry.gauge("workers", labels=("mode",))
+        g.set(2, mode="thread")
+        assert g.value(mode="thread") == 2.0
+
+
+class TestHistogram:
+    def test_bucket_upper_bounds_are_inclusive(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(0.1, 1.0, 10.0))
+        h.observe(0.1)  # exactly on a bound -> lands in that bucket
+        sample = h._unlabeled().sample()
+        assert sample["buckets"]["0.1"] == 1
+        assert sample["buckets"]["1"] == 1  # cumulative
+        assert sample["buckets"]["10"] == 1
+        assert sample["buckets"]["+Inf"] == 1
+
+    def test_buckets_are_cumulative(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            h.observe(value)
+        sample = h._unlabeled().sample()
+        assert sample["buckets"] == {"0.1": 1, "1": 2, "10": 3, "+Inf": 4}
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(55.55)
+
+    def test_observation_above_every_bound_only_counts_inf(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(0.1,))
+        h.observe(99.0)
+        sample = h._unlabeled().sample()
+        assert sample["buckets"] == {"0.1": 0, "+Inf": 1}
+
+    def test_default_buckets(self, registry):
+        h = registry.histogram("lat_seconds")
+        assert h.buckets == DEFAULT_BUCKETS
+
+    def test_rejects_bad_buckets(self, registry):
+        with pytest.raises(ValueError, match="at least one"):
+            registry.histogram("empty_seconds", buckets=())
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("unsorted_seconds", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("dup_seconds", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="implicit"):
+            registry.histogram("inf_seconds", buckets=(1.0, float("inf")))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self, registry):
+        a = registry.counter("hits_total", labels=("kind",))
+        b = registry.counter("hits_total", labels=("kind",))
+        assert a is b
+
+    def test_kind_collision_raises(self, registry):
+        registry.counter("hits_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("hits_total")
+
+    def test_label_set_collision_raises(self, registry):
+        registry.counter("hits_total", labels=("kind",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("hits_total", labels=("route",))
+
+    def test_snapshot_shape(self, registry):
+        registry.counter("hits_total", help="Hits.").inc(2)
+        snap = registry.snapshot()
+        assert snap["hits_total"]["type"] == "counter"
+        assert snap["hits_total"]["help"] == "Hits."
+        assert snap["hits_total"]["samples"] == [{"labels": {}, "value": 2.0}]
+
+    def test_reset_zeroes_but_keeps_families(self, registry):
+        c = registry.counter("hits_total")
+        c.inc(5)
+        registry.reset()
+        assert c.value() == 0.0
+        assert "hits_total" in registry.snapshot()
+
+    def test_counter_total_sums_label_children(self, registry):
+        c = registry.counter("req_total", labels=("route",))
+        c.inc(2, route="/a")
+        c.inc(3, route="/b")
+        snap = registry.snapshot()
+        assert counter_total(snap, "req_total") == 5.0
+        assert counter_total(snap, "absent_total") == 0.0
+
+
+class TestDisabled:
+    def test_disabled_instruments_record_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("hits_total")
+        g = registry.gauge("depth")
+        h = registry.histogram("lat_seconds")
+        c.inc()
+        g.set(9)
+        h.observe(1.0)
+        assert c.value() == 0.0
+        assert g.value() == 0.0
+        assert registry.snapshot()["lat_seconds"]["samples"] == []
+
+    def test_reenabling_takes_effect_instantly(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("hits_total")
+        c.inc()
+        registry.set_enabled(True)
+        c.inc()
+        assert c.value() == 1.0
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_TELEMETRY", "1")
+        assert MetricsRegistry().enabled is False
+        monkeypatch.delenv("REPRO_NO_TELEMETRY")
+        assert MetricsRegistry().enabled is True
+
+
+class TestConcurrency:
+    def test_concurrent_increments_do_not_lose_updates(self, registry):
+        c = registry.counter("hits_total", labels=("worker",))
+        h = registry.histogram("lat_seconds", buckets=(0.5,))
+        barrier = threading.Barrier(8)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for _ in range(1000):
+                c.inc(worker=worker % 2)
+                h.observe(0.1)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(worker=0) + c.value(worker=1) == 8000.0
+        sample = h._unlabeled().sample()
+        assert sample["count"] == 8000
+        assert sample["buckets"]["0.5"] == 8000
