@@ -490,7 +490,19 @@ class BatchCampaignExecutor(Executor):
             )
 
     def map(self, specs: Sequence[ExperimentSpec]) -> list[RunOutcome]:
-        """Serve each same-experiment seed group in one vectorized shot."""
+        """Serve each same-experiment seed group in one vectorized shot.
+
+        Consults the result warehouse first (group units — one per seed
+        group, keyed by the ordered seed list); only missing groups are
+        simulated, and calls already planned by an enclosing
+        :meth:`Session.run_all` pass straight through.
+        """
+        from ..warehouse.planner import plan_and_run
+
+        return plan_and_run(list(specs), self._map_uncached, grouped=True)
+
+    def _map_uncached(self, specs: Sequence[ExperimentSpec]) -> list[RunOutcome]:
+        """The vectorized execution body, bypassing the warehouse."""
         specs = list(specs)
         started = time.monotonic()
         outcomes: list[RunOutcome | None] = [None] * len(specs)

@@ -14,6 +14,7 @@ import csv
 import io
 import json
 import os
+import tempfile
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field, replace
 from typing import Any
@@ -62,6 +63,13 @@ class ResultSet:
         Excluded from equality and from every serialized form
         (``to_dict()``, NDJSON, CSV) — two runs with identical rows stay
         equal and byte-identical regardless of telemetry.
+    meta:
+        Optional NDJSON stream metadata (merged header + trailers:
+        ``spec_sha256``, ``job_id``, final ``state``, …) preserved by
+        :meth:`from_ndjson` so a parsed stream keeps its identity.  Like
+        ``metrics`` it is excluded from equality, ``to_dict()`` and CSV;
+        :meth:`to_ndjson` re-emits its ``spec_sha256`` so the round trip
+        does not silently drop the hash.
     """
 
     title: str
@@ -69,6 +77,7 @@ class ResultSet:
     records: tuple[Mapping[str, Any], ...]
     footer: str = ""
     metrics: Mapping[str, Any] | None = field(default=None, compare=False, repr=False)
+    meta: Mapping[str, Any] | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "columns", tuple(self.columns))
@@ -153,6 +162,9 @@ class ResultSet:
         }
         if self.footer:
             header["footer"] = self.footer
+        if spec_sha256 is None and self.meta is not None:
+            # A set parsed from a stream keeps its identity on re-emit.
+            spec_sha256 = self.meta.get("spec_sha256")
         if spec_sha256 is not None:
             header["spec_sha256"] = spec_sha256
         lines = [json.dumps(header)]
@@ -167,6 +179,10 @@ class ResultSet:
         appends) merge into the header, so the text captured from a
         streaming endpoint parses directly.  A document with no header
         line is rejected — bare rows carry no title or column order.
+        The merged metadata (``spec_sha256``, ``job_id``, final
+        ``state``, …) is preserved on the :attr:`meta` attribute rather
+        than dropped, so the parsed set keeps the identity of the stream
+        it came from.
         """
         meta, records = parse_ndjson(text)
         if meta is None:
@@ -180,6 +196,7 @@ class ResultSet:
             columns=tuple(columns) if columns is not None else _infer_columns(records),
             records=tuple(records),
             footer=meta.get("footer", ""),
+            meta=dict(meta),
         )
 
     def to_csv(self) -> str:
@@ -245,18 +262,40 @@ def parse_ndjson(text: str) -> tuple[dict[str, Any] | None, list[dict[str, Any]]
 
 
 def write_report(path, text: str) -> None:
-    """Write a report to ``path``, creating missing parent directories.
+    """Atomically write a report to ``path``, creating missing parent dirs.
 
     The single file-output path of the results layer: the CLI's
     ``--output`` and :meth:`ResultSet.write` both land here, so reports can
     target fresh directories (``results/2026-07/run.json``) without the
-    caller pre-creating them.
+    caller pre-creating them.  The text goes to a temp file in the target
+    directory and lands via ``os.replace``, so a reader (or a second CLI
+    invocation racing for the same path) can never observe a truncated
+    report — it sees either the old content or the new, nothing between.
     """
-    parent = os.path.dirname(os.fspath(path))
+    target = os.fspath(path)
+    parent = os.path.dirname(target)
     if parent:
         os.makedirs(parent, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(text if text.endswith("\n") else text + "\n")
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        dir=parent or ".",
+        prefix=f".{os.path.basename(target)}.",
+        suffix=".tmp",
+        delete=False,
+        encoding="utf-8",
+    )
+    try:
+        with handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        os.replace(handle.name, target)
+    except OSError:
+        # Unlike the caches, a failed report write is a real error — but
+        # never leave the temp file behind.
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
 
 
 def render_result_sets(sections: Sequence[ResultSet], fmt: str = "table") -> str:

@@ -134,12 +134,24 @@ class Session:
         executor: Executor | None = None,
         jobs: int | None = None,
     ) -> list[RunOutcome]:
-        """Execute a batch of specs, preserving input order."""
+        """Execute a batch of specs, preserving input order.
+
+        Consults the result warehouse first: specs whose units are already
+        stored are served from disk, only the delta executes, and fresh
+        results sync back — bit-identical to a cold run, on every backend
+        (disable with ``REPRO_NO_WAREHOUSE=1``).
+        """
+        # Deferred import: the warehouse depends on the executor layer.
+        from ..warehouse.planner import plan_and_run
+
         # One correlation span per entry: nested calls (campaign → run_all)
         # inherit the enclosing run ID, and Session.connect submits carry
         # it over the wire to the server.
         with span("session.run_all"):
-            return self._resolve_executor(executor, jobs).map(list(specs))
+            chosen = self._resolve_executor(executor, jobs)
+            # Grouped executors serve batched execute specs as whole seed
+            # groups, so the warehouse must plan (and store) group units.
+            return plan_and_run(list(specs), chosen.map, grouped=chosen.serves_batched)
 
     def sweep(
         self,

@@ -29,6 +29,11 @@ terminal through the unified experiment API::
         --scenario burst --scenario-param burst_factor=100
     repro-experiments scenarios sweep --app adpcm-encode --jobs 4 --format json
 
+    repro-experiments warehouse stats
+    repro-experiments warehouse ls --kind execute
+    repro-experiments warehouse gc --stale
+    repro-experiments warehouse export warehouse.json
+
 Every subcommand accepts ``--format table|json|csv`` and ``--output PATH``
 for machine-readable results, and the behavioural workloads accept
 ``--jobs N`` to fan the underlying simulations out across CPU cores.
@@ -36,7 +41,11 @@ for machine-readable results, and the behavioural workloads accept
 for fault injection, and a bit-identical vectorized grid solver for the
 design-space artefacts (fig4, table1, ablations, optimize sweeps).
 ``--no-cache`` disables the on-disk/in-process task-profile cache
-(``~/.cache/repro``, relocatable via ``REPRO_CACHE_DIR``).
+(``~/.cache/repro``, relocatable via ``REPRO_CACHE_DIR``).  Completed
+results additionally land in the content-addressed warehouse
+(``~/.cache/repro/warehouse``, see ``REPRO_WAREHOUSE_DIR``), so re-running
+an artefact or campaign replays instantly from disk; set
+``REPRO_NO_WAREHOUSE=1`` to force cold runs.
 """
 
 from __future__ import annotations
@@ -602,6 +611,70 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_cache_option(scn_sweep)
     _add_output_options(scn_sweep)
 
+    # --- result warehouse ------------------------------------------------- #
+    warehouse = subparsers.add_parser(
+        "warehouse",
+        help="inspect and manage the content-addressed result warehouse "
+        "(stats / ls / gc / export)",
+    )
+    warehouse_sub = warehouse.add_subparsers(
+        dest="warehouse_command", required=True, metavar="action"
+    )
+
+    wh_stats = warehouse_sub.add_parser(
+        "stats", help="entry counts, disk usage and staleness of the store"
+    )
+    _add_output_options(wh_stats)
+
+    wh_ls = warehouse_sub.add_parser("ls", help="list stored result units, oldest first")
+    wh_ls.add_argument(
+        "--kind",
+        default=None,
+        metavar="KIND",
+        help="only units of this spec kind (execute, optimize, feasibility, pareto)",
+    )
+    wh_ls.add_argument(
+        "--stale",
+        action="store_true",
+        help="only units whose code/data fingerprint no longer matches this build",
+    )
+    _add_output_options(wh_ls)
+
+    wh_gc = warehouse_sub.add_parser(
+        "gc",
+        help="drop stale, old or all units (corrupt files are always collected)",
+    )
+    wh_gc.add_argument(
+        "--stale",
+        action="store_true",
+        help="drop units whose code/data fingerprint no longer matches this build",
+    )
+    wh_gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="drop units older than DAYS",
+    )
+    wh_gc.add_argument(
+        "--all", dest="drop_all", action="store_true", help="drop every unit"
+    )
+    _add_output_options(wh_gc)
+
+    wh_export = warehouse_sub.add_parser(
+        "export", help="dump stored units as one portable JSON document"
+    )
+    wh_export.add_argument(
+        "path", metavar="PATH", help="file the JSON document is written to"
+    )
+    wh_export.add_argument(
+        "--key",
+        default=None,
+        metavar="PREFIX",
+        help="only units whose content key starts with PREFIX",
+    )
+    _add_output_options(wh_export)
+
     return parser
 
 
@@ -892,9 +965,91 @@ def _service_sections_inner(args: argparse.Namespace, client) -> list:
     ]
 
 
+def _warehouse_sections(args: argparse.Namespace) -> list:
+    """The ``warehouse stats|ls|gc|export`` maintenance surface."""
+    import json
+
+    from .warehouse import default_warehouse, fingerprint_digest
+
+    warehouse = default_warehouse()
+    action = args.warehouse_command
+
+    if action == "stats":
+        summary = warehouse.summary()
+        by_kind = summary.pop("by_kind")
+        record = {
+            **summary,
+            **{f"{kind}_entries": count for kind, count in sorted(by_kind.items())},
+        }
+        return [ResultSet.from_records(f"Warehouse — {summary['directory']}", [record])]
+
+    if action == "ls":
+        current = fingerprint_digest()
+        records = []
+        for entry in warehouse.entries():
+            stale = entry.fingerprint != current
+            if args.kind is not None and entry.kind != args.kind:
+                continue
+            if args.stale and not stale:
+                continue
+            records.append(
+                {
+                    "key": entry.key[:16],
+                    "kind": entry.kind,
+                    "engine": entry.engine,
+                    "specs": len(entry.spec_dicts),
+                    "rows": entry.rows,
+                    "bytes": entry.nbytes,
+                    "artifact": "yes" if entry.artifact is not None else "-",
+                    "stale": "yes" if stale else "-",
+                }
+            )
+        return [
+            ResultSet.from_records(
+                f"Warehouse units — {warehouse.directory}",
+                records,
+                columns=(
+                    "key", "kind", "engine", "specs", "rows", "bytes", "artifact", "stale",
+                ),
+            )
+        ]
+
+    if action == "gc":
+        max_age_s = None if args.max_age_days is None else args.max_age_days * 86400.0
+        result = warehouse.gc(
+            max_age_s=max_age_s, stale=args.stale, drop_all=args.drop_all
+        )
+        return [
+            ResultSet.from_records(f"Warehouse gc — {warehouse.directory}", [result])
+        ]
+
+    if action == "export":
+        document = warehouse.export(key_prefix=args.key)
+        write_report(args.path, json.dumps(document, indent=2))
+        return [
+            ResultSet.from_records(
+                f"Warehouse export — {args.path}",
+                [
+                    {
+                        "entries": len(document["entries"]),
+                        "path": args.path,
+                        "fingerprint": document["fingerprint"][:16],
+                    }
+                ],
+            )
+        ]
+
+    raise AssertionError(
+        f"unhandled warehouse action {action!r}"
+    )  # pragma: no cover
+
+
 def _run_sections(args: argparse.Namespace) -> list:
     if args.command in ("submit", "jobs", "results", "stats"):
         return _service_sections(args)
+
+    if args.command == "warehouse":
+        return _warehouse_sections(args)
 
     session = Session()
     if args.command in ARTEFACTS:

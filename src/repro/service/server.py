@@ -281,7 +281,11 @@ class _Handler(BaseHTTPRequestHandler):
         # The request span's run ID (header-adopted or freshly minted)
         # rides on the job, stamping every dispatch/worker/completion
         # event downstream with the submitter's correlation ID.
-        job = service.jobs.submit(request, run_id=current_run_id())
+        job = service.jobs.submit(
+            request,
+            run_id=current_run_id(),
+            cached_records=service.warehouse_records(request),
+        )
         log_event(
             "job.submitted",
             job=job.id,
@@ -290,6 +294,7 @@ class _Handler(BaseHTTPRequestHandler):
             specs=len(request.specs),
             shards=len(job.shards),
             spec_sha256=request.spec_hash,
+            cached=job.cached,
         )
         self._send_json(job.describe(), status=202)
         return 202
@@ -421,6 +426,29 @@ class ExperimentServer:
     def __exit__(self, *exc_info) -> None:
         """Stop the service (server first, then the pool) on exit."""
         self.stop()
+
+    def warehouse_records(self, request) -> list[list[dict[str, Any]]] | None:
+        """Per-spec records when the warehouse fully covers a request.
+
+        Returns ``None`` — the normal submission path — unless *every*
+        spec of the request is already warehoused, in which case the
+        per-spec record lists feed :meth:`JobQueue.submit`'s cached fast
+        path and the job streams instantly.  Partially cached jobs go
+        through the pool: the workers consult the warehouse per shard, so
+        only the genuinely missing units execute.  Batched specs plan as
+        group units, matching how :func:`~repro.service.shards.plan_shards`
+        executes them (one vectorized shard).
+        """
+        from ..warehouse import DeltaPlanner, default_warehouse
+
+        warehouse = default_warehouse()
+        if not warehouse.enabled:
+            return None
+        plan = DeltaPlanner(warehouse).plan(list(request.specs), grouped=True)
+        if not plan.fully_cached:
+            return None
+        outcomes = plan.merge([])
+        return [[dict(record) for record in outcome.records] for outcome in outcomes]
 
     def stats(self) -> dict[str, Any]:
         """Aggregate stats payload for ``GET /v1/stats``."""

@@ -32,6 +32,7 @@ from typing import Any
 
 from ..api.executors import BatchCampaignExecutor, execute_spec
 from ..api.spec import ExperimentSpec
+from ..warehouse.planner import plan_and_run
 
 #: Default behavioural seeds per shard.  Small enough that a burst of
 #: modest campaigns produces real queue pressure for the scaler to react
@@ -109,9 +110,13 @@ def execute_shard_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
     """
     specs = [ExperimentSpec.from_dict(entry) for entry in payload["specs"]]
     if payload.get("batched"):
+        # BatchCampaignExecutor.map consults the warehouse itself (group
+        # units, identical keys to an in-process Session.campaign).
         outcomes = BatchCampaignExecutor().map(specs)
     else:
-        outcomes = [execute_spec(spec) for spec in specs]
+        outcomes = plan_and_run(
+            specs, lambda missing: [execute_spec(spec) for spec in missing]
+        )
     return {
         "records_per_spec": [
             [dict(record) for record in outcome.records] for outcome in outcomes

@@ -23,7 +23,6 @@ matched to the spec that produced it.
 from __future__ import annotations
 
 import hashlib
-import json
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
@@ -37,6 +36,7 @@ from ..api.registry import (
 )
 from ..api.spec import ENGINES, KINDS, CampaignSpec, ExperimentSpec, SweepSpec
 from ..apps.registry import available_applications, canonical_name
+from ..warehouse.keys import canonical_json
 
 #: Job kinds accepted by ``POST /v1/experiments``.
 WIRE_KINDS: tuple[str, ...] = ("experiment", "campaign", "sweep", "batch")
@@ -82,8 +82,21 @@ def spec_sha256(payload: Mapping[str, Any]) -> str:
     Key order and whitespace are normalized before hashing, so the hash is
     a pure function of the payload's content — the same identity whether
     the spec was submitted by the CLI, a client library or raw curl.
+
+    Values without a canonical JSON form raise a :class:`WireError`
+    (→ structured 400): stringifying them (the old ``default=str``
+    behaviour) could make two distinct payloads share a hash, and
+    ``NaN``/``Infinity`` — which ``json.loads`` happily admits — have no
+    RFC-8259 serialization at all, so a hash over them would not be
+    canonical.  The same strict serialization keys the result warehouse
+    (:func:`repro.warehouse.canonical_json`).
     """
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    try:
+        canonical = canonical_json(payload)
+    except (TypeError, ValueError) as error:
+        raise WireError(
+            f"payload is not canonically hashable (non-JSON or NaN/Infinity value): {error}"
+        ) from None
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 

@@ -1,0 +1,96 @@
+"""Canonical hashing and code/data fingerprinting for the result warehouse.
+
+A warehouse entry must be addressable by *content*: the same experiment
+submitted twice — by the CLI, a client library or raw curl, with spec
+fields in any order — must land on the same key, and any change that
+could alter the numbers (a spec field, the engine, the package version, a
+registry edit) must miss by construction.  Two functions establish that:
+
+* :func:`canonical_json` — strict RFC-8259 serialization with sorted keys
+  and no whitespace.  Unlike ``json.dumps`` defaults it **raises** on
+  values that have no canonical JSON form (sets, objects, ``NaN``,
+  ``Infinity``) instead of stringifying or emitting non-RFC literals;
+  silently coercing would let two distinct payloads share a hash.
+* :func:`code_fingerprint` — a digest of the package version plus the
+  content of every spec-ingredient registry (applications, strategies,
+  fault models, scenarios).  The fingerprint is folded into every unit
+  key, so bumping the package or registering a different model set
+  invalidates stale entries without any explicit versioning dance.
+
+:func:`unit_key` combines both into the extended canonical hash the
+warehouse stores under: SHA-256 over the canonical JSON of the unit's
+spec dicts (order-significant for batched seed groups) plus the
+fingerprint digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+#: Bumped when the key derivation itself changes shape, so old entries
+#: can never be misread as answers to the new scheme.
+KEY_SCHEMA_VERSION = 1
+
+
+def canonical_json(payload: Any) -> str:
+    """Strict canonical JSON: sorted keys, no whitespace, RFC-only values.
+
+    Raises ``TypeError`` for values without a JSON form and ``ValueError``
+    for ``NaN`` / ``Infinity`` — a canonical hash must never be computed
+    over a lossy or non-RFC serialization.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def canonical_sha256(payload: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def code_fingerprint() -> dict[str, Any]:
+    """The code/data identity folded into every warehouse key.
+
+    Captures the package version and the sorted name sets of every
+    registry a spec can reference.  A registry rename, addition or
+    removal — or a version bump — changes the fingerprint and therefore
+    every key, so entries computed by different code can never be served
+    as current results.
+    """
+    from .. import __version__
+    from ..api.registry import (
+        available_fault_models,
+        available_scenarios,
+        available_strategies,
+    )
+    from ..apps.registry import available_applications
+
+    return {
+        "package_version": __version__,
+        "key_schema": KEY_SCHEMA_VERSION,
+        "registries": {
+            "apps": available_applications(),
+            "strategies": available_strategies(),
+            "fault_models": available_fault_models(),
+            "scenarios": available_scenarios(),
+        },
+    }
+
+
+def fingerprint_digest() -> str:
+    """SHA-256 hex digest of :func:`code_fingerprint`."""
+    return canonical_sha256(code_fingerprint())
+
+
+def unit_key(spec_dicts: list[dict[str, Any]], fingerprint: str) -> str:
+    """Extended canonical hash of one warehouse unit.
+
+    ``spec_dicts`` is the ordered list of spec payloads the unit covers —
+    one entry for a solo spec, the whole ordered seed group for a batched
+    campaign unit (the batch engine derives one fault stream per group,
+    so the group composition *is* part of the result identity).
+    """
+    return canonical_sha256(
+        {"fingerprint": fingerprint, "specs": list(spec_dicts)}
+    )

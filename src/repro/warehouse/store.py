@@ -1,0 +1,375 @@
+"""The content-addressed on-disk result warehouse.
+
+One flat directory of ``<key>.json`` entry documents under
+``~/.cache/repro/warehouse`` (sharing the profile-cache root, so
+``REPRO_CACHE_DIR`` relocates both stores together;
+``REPRO_WAREHOUSE_DIR`` overrides just the warehouse, and
+``REPRO_NO_WAREHOUSE=1`` disables it entirely).  Each entry is one
+*unit* of completed work: the ordered spec dicts it answers, their metric
+records, and — for design-space kinds — the pickled rich artifact
+(optimization result, feasible region, Pareto front), so a warm replay
+reconstructs :class:`~repro.api.executors.RunOutcome` objects
+bit-identical to a cold run.
+
+The warehouse follows the profile cache's durability discipline: writes
+go to a temp file in the target directory and land via ``os.replace``
+(concurrent writers race benignly — last atomic rename wins, both wrote
+the same content), and any unreadable, truncated or mistyped entry
+degrades to a miss (→ recomputation) rather than an error.  The store is
+a pure accelerator: it can never change results, only skip recomputing
+them.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..runtime.profile_cache import default_cache_dir
+from ..telemetry import counter as _telemetry_counter
+from .keys import fingerprint_digest
+
+#: Environment variable overriding the warehouse directory.
+ENV_WAREHOUSE_DIR = "REPRO_WAREHOUSE_DIR"
+
+#: Environment variable disabling the warehouse entirely (set to "1").
+ENV_NO_WAREHOUSE = "REPRO_NO_WAREHOUSE"
+
+#: Schema version of the on-disk entry documents; bump when they change.
+DISK_FORMAT_VERSION = 1
+
+#: Warehouse outcomes, for ``/v1/metrics`` and ``metrics.jsonl``
+#: (outcomes: hit, miss, store, corrupt, uncacheable, invalidated).
+WAREHOUSE_EVENTS = _telemetry_counter(
+    "repro_warehouse_events_total",
+    "Result-warehouse outcomes (hits, misses, stores, corrupt entries, "
+    "uncacheable specs, invalidated entries).",
+    labels=("outcome",),
+)
+
+
+def default_warehouse_dir() -> Path:
+    """``$REPRO_WAREHOUSE_DIR``, or ``<cache root>/warehouse``."""
+    override = os.environ.get(ENV_WAREHOUSE_DIR)
+    if override:
+        return Path(override)
+    return default_cache_dir() / "warehouse"
+
+
+def _disabled_by_env() -> bool:
+    return os.environ.get(ENV_NO_WAREHOUSE, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+@dataclass(frozen=True)
+class WarehouseEntry:
+    """One decoded warehouse unit: specs, records, optional artifact."""
+
+    key: str
+    kind: str
+    engine: str
+    fingerprint: str
+    spec_dicts: tuple[dict[str, Any], ...]
+    records_per_spec: tuple[tuple[dict[str, Any], ...], ...]
+    artifact: Any = field(default=None, compare=False, repr=False)
+    created_at: float = 0.0
+    nbytes: int = 0
+
+    @property
+    def rows(self) -> int:
+        """Total metric rows across the unit's specs."""
+        return sum(len(records) for records in self.records_per_spec)
+
+
+@dataclass
+class WarehouseStats:
+    """Per-instance counters (process-wide totals live in telemetry)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
+
+
+class ResultWarehouse:
+    """Disk-only store of completed experiment units, keyed by content.
+
+    Parameters
+    ----------
+    directory:
+        Entry directory; ``None`` resolves :func:`default_warehouse_dir`
+        lazily on every access, so environment changes take effect
+        immediately (tests rely on this).
+    """
+
+    def __init__(self, directory: os.PathLike | str | None = None) -> None:
+        self._directory = Path(directory) if directory is not None else None
+        self.stats = WarehouseStats()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def directory(self) -> Path:
+        """The entry directory currently in effect."""
+        return self._directory if self._directory is not None else default_warehouse_dir()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the warehouse is active (env kill-switch honoured)."""
+        return not _disabled_by_env()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> WarehouseEntry | None:
+        """Fetch one unit, or ``None`` on a miss (corrupt entries miss)."""
+        if not self.enabled:
+            return None
+        entry = self._read(self._path(key), expected_key=key)
+        if entry is None:
+            self.stats.misses += 1
+            WAREHOUSE_EVENTS.inc(outcome="miss")
+            return None
+        self.stats.hits += 1
+        WAREHOUSE_EVENTS.inc(outcome="hit")
+        return entry
+
+    def entries(self) -> list[WarehouseEntry]:
+        """Every readable unit, oldest first (corrupt files are skipped)."""
+        directory = self.directory
+        if not directory.is_dir():
+            return []
+        found = []
+        for path in sorted(directory.glob("*.json")):
+            entry = self._read(path, expected_key=path.stem)
+            if entry is not None:
+                found.append(entry)
+        return sorted(found, key=lambda entry: (entry.created_at, entry.key))
+
+    def _read(self, path: Path, expected_key: str) -> WarehouseEntry | None:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None  # absent (or unreadable) entry: an ordinary miss
+        try:
+            document = json.loads(text)
+        except ValueError:
+            return self._corrupt()
+        if not isinstance(document, dict) or document.get("version") != DISK_FORMAT_VERSION:
+            return self._corrupt()
+        if document.get("key") != expected_key:
+            return self._corrupt()
+        specs = document.get("specs")
+        records = document.get("records_per_spec")
+        fingerprint = document.get("fingerprint")
+        if (
+            not isinstance(specs, list)
+            or not isinstance(records, list)
+            or len(specs) != len(records)
+            or not specs
+            or not isinstance(fingerprint, str)
+            or any(not isinstance(entry, dict) for entry in specs)
+            or any(
+                not isinstance(spec_records, list)
+                or any(not isinstance(row, dict) for row in spec_records)
+                for spec_records in records
+            )
+        ):
+            return self._corrupt()
+        artifact = None
+        encoded = document.get("artifact")
+        if encoded is not None:
+            if not isinstance(encoded, str):
+                return self._corrupt()
+            try:
+                artifact = pickle.loads(base64.b64decode(encoded.encode("ascii")))
+            except Exception:
+                return self._corrupt()
+        return WarehouseEntry(
+            key=expected_key,
+            kind=str(document.get("kind", "execute")),
+            engine=str(document.get("engine", "behavioural")),
+            fingerprint=fingerprint,
+            spec_dicts=tuple(dict(entry) for entry in specs),
+            records_per_spec=tuple(
+                tuple(dict(row) for row in spec_records) for spec_records in records
+            ),
+            artifact=artifact,
+            created_at=float(document.get("created_at") or 0.0),
+            nbytes=len(text.encode("utf-8")),
+        )
+
+    def _corrupt(self) -> None:
+        self.stats.corrupt += 1
+        WAREHOUSE_EVENTS.inc(outcome="corrupt")
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Write side
+    # ------------------------------------------------------------------ #
+    def put(
+        self,
+        key: str,
+        spec_dicts: list[dict[str, Any]],
+        records_per_spec: list[list[dict[str, Any]]],
+        kind: str,
+        engine: str,
+        artifact: Any = None,
+        fingerprint: str | None = None,
+    ) -> bool:
+        """Store one completed unit; idempotent, never raises on IO errors.
+
+        Returns whether a new entry landed on disk.  An existing entry
+        under the same key is left untouched (content-addressed entries
+        are immutable), and any failure — unpicklable artifact, read-only
+        filesystem — degrades to "not stored".
+        """
+        if not self.enabled:
+            return False
+        path = self._path(key)
+        if path.exists():
+            return False
+        document: dict[str, Any] = {
+            "version": DISK_FORMAT_VERSION,
+            "key": key,
+            "fingerprint": fingerprint if fingerprint is not None else fingerprint_digest(),
+            "kind": kind,
+            "engine": engine,
+            "created_at": time.time(),
+            "specs": [dict(entry) for entry in spec_dicts],
+            "records_per_spec": [
+                [dict(row) for row in spec_records] for spec_records in records_per_spec
+            ],
+        }
+        if artifact is not None:
+            try:
+                document["artifact"] = base64.b64encode(
+                    pickle.dumps(artifact, protocol=5)
+                ).decode("ascii")
+            except Exception:
+                return False  # an unstorable artifact must not poison the unit
+        try:
+            text = json.dumps(document, separators=(",", ":"))
+        except (TypeError, ValueError):
+            return False  # non-JSON records: the unit is simply not cacheable
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w",
+                dir=path.parent,
+                prefix=f".{key[:16]}.",
+                suffix=".tmp",
+                delete=False,
+                encoding="utf-8",
+            )
+            with handle:
+                handle.write(text)
+            os.replace(handle.name, path)
+        except OSError:
+            # Read-only or racing filesystem: stay a pure accelerator.
+            try:
+                os.unlink(handle.name)
+            except (OSError, UnboundLocalError):
+                pass
+            return False
+        self.stats.stores += 1
+        WAREHOUSE_EVENTS.inc(outcome="store")
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Maintenance (the CLI surface)
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict[str, Any]:
+        """Aggregate stats for ``repro-experiments warehouse stats``."""
+        entries = self.entries()
+        current = fingerprint_digest()
+        by_kind: dict[str, int] = {}
+        for entry in entries:
+            by_kind[entry.kind] = by_kind.get(entry.kind, 0) + 1
+        return {
+            "directory": str(self.directory),
+            "enabled": self.enabled,
+            "entries": len(entries),
+            "specs": sum(len(entry.spec_dicts) for entry in entries),
+            "rows": sum(entry.rows for entry in entries),
+            "bytes": sum(entry.nbytes for entry in entries),
+            "stale": sum(1 for entry in entries if entry.fingerprint != current),
+            "by_kind": by_kind,
+        }
+
+    def gc(
+        self,
+        max_age_s: float | None = None,
+        stale: bool = False,
+        drop_all: bool = False,
+    ) -> dict[str, int]:
+        """Remove entries: all, stale-fingerprint, and/or older than a bound.
+
+        Unreadable/corrupt files are always collected — they can only ever
+        miss.  Returns ``{"scanned": ..., "removed": ...}``.
+        """
+        directory = self.directory
+        if not directory.is_dir():
+            return {"scanned": 0, "removed": 0}
+        current = fingerprint_digest()
+        now = time.time()
+        scanned = removed = 0
+        for path in sorted(directory.glob("*.json")):
+            scanned += 1
+            entry = self._read(path, expected_key=path.stem)
+            drop = entry is None or drop_all
+            if not drop and stale and entry.fingerprint != current:
+                drop = True
+            if not drop and max_age_s is not None and now - entry.created_at > max_age_s:
+                drop = True
+            if drop:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                if entry is not None:
+                    WAREHOUSE_EVENTS.inc(outcome="invalidated")
+        return {"scanned": scanned, "removed": removed}
+
+    def export(self, key_prefix: str | None = None) -> dict[str, Any]:
+        """A portable JSON document of (a prefix-filtered subset of) entries."""
+        entries = self.entries()
+        if key_prefix:
+            entries = [entry for entry in entries if entry.key.startswith(key_prefix)]
+        documents = []
+        for entry in entries:
+            try:
+                documents.append(json.loads(self._path(entry.key).read_text(encoding="utf-8")))
+            except (OSError, ValueError):
+                continue  # raced away or corrupted since listing: skip
+        return {
+            "version": DISK_FORMAT_VERSION,
+            "fingerprint": fingerprint_digest(),
+            "entries": documents,
+        }
+
+
+#: The process-wide warehouse instance consulted by sessions and workers.
+_DEFAULT = ResultWarehouse()
+
+
+def default_warehouse() -> ResultWarehouse:
+    """The process-wide result warehouse."""
+    return _DEFAULT

@@ -76,6 +76,59 @@ class TestNdjsonRoundTrip:
         assert [json.loads(line)["a"] for line in lines[1:]] == [1, 2, 3]
 
 
+class TestMetaPreservation:
+    def _stream(self, **meta_fields) -> str:
+        return "\n".join(
+            [
+                json.dumps(
+                    {NDJSON_META_KEY: NDJSON_FORMAT, "title": "t", **meta_fields}
+                ),
+                json.dumps({"a": 1}),
+                json.dumps({NDJSON_META_KEY: "end", "state": "done"}),
+            ]
+        )
+
+    def test_from_ndjson_preserves_merged_metadata(self) -> None:
+        rs = ResultSet.from_ndjson(
+            self._stream(spec_sha256="ab" * 32, job_id="job-7")
+        )
+        assert rs.meta is not None
+        assert rs.meta["spec_sha256"] == "ab" * 32
+        assert rs.meta["job_id"] == "job-7"
+        assert rs.meta["state"] == "done"  # trailer merged over header
+
+    def test_meta_is_excluded_from_to_dict_and_csv(self) -> None:
+        rs = ResultSet.from_ndjson(self._stream(job_id="job-7"))
+        assert "meta" not in rs.to_dict()
+        assert "job-7" not in rs.to_csv()
+        assert "job-7" not in rs.to_json()
+
+    def test_meta_does_not_affect_equality(self) -> None:
+        bare = ResultSet.from_records("t", [{"a": 1}])
+        with_meta = ResultSet.from_ndjson(self._stream())
+        assert bare.to_json() == with_meta.to_json()
+
+    def test_reserialization_keeps_the_spec_hash(self) -> None:
+        # A ResultSet parsed off the wire re-emits its provenance hash, so
+        # save → load → save keeps the stream attributable to its spec.
+        rs = ResultSet.from_ndjson(self._stream(spec_sha256="cd" * 32))
+        header = json.loads(rs.to_ndjson().splitlines()[0])
+        assert header["spec_sha256"] == "cd" * 32
+
+    def test_explicit_hash_wins_over_preserved_meta(self) -> None:
+        rs = ResultSet.from_ndjson(self._stream(spec_sha256="cd" * 32))
+        header = json.loads(rs.to_ndjson(spec_sha256="ef" * 32).splitlines()[0])
+        assert header["spec_sha256"] == "ef" * 32
+
+    @settings(max_examples=25, deadline=None)
+    @given(_result_sets())
+    def test_meta_never_perturbs_the_round_trip(self, result_set: ResultSet) -> None:
+        restored = ResultSet.from_ndjson(result_set.to_ndjson())
+        assert restored.meta is not None  # header itself is metadata
+        again = ResultSet.from_ndjson(restored.to_ndjson())
+        assert again.to_json() == result_set.to_json()
+
+
 class TestParseNdjson:
     def test_merges_meta_lines(self) -> None:
         text = "\n".join(

@@ -48,7 +48,11 @@ class TestThreadPool:
         assert job.ready_prefix() == 4
         assert [row["seed"] for row in job.rows()] == [0, 1, 2, 3]
 
-    def test_scales_up_under_load_and_down_when_idle(self):
+    def test_scales_up_under_load_and_down_when_idle(self, monkeypatch):
+        # The four jobs are identical; without this the result warehouse
+        # serves jobs 2-4 from job 1's shards and the pool never needs to
+        # scale.  Elasticity is only observable on real work.
+        monkeypatch.setenv("REPRO_NO_WAREHOUSE", "1")
         queue = JobQueue()
         with WorkerPool(queue, policy=_policy(max_workers=3), mode="thread") as pool:
             jobs = [_submit(queue, seeds=4, shard_size=1) for _ in range(4)]

@@ -150,6 +150,21 @@ class TestWireErrorsOverHTTP:
         error = self._submit_error(client, {"kind": "teleport"})
         assert "campaign" in error.choices["kind"]
 
+    def test_nan_parameter_is_a_structured_400(self, server):
+        # Python's json.loads admits the non-RFC literal NaN, so it can
+        # arrive over the wire — but it has no canonical hash, so the
+        # submission must fail structurally instead of minting a bogus
+        # spec identity (or crashing with a 500).
+        body = (
+            b'{"kind": "experiment", "spec": {"app": "adpcm-encode", '
+            b'"strategy": "hybrid-optimal", "params": {"rate": NaN}}}'
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_raw(server.url, body)
+        assert excinfo.value.code == 400
+        message = json.loads(excinfo.value.read())["error"]["message"]
+        assert "NaN" in message or "hashable" in message
+
 
 class TestStreaming:
     def test_stream_has_header_rows_trailer(self, client):
@@ -217,10 +232,72 @@ class TestBitIdentity:
         assert remote.to_json() == local.to_json()
 
 
+class TestWarehouseFastPath:
+    """Acceptance: a repeat submission is answered from the warehouse."""
+
+    PAYLOAD = {"kind": "campaign", "spec": {"base": SPEC, "seeds": [0, 1, 2]}}
+
+    def test_repeat_submission_is_served_cached(self, client):
+        first = client.submit(self.PAYLOAD)
+        meta, rows = client.results(first["job_id"], wait=True)
+        assert meta["state"] == "done"
+        repeat = client.submit(self.PAYLOAD)
+        # Answered at submit time: already done, marked cached, no waiting.
+        assert repeat["cached"] is True
+        assert repeat["state"] == "done"
+        assert client.job(repeat["job_id"])["cached"] is True
+        _, cached_rows = client.results(repeat["job_id"], wait=False)
+        assert cached_rows == rows
+
+    def test_cached_stream_is_byte_identical(self, client):
+        first = client.submit(self.PAYLOAD)
+        client.results(first["job_id"], wait=True)
+        repeat = client.submit(self.PAYLOAD)
+        cold = client.result_set(first["job_id"])
+        warm = client.result_set(repeat["job_id"])
+        assert warm.to_json() == cold.to_json()
+
+    def test_first_submission_is_not_cached(self, client):
+        job = client.submit(self.PAYLOAD)
+        assert job["cached"] is False
+
+    def test_kill_switch_disables_the_fast_path(self, client, monkeypatch):
+        first = client.submit(self.PAYLOAD)
+        client.results(first["job_id"], wait=True)
+        monkeypatch.setenv("REPRO_NO_WAREHOUSE", "1")
+        repeat = client.submit(self.PAYLOAD)
+        assert repeat["cached"] is False
+
+    def test_cached_jobs_keep_the_metrics_invariant(self, client):
+        # The CI health gate asserts submitted == completed on
+        # /v1/metrics; a warehouse-answered job must count on both sides
+        # even though no shard ever runs.
+        def scrape(name: str) -> float:
+            return sum(
+                float(line.rsplit(" ", 1)[1])
+                for line in client.metrics_text().splitlines()
+                if line.startswith(name) and not line.startswith("#")
+            )
+
+        first = client.submit(self.PAYLOAD)
+        client.results(first["job_id"], wait=True)
+        submitted = scrape("repro_jobs_submitted_total")
+        finished = scrape("repro_jobs_finished_total")
+        cached = client.submit(self.PAYLOAD)
+        assert cached["cached"] is True
+        assert scrape("repro_jobs_submitted_total") == submitted + 1
+        assert scrape("repro_jobs_finished_total") == finished + 1
+        assert scrape("repro_warehouse_events_total") > 0
+
+
 class TestElasticity:
     """Satellite/acceptance: burst of jobs scales up, idle scales down."""
 
-    def test_burst_scales_up_then_idles_down(self, server):
+    def test_burst_scales_up_then_idles_down(self, server, monkeypatch):
+        # The eight jobs are identical; without this the result warehouse
+        # answers jobs 2-8 from job 1's shards and the pool never needs to
+        # scale.  Elasticity is only observable on real work.
+        monkeypatch.setenv("REPRO_NO_WAREHOUSE", "1")
         client = ServiceClient(server.url, timeout=60.0)
         floor = server.pool.policy.min_workers
         ceiling = server.pool.policy.max_workers

@@ -28,6 +28,31 @@ class TestSpecHash:
     def test_sensitive_to_content(self):
         assert spec_sha256({"a": 1}) != spec_sha256({"a": 2})
 
+    def test_nan_raises_a_structured_400(self):
+        # json.loads admits the non-RFC literal NaN, but it has no
+        # canonical serialization — hashing it would not be content
+        # addressing.  (The old implementation silently emitted it.)
+        with pytest.raises(WireError) as excinfo:
+            spec_sha256({"params": {"rate": float("nan")}})
+        assert excinfo.value.status == 400
+        assert "NaN" in excinfo.value.message
+
+    def test_infinity_raises_a_structured_400(self):
+        with pytest.raises(WireError):
+            spec_sha256({"x": float("inf")})
+
+    def test_non_json_value_raises_instead_of_stringifying(self):
+        # The old default=str fallback would hash str(value) — two
+        # distinct payloads could silently share an identity.
+        with pytest.raises(WireError) as excinfo:
+            spec_sha256({"x": {1, 2}})
+        assert excinfo.value.status == 400
+
+    def test_nan_parameter_rejected_end_to_end(self):
+        with pytest.raises(WireError) as excinfo:
+            validate_job_payload(_experiment(params={"rate": float("nan")}))
+        assert excinfo.value.status == 400
+
 
 class TestValidPayloads:
     def test_experiment(self):

@@ -1,0 +1,233 @@
+"""Delta-planner tests: unit granularity, diffing, merge order, sync rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.executors import RunOutcome
+from repro.api.spec import ExperimentSpec
+from repro.warehouse.planner import DeltaPlanner, plan_and_run, plan_units
+from repro.warehouse.store import ResultWarehouse
+
+
+def _spec(seed: int = 0, **overrides) -> ExperimentSpec:
+    kwargs = dict(app="adpcm-encode", strategy="hybrid-optimal", seed=seed)
+    kwargs.update(overrides)
+    return ExperimentSpec(**kwargs)
+
+
+def _outcome(spec: ExperimentSpec, value: float, artifact=None) -> RunOutcome:
+    return RunOutcome(
+        spec=spec, records=[{"seed": spec.seed, "energy_nj": value}], artifact=artifact
+    )
+
+
+class TestPlanUnits:
+    def test_behavioural_specs_are_solo_units_in_order(self) -> None:
+        specs = [_spec(seed=s) for s in range(3)]
+        units = plan_units(specs, grouped=True)
+        assert [unit.indices for unit in units] == [(0,), (1,), (2,)]
+        assert all(unit.key for unit in units)
+
+    def test_grouped_batched_specs_form_one_ordered_group(self) -> None:
+        specs = [_spec(seed=s, engine="batched") for s in (2, 0, 1)]
+        (unit,) = plan_units(specs, grouped=True)
+        assert unit.indices == (0, 1, 2)
+        assert [d["seed"] for d in unit.spec_dicts] == [2, 0, 1]
+        assert unit.engine == "batched"
+
+    def test_ungrouped_batched_specs_stay_solo(self) -> None:
+        specs = [_spec(seed=s, engine="batched") for s in range(2)]
+        units = plan_units(specs, grouped=False)
+        assert [unit.indices for unit in units] == [(0,), (1,)]
+
+    def test_group_of_one_shares_the_solo_key(self) -> None:
+        # A batched spec under a serial executor coincides computationally
+        # with its one-spec group, so the two forms must share keys.
+        spec = _spec(seed=7, engine="batched")
+        (solo,) = plan_units([spec], grouped=False)
+        (group,) = plan_units([spec], grouped=True)
+        assert solo.key == group.key
+
+    def test_distinct_experiments_group_separately(self) -> None:
+        specs = [
+            _spec(seed=0, engine="batched"),
+            _spec(seed=0, engine="batched", app="adpcm-decode"),
+            _spec(seed=1, engine="batched"),
+        ]
+        units = plan_units(specs, grouped=True)
+        assert sorted(unit.indices for unit in units) == [(0, 2), (1,)]
+
+    def test_trace_collection_is_uncacheable(self) -> None:
+        (unit,) = plan_units([_spec(collect_trace=True)])
+        assert unit.key is None
+
+    def test_nan_parameter_is_uncacheable(self) -> None:
+        (unit,) = plan_units([_spec(params={"x": float("nan")})])
+        assert unit.key is None
+
+    def test_live_app_instance_is_uncacheable(self, small_adpcm_encode) -> None:
+        (unit,) = plan_units([_spec(app=small_adpcm_encode)])
+        assert unit.key is None
+
+
+class TestDeltaPlan:
+    def test_cold_plan_misses_everything(self, tmp_path) -> None:
+        planner = DeltaPlanner(ResultWarehouse(tmp_path))
+        specs = [_spec(seed=s) for s in range(3)]
+        plan = planner.plan(specs)
+        assert not plan.fully_cached
+        assert plan.missing_indices() == [0, 1, 2]
+        assert plan.cached_spec_count() == 0
+
+    def test_merge_syncs_and_warms_the_next_plan(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        specs = [_spec(seed=s) for s in range(3)]
+        plan = DeltaPlanner(warehouse).plan(specs)
+        merged = plan.merge([_outcome(spec, float(spec.seed)) for spec in specs])
+        assert [outcome.records[0]["seed"] for outcome in merged] == [0, 1, 2]
+        warm = DeltaPlanner(warehouse).plan(specs)
+        assert warm.fully_cached
+        assert warm.cached_spec_count() == 3
+        replay = warm.merge([])
+        assert [o.records for o in replay] == [o.records for o in merged]
+
+    def test_partial_hit_executes_only_the_delta(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        first = [_spec(seed=s) for s in (0, 1)]
+        plan = DeltaPlanner(warehouse).plan(first)
+        plan.merge([_outcome(spec, 1.0) for spec in first])
+        widened = [_spec(seed=s) for s in (0, 1, 2, 3)]
+        delta = DeltaPlanner(warehouse).plan(widened)
+        assert delta.missing_indices() == [2, 3]
+        assert [spec.seed for spec in delta.missing_specs()] == [2, 3]
+        merged = delta.merge([_outcome(spec, 2.0) for spec in delta.missing_specs()])
+        assert [outcome.records[0]["seed"] for outcome in merged] == [0, 1, 2, 3]
+        assert [outcome.records[0]["energy_nj"] for outcome in merged] == [
+            1.0,
+            1.0,
+            2.0,
+            2.0,
+        ]
+
+    def test_merge_interleaves_in_input_order(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        DeltaPlanner(warehouse).plan([_spec(seed=1)]).merge([_outcome(_spec(seed=1), 1.0)])
+        specs = [_spec(seed=s) for s in (2, 1, 0)]  # cached spec in the middle
+        plan = DeltaPlanner(warehouse).plan(specs)
+        assert plan.missing_indices() == [0, 2]
+        merged = plan.merge([_outcome(spec, 9.0) for spec in plan.missing_specs()])
+        assert [outcome.records[0]["seed"] for outcome in merged] == [2, 1, 0]
+
+    def test_merge_rejects_wrong_outcome_count(self, tmp_path) -> None:
+        plan = DeltaPlanner(ResultWarehouse(tmp_path)).plan([_spec()])
+        with pytest.raises(ValueError, match="1 missing"):
+            plan.merge([])
+
+    def test_uncacheable_specs_always_execute(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        spec = _spec(collect_trace=True)
+        plan = DeltaPlanner(warehouse).plan([spec])
+        plan.merge([_outcome(spec, 1.0)])
+        again = DeltaPlanner(warehouse).plan([spec])
+        assert again.missing_indices() == [0]  # never stored, never served
+        assert warehouse.entries() == []
+
+    def test_grouped_unit_hits_atomically(self, tmp_path) -> None:
+        # A cached (0, 1) group must not answer a (0, 1, 2) group: the
+        # batch engine's fault stream depends on the group composition.
+        warehouse = ResultWarehouse(tmp_path)
+        pair = [_spec(seed=s, engine="batched") for s in (0, 1)]
+        plan = DeltaPlanner(warehouse).plan(pair, grouped=True)
+        plan.merge([_outcome(spec, 1.0) for spec in pair])
+        triple = [_spec(seed=s, engine="batched") for s in (0, 1, 2)]
+        wider = DeltaPlanner(warehouse).plan(triple, grouped=True)
+        assert wider.missing_indices() == [0, 1, 2]
+
+
+class TestArtifactRules:
+    def test_artifact_kinds_store_and_serve_the_artifact(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        spec = ExperimentSpec(
+            kind="feasibility", params={"max_chunk_words": 4, "max_correctable_bits": 1}
+        )
+        region = {"boundary": [(16, 3)]}
+        plan = DeltaPlanner(warehouse).plan([spec])
+        plan.merge([_outcome(spec, 1.0, artifact=region)])
+        warm = DeltaPlanner(warehouse).plan([spec])
+        assert warm.fully_cached
+        (outcome,) = warm.merge([])
+        assert outcome.artifact == region
+
+    def test_artifact_free_outcome_is_not_stored_for_artifact_kinds(
+        self, tmp_path
+    ) -> None:
+        # Remote executions carry records only; caching them would later
+        # serve artifact-less outcomes to fig4 / Session.pareto.
+        warehouse = ResultWarehouse(tmp_path)
+        spec = ExperimentSpec(
+            kind="feasibility", params={"max_chunk_words": 4, "max_correctable_bits": 1}
+        )
+        plan = DeltaPlanner(warehouse).plan([spec])
+        plan.merge([_outcome(spec, 1.0, artifact=None)])
+        assert warehouse.entries() == []
+
+    def test_execute_outcomes_do_not_require_an_artifact(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        spec = _spec()
+        DeltaPlanner(warehouse).plan([spec]).merge([_outcome(spec, 1.0)])
+        assert len(warehouse.entries()) == 1
+
+
+class TestPlanAndRun:
+    def test_full_hit_skips_the_executor_entirely(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_WAREHOUSE_DIR", str(tmp_path))
+        spec = _spec(seed=5)
+        plan_and_run([spec], lambda missing: [_outcome(s, 1.0) for s in missing])
+
+        def exploding_run(missing):
+            raise AssertionError("a fully cached plan must never call run()")
+
+        (outcome,) = plan_and_run([spec], exploding_run)
+        assert outcome.records[0]["seed"] == 5
+
+    def test_kill_switch_is_a_passthrough(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_WAREHOUSE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_NO_WAREHOUSE", "1")
+        spec = _spec()
+        calls = []
+
+        def run(missing):
+            calls.append(len(missing))
+            return [_outcome(s, 1.0) for s in missing]
+
+        plan_and_run([spec], run)
+        plan_and_run([spec], run)
+        assert calls == [1, 1]  # executed twice: nothing stored, nothing served
+
+    def test_nested_calls_pass_through(self, tmp_path, monkeypatch) -> None:
+        # Session.run_all delegates to an executor whose map() also calls
+        # plan_and_run; the inner call must not re-plan or double-sync.
+        monkeypatch.setenv("REPRO_WAREHOUSE_DIR", str(tmp_path))
+        spec = _spec()
+        inner_calls = []
+
+        def inner_run(missing):
+            inner_calls.append(len(missing))
+            return [_outcome(s, 1.0) for s in missing]
+
+        def outer_run(missing):
+            return plan_and_run(missing, inner_run)
+
+        plan_and_run([spec], outer_run)
+        assert inner_calls == [1]
+        plan_and_run([spec], outer_run)
+        assert inner_calls == [1]  # warm: neither level re-executed
+
+    def test_empty_spec_list_never_calls_run(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_WAREHOUSE_DIR", str(tmp_path))
+
+        def exploding_run(missing):
+            raise AssertionError("run() must not be called for zero specs")
+
+        assert plan_and_run([], exploding_run) == []

@@ -1,0 +1,254 @@
+"""ResultWarehouse disk behaviour: round-trips, durability, maintenance."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.warehouse.store import (
+    DISK_FORMAT_VERSION,
+    ENV_NO_WAREHOUSE,
+    ENV_WAREHOUSE_DIR,
+    ResultWarehouse,
+    default_warehouse,
+    default_warehouse_dir,
+)
+
+SPECS = [{"app": "adpcm-encode", "seed": 0}]
+RECORDS = [[{"seed": 0, "energy_nj": 12.5}]]
+
+
+def _put(warehouse: ResultWarehouse, key: str = "k" * 64, **overrides) -> bool:
+    kwargs = dict(
+        spec_dicts=SPECS,
+        records_per_spec=RECORDS,
+        kind="execute",
+        engine="behavioural",
+        fingerprint="fp",
+    )
+    kwargs.update(overrides)
+    return warehouse.put(key, **kwargs)
+
+
+class TestRoundTrip:
+    def test_put_get_round_trip(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        assert _put(warehouse)
+        entry = warehouse.get("k" * 64)
+        assert entry is not None
+        assert entry.spec_dicts == (SPECS[0],)
+        assert entry.records_per_spec == ((RECORDS[0][0],),)
+        assert entry.kind == "execute"
+        assert entry.engine == "behavioural"
+        assert entry.fingerprint == "fp"
+        assert entry.rows == 1
+        assert warehouse.stats.as_dict()["hits"] == 1
+        assert warehouse.stats.as_dict()["stores"] == 1
+
+    def test_artifact_round_trips_through_pickle(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        artifact = {"boundary": [(16, 3), (32, 2)], "note": "rich object"}
+        assert _put(warehouse, kind="feasibility", artifact=artifact)
+        entry = warehouse.get("k" * 64)
+        assert entry.artifact == artifact
+
+    def test_put_is_idempotent(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        assert _put(warehouse) is True
+        assert _put(warehouse) is False  # content-addressed: immutable
+        assert warehouse.stats.as_dict()["stores"] == 1
+
+    def test_absent_key_is_a_plain_miss(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        assert warehouse.get("feed" * 16) is None
+        assert warehouse.stats.as_dict() == {
+            "hits": 0,
+            "misses": 1,
+            "stores": 0,
+            "corrupt": 0,
+        }
+
+    def test_non_json_records_degrade_to_not_stored(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        assert not _put(warehouse, records_per_spec=[[{"bad": {1, 2}}]])
+        assert warehouse.get("k" * 64) is None
+
+    def test_unpicklable_artifact_degrades_to_not_stored(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        assert not _put(warehouse, kind="pareto", artifact=lambda: None)
+        assert warehouse.get("k" * 64) is None
+
+
+class TestEnvironment:
+    def test_kill_switch_disables_reads_and_writes(self, tmp_path, monkeypatch) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        assert _put(warehouse)
+        monkeypatch.setenv(ENV_NO_WAREHOUSE, "1")
+        assert not warehouse.enabled
+        assert warehouse.get("k" * 64) is None
+        assert not _put(warehouse, key="x" * 64)
+        monkeypatch.delenv(ENV_NO_WAREHOUSE)
+        assert warehouse.enabled
+        assert warehouse.get("k" * 64) is not None
+
+    def test_directory_override(self, tmp_path, monkeypatch) -> None:
+        override = tmp_path / "elsewhere"
+        monkeypatch.setenv(ENV_WAREHOUSE_DIR, str(override))
+        assert default_warehouse_dir() == override
+        warehouse = ResultWarehouse()
+        assert _put(warehouse)
+        assert (override / ("k" * 64 + ".json")).is_file()
+
+    def test_default_dir_shares_the_cache_root(self, monkeypatch) -> None:
+        monkeypatch.delenv(ENV_WAREHOUSE_DIR, raising=False)
+        assert default_warehouse_dir().name == "warehouse"
+
+    def test_default_warehouse_is_process_wide(self) -> None:
+        assert default_warehouse() is default_warehouse()
+
+
+class TestCorruption:
+    def _path(self, tmp_path, key: str = "k" * 64):
+        return tmp_path / f"{key}.json"
+
+    def test_truncated_json_misses(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        assert _put(warehouse)
+        path = self._path(tmp_path)
+        path.write_text(path.read_text()[: 40], encoding="utf-8")
+        assert warehouse.get("k" * 64) is None
+        assert warehouse.stats.as_dict()["corrupt"] == 1
+
+    def test_wrong_version_misses(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        assert _put(warehouse)
+        path = self._path(tmp_path)
+        document = json.loads(path.read_text())
+        document["version"] = DISK_FORMAT_VERSION + 1
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert warehouse.get("k" * 64) is None
+
+    def test_renamed_entry_misses(self, tmp_path) -> None:
+        # A document whose embedded key disagrees with its filename was
+        # moved or tampered with — it cannot be trusted as an answer.
+        warehouse = ResultWarehouse(tmp_path)
+        assert _put(warehouse)
+        self._path(tmp_path).rename(self._path(tmp_path, "e" * 64))
+        assert warehouse.get("e" * 64) is None
+        assert warehouse.stats.as_dict()["corrupt"] == 1
+
+    def test_mismatched_spec_record_pairing_misses(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        assert _put(warehouse)
+        path = self._path(tmp_path)
+        document = json.loads(path.read_text())
+        document["records_per_spec"].append([])
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert warehouse.get("k" * 64) is None
+
+    def test_corrupt_artifact_misses(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        assert _put(warehouse, kind="pareto", artifact=(1, 2, 3))
+        path = self._path(tmp_path)
+        document = json.loads(path.read_text())
+        document["artifact"] = "bm90LXBpY2tsZQ=="  # valid base64, invalid pickle
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert warehouse.get("k" * 64) is None
+
+    def test_corrupt_entries_are_skipped_by_listing(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        assert _put(warehouse)
+        (tmp_path / ("f" * 64 + ".json")).write_text("{broken", encoding="utf-8")
+        assert [entry.key for entry in warehouse.entries()] == ["k" * 64]
+
+
+class TestConcurrency:
+    def test_racing_writers_leave_one_valid_entry(self, tmp_path) -> None:
+        # Atomic temp+rename writes race benignly: both writers carry the
+        # same content-addressed payload, so last rename wins and the entry
+        # is always whole.
+        warehouse = ResultWarehouse(tmp_path)
+        barrier = threading.Barrier(8)
+
+        def writer() -> None:
+            barrier.wait()
+            _put(warehouse)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        entry = warehouse.get("k" * 64)
+        assert entry is not None
+        assert entry.records_per_spec == ((RECORDS[0][0],),)
+        assert not list(tmp_path.glob("*.tmp")), "a temp file leaked"
+
+
+class TestMaintenance:
+    def test_summary_counts(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        _put(warehouse, key="a" * 64)
+        _put(warehouse, key="b" * 64, kind="pareto", artifact=(1,))
+        summary = warehouse.summary()
+        assert summary["entries"] == 2
+        assert summary["specs"] == 2
+        assert summary["rows"] == 2
+        assert summary["bytes"] > 0
+        assert summary["by_kind"] == {"execute": 1, "pareto": 1}
+        # Entries written under fingerprint "fp" are stale w.r.t. the
+        # current code fingerprint.
+        assert summary["stale"] == 2
+
+    def test_gc_stale(self, tmp_path) -> None:
+        from repro.warehouse.keys import fingerprint_digest
+
+        warehouse = ResultWarehouse(tmp_path)
+        _put(warehouse, key="a" * 64)  # fingerprint "fp": stale
+        _put(warehouse, key="b" * 64, fingerprint=fingerprint_digest())
+        assert warehouse.gc(stale=True) == {"scanned": 2, "removed": 1}
+        assert warehouse.get("b" * 64) is not None
+
+    def test_gc_age(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        _put(warehouse)
+        path = tmp_path / ("k" * 64 + ".json")
+        document = json.loads(path.read_text())
+        document["created_at"] = 1.0  # 1970: older than any bound
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert warehouse.gc(max_age_s=3600.0)["removed"] == 1
+
+    def test_gc_all(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        _put(warehouse, key="a" * 64)
+        _put(warehouse, key="b" * 64)
+        assert warehouse.gc(drop_all=True) == {"scanned": 2, "removed": 2}
+        assert warehouse.entries() == []
+
+    def test_gc_always_collects_corrupt_files(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        (tmp_path / ("c" * 64 + ".json")).write_text("{broken", encoding="utf-8")
+        assert warehouse.gc()["removed"] == 1
+
+    def test_export_round_trips_documents(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        _put(warehouse, key="a" * 64)
+        _put(warehouse, key="b" * 64)
+        document = warehouse.export()
+        assert document["version"] == DISK_FORMAT_VERSION
+        assert len(document["entries"]) == 2
+        # Exported documents are verbatim on-disk entries: re-importing is
+        # just writing them back under their key.
+        restored = ResultWarehouse(tmp_path / "restored")
+        (tmp_path / "restored").mkdir()
+        for entry in document["entries"]:
+            target = tmp_path / "restored" / (entry["key"] + ".json")
+            target.write_text(json.dumps(entry), encoding="utf-8")
+        assert {e.key for e in restored.entries()} == {"a" * 64, "b" * 64}
+
+    def test_export_key_prefix_filter(self, tmp_path) -> None:
+        warehouse = ResultWarehouse(tmp_path)
+        _put(warehouse, key="a" * 64)
+        _put(warehouse, key="b" * 64)
+        document = warehouse.export(key_prefix="a")
+        assert [entry["key"] for entry in document["entries"]] == ["a" * 64]
