@@ -11,6 +11,19 @@ perf-trajectory artefact CI uploads next to ``BENCH_scenarios.json``::
 
 ``--smoke`` measures one (app, strategy) cell; the full mode covers all
 five Fig. 5 configurations.
+
+On top of the engine-vs-engine cells the artefact carries the two axes
+added with the substrate layer:
+
+* **per-substrate cells** — the same batched campaign re-timed on every
+  available array substrate (numpy always; numba / cupy where
+  installed), with campaign means checked against the numpy reference;
+* **seeds-vs-memory scaling** — streamed campaigns at growing seed
+  counts under the default block size, recording the
+  ``repro_batch_peak_bytes`` working-set high-water mark.  The memory
+  gate asserts a million-seed streamed campaign stays under a fixed
+  byte budget: out-of-core blocking means memory is O(block), not
+  O(seeds).
 """
 
 from __future__ import annotations
@@ -25,11 +38,28 @@ from pathlib import Path
 from repro.api.executors import ParallelExecutor
 from repro.api.session import Session
 from repro.api.spec import CampaignSpec, ExperimentSpec
+from repro.batch.streaming import (
+    batch_block_size,
+    blocks_total,
+    peak_bytes,
+    reset_block_metrics,
+)
+from repro.batch.substrate import available_substrates, substrate_available
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: The campaign scale the speedup claim is made at.
 CAMPAIGN_RUNS = 1000
+
+#: Seed counts of the seeds-vs-memory scaling curve (the last point is
+#: the memory gate's million-seed campaign).
+SCALING_SEEDS = (10_000, 100_000, 1_000_000)
+
+#: Fixed working-set budget for the million-seed streamed campaign.
+#: The default 64Ki block accounts ~16 MB live arrays; the budget leaves
+#: headroom without ever permitting O(seeds) growth (10^6 seeds
+#: materialized would account >240 MB).
+MEMORY_BUDGET_BYTES = 64 * 2**20
 
 #: Metrics whose campaign means must agree between the engines (z-bound).
 CHECKED_METRICS = ("energy_nj", "total_cycles", "upsets_injected", "rollbacks")
@@ -94,6 +124,82 @@ def _run_cell(strategy: str, params: dict, runs: int, jobs: int) -> dict:
     }
 
 
+def _substrate_cells(runs: int) -> list[dict]:
+    """Re-time the batched campaign on every available array substrate.
+
+    The numpy row is the reference; other substrates must reproduce its
+    campaign means to the substrate layer's equivalence bound (integer
+    streams are bit-identical, the float energy column is held to 1e-9
+    relative here, far looser than the 1e-12 test-suite bound).
+    """
+    session = Session()
+    cells = []
+    reference = None
+    for name in available_substrates():
+        if not substrate_available(name):
+            cells.append({"substrate": name, "available": False})
+            continue
+        spec = CampaignSpec(
+            base=ExperimentSpec(
+                app=BENCH_APP,
+                strategy="hybrid-optimal",
+                engine="batched",
+                substrate=name,
+            ),
+            runs=runs,
+        )
+        start = time.perf_counter()
+        report = session.campaign(spec)
+        seconds = time.perf_counter() - start
+        means = {metric: report[metric].mean for metric in CHECKED_METRICS}
+        drift = 0.0
+        if reference is not None:
+            drift = max(
+                abs(means[m] - reference[m]) / (abs(reference[m]) or 1.0)
+                for m in CHECKED_METRICS
+            )
+        else:
+            reference = means
+        cells.append(
+            {
+                "substrate": name,
+                "available": True,
+                "runs": runs,
+                "seconds": round(seconds, 4),
+                "means": means,
+                "max_relative_drift": drift,
+            }
+        )
+    return cells
+
+
+def _memory_scaling(seed_counts: tuple[int, ...]) -> list[dict]:
+    """Streamed campaigns at growing seed counts, one peak reading each.
+
+    The point of the curve: runtime grows linearly with the seed count
+    while ``peak_bytes`` stays flat at the per-block working set.
+    """
+    session = Session()
+    base = ExperimentSpec(app=BENCH_APP, strategy="hybrid-optimal", engine="batched")
+    points = []
+    for count in seed_counts:
+        reset_block_metrics()
+        start = time.perf_counter()
+        report = session.campaign(base, seeds=range(count), stream=True)
+        seconds = time.perf_counter() - start
+        points.append(
+            {
+                "seeds": count,
+                "block": batch_block_size(),
+                "blocks": int(blocks_total("campaign")),
+                "peak_bytes": int(peak_bytes("campaign")),
+                "seconds": round(seconds, 3),
+                "mean_energy_nj": report["energy_nj"].mean,
+            }
+        )
+    return points
+
+
 def test_batch_engine_speedup(benchmark, save_result):
     """pytest-benchmark probe: the batched 1000-run campaign itself."""
     session = Session()
@@ -152,6 +258,24 @@ def main(argv: list[str] | None = None) -> int:
             f"-> {cell['speedup']:.0f}x, max |z| = {cell['max_z']:.2f}"
         )
 
+    substrate_cells = _substrate_cells(CAMPAIGN_RUNS)
+    for cell in substrate_cells:
+        if cell["available"]:
+            print(
+                f"substrate {cell['substrate']}: {cell['seconds'] * 1000:.0f}ms "
+                f"for {cell['runs']} runs (drift {cell['max_relative_drift']:.2e})"
+            )
+        else:
+            print(f"substrate {cell['substrate']}: not available here")
+
+    scaling = _memory_scaling(SCALING_SEEDS)
+    for point in scaling:
+        print(
+            f"streamed {point['seeds']:>9,} seeds: {point['blocks']} blocks, "
+            f"peak {point['peak_bytes'] / 2**20:.1f} MiB, {point['seconds']:.2f}s"
+        )
+    gate = scaling[-1]
+
     speedups = [cell["speedup"] for cell in cells]
     payload = {
         "bench": "batch",
@@ -162,6 +286,9 @@ def main(argv: list[str] | None = None) -> int:
         "min_speedup": min(speedups),
         "median_speedup": statistics.median(speedups),
         "cells": cells,
+        "substrate_cells": substrate_cells,
+        "memory_scaling": scaling,
+        "memory_budget_bytes": MEMORY_BUDGET_BYTES,
     }
     output = Path(args.output)
     output.parent.mkdir(parents=True, exist_ok=True)
@@ -176,6 +303,20 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if any(cell["max_z"] > 6.0 for cell in cells):
         print("FAIL: engine aggregates diverge (|z| > 6)", file=sys.stderr)
+        return 1
+    if gate["peak_bytes"] > MEMORY_BUDGET_BYTES:
+        print(
+            f"FAIL: {gate['seeds']:,}-seed streamed campaign accounted "
+            f"{gate['peak_bytes'] / 2**20:.1f} MiB, over the "
+            f"{MEMORY_BUDGET_BYTES / 2**20:.0f} MiB budget",
+            file=sys.stderr,
+        )
+        return 1
+    drifts = [
+        cell["max_relative_drift"] for cell in substrate_cells if cell["available"]
+    ]
+    if any(drift > 1e-9 for drift in drifts):
+        print("FAIL: substrate campaign means drift beyond 1e-9", file=sys.stderr)
         return 1
     return 0
 

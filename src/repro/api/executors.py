@@ -7,18 +7,18 @@ to :class:`concurrent.futures.ProcessPoolExecutor` workers (specs are
 picklable by construction).
 
 Every executor preserves input order — ``map(specs)[i]`` is always the
-outcome of ``specs[i]`` — so for behavioural-engine specs any aggregate
-computed over the outcomes is bit-identical regardless of the backend or
-the number of workers.  ``engine="batched"`` specs are different: their
-fault streams depend on how the executor groups seeds (one stream per
-group, see :class:`BatchCampaignExecutor`), so batched results are
-reproducible per (spec, executor kind) but not identical between, say, a
-:class:`SerialExecutor` run and a grouped :class:`BatchCampaignExecutor`
-run of the same specs.  ``optimize`` / ``feasibility`` / ``pareto`` specs
-carry no randomness at all: the vectorized design engines serving their
-``engine="batched"`` path (:mod:`repro.batch.design`,
-:mod:`repro.batch.pareto`) are bit-identical to the behavioural sweeps,
-on every executor.
+outcome of ``specs[i]`` — so any aggregate computed over the outcomes is
+bit-identical regardless of the backend or the number of workers.  This
+now includes ``engine="batched"`` specs: their fault streams are
+counter-based per (seed, draw) — see :mod:`repro.batch.substrate` — and
+every batched path profiles the workload at the canonical seed 0, so a
+spec's record no longer depends on how an executor groups seeds.  A
+:class:`SerialExecutor` run, a grouped :class:`BatchCampaignExecutor`
+run and a sharded service run of the same specs emit identical rows.
+``optimize`` / ``feasibility`` / ``pareto`` specs carry no randomness at
+all: the vectorized design engines serving their ``engine="batched"``
+path (:mod:`repro.batch.design`, :mod:`repro.batch.pareto`) are
+bit-identical to the behavioural sweeps, on every executor.
 """
 
 from __future__ import annotations
@@ -204,6 +204,10 @@ def _execute_pareto(spec: ExperimentSpec) -> RunOutcome:
     # Both engines are bit-identical (tests/batch/test_pareto.py); the
     # scalar reference exists for exact-equality testing.
     explore = grid_pareto_front if spec.engine == "batched" else reference_pareto_front
+    if spec.engine == "batched":
+        # The vectorized explorer runs its dominance sweeps on the spec's
+        # substrate (the scalar reference is host-only by definition).
+        kwargs["substrate"] = spec.substrate
     front = explore(
         app,
         constraints=spec.constraints,
@@ -216,7 +220,7 @@ def _execute_pareto(spec: ExperimentSpec) -> RunOutcome:
     return RunOutcome(spec=spec, records=front.rows(), artifact=front)
 
 
-def _build_batch_model(spec: ExperimentSpec, profile_seed: int) -> BatchTaskModel:
+def _build_batch_model(spec: ExperimentSpec, profile_seed: int = 0) -> BatchTaskModel:
     app = spec.resolve_app()
     strategy = build_strategy(spec.strategy, app, spec.constraints, **spec.strategy_params)
     fault_model = build_fault_model(spec.fault_model, **spec.fault_params)
@@ -230,11 +234,14 @@ def _build_batch_model(spec: ExperimentSpec, profile_seed: int) -> BatchTaskMode
         fault_model=fault_model,
         scenario=scenario,
         profile_seed=profile_seed,
+        substrate=spec.substrate,
     )
 
 
 def _execute_batched(spec: ExperimentSpec) -> RunOutcome:
-    model = _build_batch_model(spec, profile_seed=spec.seed)
+    # profile_seed is pinned to 0 on every batched path (solo, grouped,
+    # sharded) so a seed's record is composition-invariant.
+    model = _build_batch_model(spec)
     records = model.simulate([spec.seed], scenario_label=spec.scenario_name)
     return RunOutcome(spec=spec, records=records)
 
@@ -441,14 +448,14 @@ class BatchCampaignExecutor(Executor):
     trace-collecting runs — are delegated to ``fallback`` (default: a
     :class:`SerialExecutor`).
 
-    Each group's workload input is profiled at the group's first seed, and
-    the fault streams of the whole group come from one deterministic
-    generator derived from the seed tuple: re-running the same spec batch
-    is bit-identical, across processes and machines.  The flip side is
-    that a run's record depends on its batch composition — extending the
-    seed list re-rolls every row (see
-    :meth:`repro.batch.BatchTaskModel.make_rng`); campaigns are the unit
-    of reproducibility, not individual seeds.
+    Every group's workload input is profiled at the canonical seed 0 and
+    each run's fault stream is counter-based on its own seed
+    (:meth:`repro.batch.BatchTaskModel.make_streams`), so a run's record
+    is independent of its batch composition: extending the seed list,
+    splitting the campaign into shards or replaying one seed solo all
+    emit identical rows, across processes and machines.  Individual
+    (spec, seed) pairs — not whole campaigns — are the unit of
+    reproducibility.
     """
 
     name = "batched"
@@ -525,7 +532,7 @@ class BatchCampaignExecutor(Executor):
 
         for indices in groups.values():
             group = [specs[i] for i in indices]
-            model = _build_batch_model(group[0], profile_seed=group[0].seed)
+            model = _build_batch_model(group[0])
             records = model.simulate(
                 [spec.seed for spec in group], scenario_label=group[0].scenario_name
             )

@@ -193,6 +193,7 @@ class Session:
         executor: Executor | None = None,
         jobs: int | None = None,
         engine: str | None = None,
+        stream: bool = False,
     ) -> CampaignReport:
         """Run a multi-seed campaign and aggregate its metrics.
 
@@ -206,6 +207,16 @@ class Session:
         vectorized :class:`BatchCampaignExecutor` — one task profile plus
         array operations for all seeds, statistically equivalent to the
         behavioural engine and dramatically faster at campaign scale.
+
+        ``stream=True`` (batched ``execute`` campaigns only) runs the
+        campaign out-of-core: seeds execute in fixed-size blocks
+        (``REPRO_BATCH_BLOCK``) folded through a
+        :class:`~repro.batch.streaming.StreamingAggregator`, so memory is
+        bounded by the block size instead of the seed count.  The
+        report's statistics are bit-identical to the materialized path;
+        its ``raw`` per-run rows are empty (that is the point), and the
+        streamed run bypasses the result warehouse — per-row caching
+        would re-materialize exactly what streaming avoids.
         """
         if isinstance(spec, ExperimentSpec):
             spec = CampaignSpec(base=spec, seeds=tuple(seeds) if seeds is not None else ())
@@ -220,6 +231,8 @@ class Session:
             # engine="behavioural" really cross-checks a batched spec
             # against the ground-truth engine instead of being ignored.
             spec = replace(spec, base=replace(spec.base, engine=engine))
+        if stream:
+            return self._stream_campaign(spec, engine)
         if engine == "batched":
             executor = self._resolve_executor(executor, jobs)
             if not executor.serves_batched:
@@ -257,6 +270,41 @@ class Session:
             metrics = sorted(observed)
         return aggregate_runs(raw, metrics=metrics, allow_ragged=spec.allow_ragged)
 
+    def _stream_campaign(self, spec: CampaignSpec, engine: str) -> CampaignReport:
+        """Out-of-core campaign body: block-wise simulate + streaming fold."""
+        # Deferred imports keep the batch engines out of behavioural-only
+        # sessions (and avoid importing numpy machinery at session import).
+        from ..batch.engine import METRIC_COLUMNS, iter_column_blocks
+        from ..batch.streaming import StreamingAggregator
+        from .executors import _build_batch_model
+
+        if engine != "batched":
+            raise ValueError("stream=True requires the batched engine")
+        base = spec.base
+        if base.kind != "execute":
+            raise ValueError("stream=True only applies to execute-kind campaigns")
+        if base.engine != "batched":
+            base = replace(base, engine="batched")
+        metrics: Sequence[str] = spec.metrics
+        if not metrics:
+            # Mirror the materialized path: the seed column is a run
+            # identity, not an outcome, so it is not aggregated by default.
+            metrics = sorted(name for name in METRIC_COLUMNS if name != "seed")
+        model = _build_batch_model(base)
+        aggregator = StreamingAggregator(metrics=metrics)
+        with span("session.campaign") as campaign_span:
+            log_event("campaign.start", seeds=len(spec.seeds), engine=engine, stream=True)
+            for columns in iter_column_blocks(model, list(spec.seeds)):
+                aggregator.update(columns)
+            log_event(
+                "campaign.done",
+                seeds=len(spec.seeds),
+                engine=engine,
+                stream=True,
+                elapsed_s=round(campaign_span.elapsed(), 6),
+            )
+        return aggregator.report()
+
     def pareto(
         self,
         app,
@@ -272,6 +320,7 @@ class Session:
         fault_model: str | None = None,
         fault_params: dict | None = None,
         engine: str = "batched",
+        substrate: str | None = None,
         executor: Executor | None = None,
         jobs: int | None = None,
     ):
@@ -290,7 +339,9 @@ class Session:
         single rate level (the environment you asked about); otherwise the
         explorer's default levels apply.  The default ``engine="batched"``
         evaluates the grid vectorized; ``"behavioural"`` walks it point by
-        point — the fronts are bit-identical either way.
+        point — the fronts are bit-identical either way.  ``substrate``
+        picks the array backend for the vectorized dominance sweeps
+        (``None`` = ``REPRO_SUBSTRATE`` or NumPy).
 
         Examples
         --------
@@ -321,5 +372,6 @@ class Session:
             params=params,
             seed=seed,
             engine=engine,
+            substrate=substrate,
         )
         return self.run(spec, executor=executor, jobs=jobs).artifact

@@ -33,6 +33,19 @@ Shared profiles: :func:`grid_optimize` characterizes the workload through
 :func:`repro.runtime.executor.characterize_task`, i.e. through the
 content-keyed profile cache, so the expensive step-walk happens once per
 (app, params, input) across both engines and every campaign path.
+
+Substrates and blocking: the bit-identity contract above pins the design
+grids' transcendental calls to host libm, so these functions always
+evaluate on the host exact namespace
+(:attr:`repro.batch.substrate.Substrate.exact_xp` — NumPy on every
+substrate); alternate substrates accelerate the campaign engine and the
+Pareto dominance sweeps instead.  What the design grids do share with
+the rest of the batch layer is *out-of-core blocking*:
+:func:`grid_optimal_chunks_for_rates` evaluates the rate axis in
+``REPRO_BATCH_BLOCK``-sized row blocks (the cost model is elementwise
+along that axis, so blocking changes no emitted number), reporting
+``repro_batch_blocks_total{kind="rategrid"}`` and its accounted
+working-set high-water mark to ``repro_batch_peak_bytes``.
 """
 
 from __future__ import annotations
@@ -50,6 +63,7 @@ from ..ecc.overhead import EccOverheadModel
 from ..ecc.redundancy import check_bits_for_correction
 from ..memmodel import NODE_65NM, SramMacro, TechnologyNode
 from ..memmodel.geometry import MAX_COLS_PER_SUBARRAY, MAX_ROWS_PER_SUBARRAY
+from .streaming import iter_blocks, note_blocks, note_peak_bytes
 
 
 # ---------------------------------------------------------------------- #
@@ -335,6 +349,24 @@ class _GridCostModel:
         self.objective = self.storage_cost + self.compute_cost
 
 
+def _model_nbytes(model: _GridCostModel) -> int:
+    """Accounted bytes of one grid evaluation's materialized arrays."""
+    total = 0
+    for name in (
+        "err",
+        "storage_cost",
+        "compute_cost",
+        "overhead_cycles",
+        "objective",
+        "area_fraction",
+        "area_feasible",
+        "cycle_feasible",
+        "feasible",
+    ):
+        total += int(getattr(model, name).nbytes)
+    return total
+
+
 def _grid_candidates(model: _GridCostModel) -> list[CostBreakdown]:
     """Materialize the grid evaluation as behavioural-shaped breakdowns.
 
@@ -447,6 +479,7 @@ def grid_optimal_chunks_for_rates(
     platform: PlatformCostParameters | None = None,
     max_chunk_words: int = 512,
     infeasible_chunk: int | None = None,
+    block: int | None = None,
 ) -> list[int]:
     """Optimum chunk size per error-rate level, one 2-D grid evaluation.
 
@@ -457,6 +490,10 @@ def grid_optimal_chunks_for_rates(
     :class:`ChunkSizeOptimizer` returns at that rate.  ``infeasible_chunk``
     substitutes for rate levels with no feasible candidate (default:
     raise, matching the scalar optimizer).
+
+    The rate axis is evaluated in ``block``-row blocks (``None`` resolves
+    ``REPRO_BATCH_BLOCK``) so arbitrarily long rate grids run in bounded
+    memory; each row's outputs are independent of the partition.
     """
     if max_chunk_words <= 0:
         raise ValueError("max_chunk_words must be positive")
@@ -464,16 +501,19 @@ def grid_optimal_chunks_for_rates(
     upper = min(max_chunk_words, characterization.output_words)
     chunks = np.arange(1, upper + 1, dtype=np.int64)
     rate_array = np.asarray(list(rates), dtype=np.float64)
-    model = _GridCostModel(
-        characterization, constraints, platform, chunks, rates=rate_array
-    )
-    objective = np.where(model.feasible, model.objective, np.inf)
     best: list[int] = []
-    for row in range(rate_array.size):
-        if not model.feasible[row].any():
-            if infeasible_chunk is None:
-                raise _no_feasible_chunk(characterization.name, constraints)
-            best.append(int(infeasible_chunk))
-            continue
-        best.append(int(chunks[int(np.argmin(objective[row]))]))
+    for piece in iter_blocks(rate_array.size, block):
+        model = _GridCostModel(
+            characterization, constraints, platform, chunks, rates=rate_array[piece]
+        )
+        note_blocks("rategrid")
+        note_peak_bytes("rategrid", _model_nbytes(model))
+        objective = np.where(model.feasible, model.objective, np.inf)
+        for row in range(piece.stop - piece.start):
+            if not model.feasible[row].any():
+                if infeasible_chunk is None:
+                    raise _no_feasible_chunk(characterization.name, constraints)
+                best.append(int(infeasible_chunk))
+                continue
+            best.append(int(chunks[int(np.argmin(objective[row]))]))
     return best

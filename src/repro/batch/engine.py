@@ -1,8 +1,8 @@
 """Vectorized campaign simulation over a :class:`BatchTaskModel`.
 
-One call to :func:`simulate_campaign` runs every seed of a campaign at
-once.  All runs share the task skeleton (phases, per-phase costs); only
-the fault streams differ.  The per-phase dynamics mirror the behavioural
+One call to :func:`simulate_campaign` runs every seed of a campaign.
+All runs share the task skeleton (phases, per-phase costs); only the
+fault streams differ.  The per-phase dynamics mirror the behavioural
 executor:
 
 * **inline / none recovery** (Default, HW-mitigation): every phase is
@@ -23,91 +23,116 @@ corrected / detected / silent / benign outcomes with the probabilities
 measured from the platform's ECC code, and distinct-corrupted-word counts
 are drawn from their exact marginal distribution (the per-word Poisson
 split of a uniform strike pattern).
+
+Execution is *blocked and substrate-driven*: arrays live in the model's
+:mod:`~repro.batch.substrate` namespace (NumPy / Numba-JIT / CuPy), fault
+sampling runs on counter-based per-run streams, and
+:func:`simulate_columns` / :func:`iter_column_blocks` walk the seed list
+in :func:`~repro.batch.streaming.batch_block_size`-sized blocks so the
+working set is ``O(block)``, not ``O(seeds)``.  Because each run's stream
+is a pure function of its seed, the block partition (and the batch
+composition) changes no emitted number.
 """
 
 from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
 from ..core.strategies import RecoveryPolicy
 from ..runtime.executor import MAX_ROLLBACK_ATTEMPTS
 from .model import BatchTaskModel, OutcomeProbabilities
+from .streaming import iter_blocks, note_blocks, note_peak_bytes
+from .substrate import RunStreams
+
+#: Order (and exact key spelling) of the per-run metric columns; the
+#: behavioural ``execute_spec`` worker produces the same keys.
+METRIC_COLUMNS = (
+    "seed",
+    "total_cycles",
+    "useful_cycles",
+    "checkpoint_cycles",
+    "recovery_cycles",
+    "energy_pj",
+    "upsets_injected",
+    "errors_detected",
+    "errors_corrected_inline",
+    "rollbacks",
+    "task_restarts",
+    "output_correct",
+    "silent_corruptions",
+    "checkpoints_committed",
+    "energy_nj",
+    "deadline_met",
+    "fully_mitigated",
+)
 
 
 def _split_outcomes(
-    rng: np.random.Generator, counts: np.ndarray, probs: OutcomeProbabilities
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    model: BatchTaskModel,
+    streams: RunStreams,
+    counts,
+    idx,
+) -> tuple:
     """Thin upset counts into (detected, corrected, silent) sub-counts.
 
     Benign flips are the remainder; sequential binomial thinning of a
-    Poisson count is an exact multinomial split.
+    Poisson count is an exact multinomial split.  Which thinning steps
+    consume stream draws depends only on the model's (constant) outcome
+    probabilities, so consumption stays identical across runs.
     """
-    detected = rng.binomial(counts, probs.detected) if probs.detected > 0 else np.zeros_like(counts)
+    sub = model.substrate
+    probs: OutcomeProbabilities = model.outcomes
+    xp = sub.xp
+    zeros = xp.zeros(counts.shape, dtype=xp.int64)
+    detected = sub.binomial(streams, counts, probs.detected, idx) if probs.detected > 0 else zeros
     rest = counts - detected
     denom = 1.0 - probs.detected
     p_corr = probs.corrected / denom if denom > 0 else 0.0
-    corrected = rng.binomial(rest, min(p_corr, 1.0)) if p_corr > 0 else np.zeros_like(counts)
+    corrected = sub.binomial(streams, rest, min(p_corr, 1.0), idx) if p_corr > 0 else zeros
     rest = rest - corrected
     denom -= probs.corrected
     p_silent = probs.silent / denom if denom > 0 else 0.0
-    silent = rng.binomial(rest, min(p_silent, 1.0)) if p_silent > 0 else np.zeros_like(counts)
+    silent = sub.binomial(streams, rest, min(p_silent, 1.0), idx) if p_silent > 0 else zeros
     return detected, corrected, silent
 
 
-def _distinct_words(rng: np.random.Generator, counts: np.ndarray, words: int) -> np.ndarray:
-    """Number of distinct words struck by ``counts`` uniform upsets.
-
-    Samples the exact occupancy distribution by the sequential-throw
-    recurrence ``D += Bernoulli(1 - D / words)`` without tracking
-    addresses; the loop length is the largest count in the batch (0–2 in
-    paper-rate campaigns).  Counts far beyond the word pool saturate it.
-    """
-    counts = np.asarray(counts, dtype=np.int64)
-    if words <= 0:
-        return np.zeros_like(counts)
-    if words == 1:
-        return (counts > 0).astype(np.int64)
-    distinct = np.zeros_like(counts)
-    saturated = counts > 8 * words  # P(any word unstruck) < words * e^-8
-    distinct[saturated] = words
-    remaining = np.where(saturated, 0, counts)
-    active = remaining > 0
-    while active.any():
-        fresh = rng.random(int(active.sum())) < (1.0 - distinct[active] / words)
-        distinct[active] += fresh
-        remaining[active] -= 1
-        active = remaining > 0
-    return distinct
-
-
 class _RunTotals:
-    """Mutable per-run accumulators for one simulated campaign."""
+    """Mutable per-run accumulators for one simulated block."""
 
-    def __init__(self, runs: int) -> None:
-        self.clock = np.zeros(runs, dtype=np.int64)
-        self.energy = np.zeros(runs, dtype=np.float64)
-        self.recovery_cycles = np.zeros(runs, dtype=np.int64)
-        self.checkpoint_cycles = np.zeros(runs, dtype=np.int64)
-        self.upsets = np.zeros(runs, dtype=np.int64)
-        self.errors_detected = np.zeros(runs, dtype=np.int64)
-        self.corrected = np.zeros(runs, dtype=np.int64)
-        self.rollbacks = np.zeros(runs, dtype=np.int64)
-        self.restarts = np.zeros(runs, dtype=np.int64)
-        self.silent = np.zeros(runs, dtype=np.int64)
-        self.checkpoints = np.zeros(runs, dtype=np.int64)
+    def __init__(self, runs: int, xp) -> None:
+        self.clock = xp.zeros(runs, dtype=xp.int64)
+        self.energy = xp.zeros(runs, dtype=xp.float64)
+        self.recovery_cycles = xp.zeros(runs, dtype=xp.int64)
+        self.checkpoint_cycles = xp.zeros(runs, dtype=xp.int64)
+        self.upsets = xp.zeros(runs, dtype=xp.int64)
+        self.errors_detected = xp.zeros(runs, dtype=xp.int64)
+        self.corrected = xp.zeros(runs, dtype=xp.int64)
+        self.rollbacks = xp.zeros(runs, dtype=xp.int64)
+        self.restarts = xp.zeros(runs, dtype=xp.int64)
+        self.silent = xp.zeros(runs, dtype=xp.int64)
+        self.checkpoints = xp.zeros(runs, dtype=xp.int64)
+
+    @property
+    def nbytes(self) -> int:
+        """Accounted bytes of the accumulator arrays."""
+        return int(self.clock.nbytes) * 10 + int(self.energy.nbytes)
 
 
 def _sample_attempt(
     model: BatchTaskModel,
-    rng: np.random.Generator,
-    window_end: np.ndarray,
+    streams: RunStreams,
+    window_end,
     live: int,
     words: int,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    idx=None,
+) -> tuple:
     """Upset counts and outcome split for one exposure window per run."""
-    lam = words * model.rate.integral(window_end - live, window_end)
-    counts = rng.poisson(lam)
-    detected, corrected, silent = _split_outcomes(rng, counts, model.outcomes)
+    sub = model.substrate
+    lam = words * model.rate.integral(window_end - live, window_end, substrate=sub)
+    counts = sub.poisson(streams, lam, idx)
+    detected, corrected, silent = _split_outcomes(model, streams, counts, idx)
     return counts, detected, corrected, silent
 
 
@@ -115,8 +140,10 @@ def _sample_attempt(
 # Inline / none / rollback recovery: every phase retries locally
 # ---------------------------------------------------------------------- #
 def _simulate_phase_loop(
-    model: BatchTaskModel, rng: np.random.Generator, totals: _RunTotals
+    model: BatchTaskModel, streams: RunStreams, totals: _RunTotals
 ) -> None:
+    sub = model.substrate
+    xp = sub.xp
     costs = model.costs
     max_attempts = (
         MAX_ROLLBACK_ATTEMPTS
@@ -134,19 +161,20 @@ def _simulate_phase_loop(
 
         totals.clock += exec_c
         counts, detected, corrected, silent = _sample_attempt(
-            model, rng, totals.clock, live, words
+            model, streams, totals.clock, live, words
         )
         totals.clock += drain_c
         totals.energy += exec_e + drain_e
         totals.upsets += counts
-        totals.corrected += _distinct_words(rng, corrected, words)
+        totals.corrected += sub.distinct_words(streams, corrected, words)
         last_detected = detected
         last_silent = silent
         failed = detected > 0
 
         for _attempt in range(max_attempts):
-            if not failed.any():
+            if not bool(failed.any()):
                 break
+            failed_idx = xp.flatnonzero(failed)
             totals.errors_detected[failed] += 1
             totals.rollbacks[failed] += 1
             totals.clock[failed] += model.isr_cycles
@@ -155,13 +183,15 @@ def _simulate_phase_loop(
 
             window_end = totals.clock[failed] + exec_c
             counts, detected, corrected, silent = _sample_attempt(
-                model, rng, window_end, live, words
+                model, streams, window_end, live, words, failed_idx
             )
             totals.clock[failed] += exec_c + drain_c
             totals.energy[failed] += exec_e + drain_e
             totals.recovery_cycles[failed] += exec_c + drain_c
             totals.upsets[failed] += counts
-            totals.corrected[failed] += _distinct_words(rng, corrected, words)
+            totals.corrected[failed] += sub.distinct_words(
+                streams, corrected, words, failed_idx
+            )
             last_detected[failed] = detected
             last_silent[failed] = silent
             still = failed.copy()
@@ -172,8 +202,8 @@ def _simulate_phase_loop(
         # detection, no further retry); everyone else consumes only the
         # silently corrupted words of their last (successful) attempt.
         totals.errors_detected[failed] += 1
-        consumed = np.where(failed, last_detected, 0) + last_silent
-        totals.silent += _distinct_words(rng, consumed, words)
+        consumed = xp.where(failed, last_detected, 0) + last_silent
+        totals.silent += sub.distinct_words(streams, consumed, words)
 
         if commits:
             totals.clock += int(costs.checkpoint_cycles[p])
@@ -186,23 +216,26 @@ def _simulate_phase_loop(
 # Restart recovery: the first failing phase aborts the whole pass
 # ---------------------------------------------------------------------- #
 def _simulate_restart(
-    model: BatchTaskModel, rng: np.random.Generator, totals: _RunTotals
+    model: BatchTaskModel, streams: RunStreams, totals: _RunTotals
 ) -> None:
+    sub = model.substrate
+    xp = sub.xp
     costs = model.costs
     runs = totals.clock.shape[0]
     max_restarts = int(getattr(model.strategy, "max_restarts", 1))
-    committed = np.zeros(runs, dtype=bool)
+    committed = xp.zeros(runs, dtype=bool)
 
-    while not committed.all():
+    while not bool(committed.all()):
         active = ~committed
         accept = active & (totals.restarts >= max_restarts)
         in_recovery = active & (totals.restarts > 0)
         running = active.copy()
-        pass_silent = np.zeros(runs, dtype=np.int64)
+        pass_silent = xp.zeros(runs, dtype=xp.int64)
 
         for p in range(model.num_phases):
-            if not running.any():
+            if not bool(running.any()):
                 break
+            running_idx = xp.flatnonzero(running)
             words = int(costs.words[p])
             exec_c = int(costs.exec_cycles[p])
             drain_c = int(costs.drain_cycles[p])
@@ -210,7 +243,7 @@ def _simulate_restart(
 
             totals.clock[running] += exec_c
             counts, detected, corrected, silent = _sample_attempt(
-                model, rng, totals.clock[running], live, words
+                model, streams, totals.clock[running], live, words, running_idx
             )
             totals.clock[running] += drain_c
             totals.energy[running] += float(costs.exec_energy[p]) + float(
@@ -219,9 +252,11 @@ def _simulate_restart(
             rec = running & in_recovery
             totals.recovery_cycles[rec] += exec_c + drain_c
             totals.upsets[running] += counts
-            totals.corrected[running] += _distinct_words(rng, corrected, words)
+            totals.corrected[running] += sub.distinct_words(
+                streams, corrected, words, running_idx
+            )
 
-            failed_here = np.zeros(runs, dtype=bool)
+            failed_here = xp.zeros(runs, dtype=bool)
             failed_here[running] = detected > 0
             failed_here &= ~accept
             totals.errors_detected[failed_here] += 1
@@ -230,8 +265,10 @@ def _simulate_restart(
             # corrupted words.  On the final best-effort pass that includes
             # the detected-uncorrectable ones; on a clean pass only silent
             # flips remain (a normal run with detections restarts instead).
-            mismatches = np.zeros(runs, dtype=np.int64)
-            mismatches[running] = _distinct_words(rng, detected + silent, words)
+            mismatches = xp.zeros(runs, dtype=xp.int64)
+            mismatches[running] = sub.distinct_words(
+                streams, detected + silent, words, running_idx
+            )
             mismatches[failed_here] = 0
             pass_silent += mismatches
             running = running & ~failed_here
@@ -244,53 +281,121 @@ def _simulate_restart(
 
 
 # ---------------------------------------------------------------------- #
+def _simulate_block(model: BatchTaskModel, seeds: Sequence[int]) -> dict[str, np.ndarray]:
+    """Simulate one block of seeds into host float64 metric columns."""
+    sub = model.substrate
+    streams = model.make_streams(seeds)
+    totals = _RunTotals(len(seeds), sub.xp)
+    if model.strategy.recovery == RecoveryPolicy.RESTART:
+        _simulate_restart(model, streams, totals)
+    else:
+        _simulate_phase_loop(model, streams, totals)
+
+    clock = sub.to_numpy(totals.clock)
+    energy = sub.to_numpy(totals.energy) + model.leakage_pj(clock)
+    silent = sub.to_numpy(totals.silent)
+    correct = (silent == 0).astype(np.float64)
+    if model.deadline_cycles == 0:
+        deadline_met = np.ones(len(seeds), dtype=np.float64)
+    else:
+        deadline_met = (clock <= model.deadline_cycles).astype(np.float64)
+    columns = {
+        "seed": np.asarray([int(s) for s in seeds], dtype=np.float64),
+        "total_cycles": clock.astype(np.float64),
+        "useful_cycles": np.full(len(seeds), float(model.useful_cycles)),
+        "checkpoint_cycles": sub.to_numpy(totals.checkpoint_cycles).astype(np.float64),
+        "recovery_cycles": sub.to_numpy(totals.recovery_cycles).astype(np.float64),
+        "energy_pj": energy,
+        "upsets_injected": sub.to_numpy(totals.upsets).astype(np.float64),
+        "errors_detected": sub.to_numpy(totals.errors_detected).astype(np.float64),
+        "errors_corrected_inline": sub.to_numpy(totals.corrected).astype(np.float64),
+        "rollbacks": sub.to_numpy(totals.rollbacks).astype(np.float64),
+        "task_restarts": sub.to_numpy(totals.restarts).astype(np.float64),
+        "output_correct": correct,
+        "silent_corruptions": silent.astype(np.float64),
+        "checkpoints_committed": sub.to_numpy(totals.checkpoints).astype(np.float64),
+        "energy_nj": energy * 1e-3,
+        "deadline_met": deadline_met,
+        "fully_mitigated": correct.copy(),
+    }
+    accounted = (
+        totals.nbytes
+        + streams.nbytes
+        + sum(column.nbytes for column in columns.values())
+    )
+    note_peak_bytes("campaign", accounted)
+    return columns
+
+
+def iter_column_blocks(
+    model: BatchTaskModel,
+    seeds: Sequence[int],
+    block: int | None = None,
+) -> Iterator[dict[str, np.ndarray]]:
+    """Simulate ``seeds`` block by block, yielding per-block metric columns.
+
+    ``block=None`` resolves through
+    :func:`~repro.batch.streaming.batch_block_size` (``REPRO_BATCH_BLOCK``).
+    Per-run counter-based streams make the partition invisible in the
+    results: concatenating the yielded blocks equals a single-block run
+    bit for bit.  Each yielded mapping carries :data:`METRIC_COLUMNS`
+    (float64, one entry per seed of the block).
+    """
+    seeds = list(seeds)
+    for piece in iter_blocks(len(seeds), block):
+        columns = _simulate_block(model, seeds[piece])
+        note_blocks("campaign")
+        yield columns
+
+
+def simulate_columns(
+    model: BatchTaskModel,
+    seeds: Sequence[int],
+    block: int | None = None,
+) -> dict[str, np.ndarray]:
+    """Simulate one run per seed into full-campaign metric columns."""
+    blocks = list(iter_column_blocks(model, seeds, block))
+    if not blocks:
+        return {name: np.zeros(0, dtype=np.float64) for name in METRIC_COLUMNS}
+    if len(blocks) == 1:
+        return blocks[0]
+    return {
+        name: np.concatenate([piece[name] for piece in blocks])
+        for name in METRIC_COLUMNS
+    }
+
+
 def simulate_campaign(
     model: BatchTaskModel, seeds: list[int], scenario_label: str | None = None
 ) -> list[dict]:
     """Simulate one run per seed; returns behavioural-shaped metric records."""
     if not seeds:
         return []
-    rng = model.make_rng(seeds)
-    totals = _RunTotals(len(seeds))
-    if model.strategy.recovery == RecoveryPolicy.RESTART:
-        _simulate_restart(model, rng, totals)
-    else:
-        _simulate_phase_loop(model, rng, totals)
-
-    totals.energy += model.leakage_pj(totals.clock)
+    columns = simulate_columns(model, seeds)
     label = scenario_label if scenario_label is not None else (
         model.scenario.describe() if model.scenario is not None else "none"
     )
+    return records_from_columns(model, columns, label)
+
+
+def records_from_columns(
+    model: BatchTaskModel, columns: dict[str, np.ndarray], label: str
+) -> list[dict]:
+    """Materialize behavioural-shaped per-run records from metric columns.
+
+    The records carry exactly the keys (and key order) the behavioural
+    ``execute_spec`` worker produces, so campaign aggregation, result
+    sets and the figure harnesses consume them unchanged.
+    """
     records: list[dict] = []
-    for i, seed in enumerate(seeds):
-        energy_pj = float(totals.energy[i])
-        silent = int(totals.silent[i])
-        total_cycles = int(totals.clock[i])
-        deadline_met = (
-            model.deadline_cycles == 0 or total_cycles <= model.deadline_cycles
-        )
-        records.append(
-            {
-                "application": model.app.name,
-                "strategy": model.strategy.name,
-                "scenario": label,
-                "seed": int(seed),
-                "total_cycles": float(total_cycles),
-                "useful_cycles": float(model.useful_cycles),
-                "checkpoint_cycles": float(totals.checkpoint_cycles[i]),
-                "recovery_cycles": float(totals.recovery_cycles[i]),
-                "energy_pj": energy_pj,
-                "upsets_injected": float(totals.upsets[i]),
-                "errors_detected": float(totals.errors_detected[i]),
-                "errors_corrected_inline": float(totals.corrected[i]),
-                "rollbacks": float(totals.rollbacks[i]),
-                "task_restarts": float(totals.restarts[i]),
-                "output_correct": 0.0 if silent else 1.0,
-                "silent_corruptions": float(silent),
-                "checkpoints_committed": float(totals.checkpoints[i]),
-                "energy_nj": energy_pj * 1e-3,
-                "deadline_met": 1.0 if deadline_met else 0.0,
-                "fully_mitigated": 0.0 if silent else 1.0,
-            }
-        )
+    for i in range(columns["seed"].size):
+        record = {
+            "application": model.app.name,
+            "strategy": model.strategy.name,
+            "scenario": label,
+        }
+        for name in METRIC_COLUMNS:
+            value = float(columns[name][i])
+            record[name] = int(value) if name == "seed" else value
+        records.append(record)
     return records

@@ -26,6 +26,11 @@ Fidelity contract (verified by ``tests/batch/``):
   and per-upset decode outcomes use the status-level classifier of
   :func:`classify_outcomes` (exact for every registered strategy code;
   see its caveats for exotic code/fault-model pairs).
+* **Per-seed rows are composition-invariant.**  Fault sampling runs on
+  counter-based per-run streams (:meth:`BatchTaskModel.make_streams`,
+  backed by the configured :mod:`repro.batch.substrate`): a seed's row
+  is a pure function of ``(spec, seed)`` and does not depend on which
+  other seeds share its batch, its execution block, shard or executor.
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ from ..faults.models import FaultModel, default_smu_model
 from ..runtime.executor import profile_task
 from ..scenarios.base import Scenario
 from ..soc.interrupt import DEFAULT_ENTRY_CYCLES, DEFAULT_EXIT_CYCLES
+from .substrate import RunStreams, Substrate, get_substrate
 
 #: Domain-separation tag mixed into the campaign RNG seed so the batched
 #: stream never collides with the behavioural injector streams.
@@ -90,15 +96,30 @@ class CumulativeRate:
         self._cum = cum
         self._horizon = horizon
 
-    def integral(self, start, end) -> np.ndarray:
-        """``∫ rate dt`` over ``[start, end)``, elementwise over arrays."""
-        start = np.asarray(start, dtype=np.float64)
-        end = np.asarray(end, dtype=np.float64)
+    def integral(self, start, end, substrate: Substrate | None = None) -> np.ndarray:
+        """``∫ rate dt`` over ``[start, end)``, elementwise over arrays.
+
+        Windows must be well-formed: every ``end`` must be ``>= start``
+        (a reversed window would silently return a negative integral,
+        which the Poisson sampler downstream would reject much less
+        legibly).  Passing a :class:`~repro.batch.substrate.Substrate`
+        evaluates the lookup in that backend's array namespace, keeping
+        device arrays on the device.
+        """
+        xp = substrate.xp if substrate is not None else np
+        start = xp.asarray(start, dtype=xp.float64)
+        end = xp.asarray(end, dtype=xp.float64)
+        if bool(xp.any(end < start)):
+            raise ValueError("integral window is reversed: every end must be >= start")
         if self.scenario is None:
             return self.fixed_rate * (end - start)
         top = float(end.max()) if end.size else 0.0
         while top > self._horizon:
             self._extend(max(int(top * 2) + 1, self._horizon * 2))
+        if substrate is not None:
+            return substrate.interp(end, self._breaks, self._cum) - substrate.interp(
+                start, self._breaks, self._cum
+            )
         return np.interp(end, self._breaks, self._cum) - np.interp(
             start, self._breaks, self._cum
         )
@@ -202,6 +223,10 @@ class BatchTaskModel:
     Parameters mirror :class:`~repro.runtime.executor.TaskExecutor`;
     ``profile_seed`` selects the workload input whose profile is shared by
     every simulated run (see the module docstring for the approximation).
+    ``substrate`` selects the array backend the campaign engine computes
+    on — a registered name, a :class:`~repro.batch.substrate.Substrate`
+    instance, or ``None`` for the process default (``REPRO_SUBSTRATE``,
+    falling back to NumPy).
     """
 
     def __init__(
@@ -212,6 +237,7 @@ class BatchTaskModel:
         fault_model: FaultModel | None = None,
         scenario: Scenario | None = None,
         profile_seed: int = 0,
+        substrate: Substrate | str | None = None,
     ) -> None:
         self.app = app
         self.strategy = strategy
@@ -219,6 +245,10 @@ class BatchTaskModel:
         self.fault_model = fault_model if fault_model is not None else default_smu_model()
         self.scenario = scenario
         self.profile_seed = profile_seed
+        if isinstance(substrate, Substrate):
+            self.substrate = substrate
+        else:
+            self.substrate = get_substrate(substrate)
         self._build()
 
     # ------------------------------------------------------------------ #
@@ -353,17 +383,17 @@ class BatchTaskModel:
 
         return simulate_campaign(self, list(seeds), scenario_label=scenario_label)
 
-    def make_rng(self, seeds) -> np.random.Generator:
-        """Deterministic campaign generator: a pure function of the seed list.
+    def make_streams(self, seeds) -> RunStreams:
+        """One independent counter-based fault stream per seed.
 
-        One stream drives the whole batch (that is what keeps the sampling
-        vectorized), so a run's record depends on **which other seeds share
-        its batch**: the seed-3 row of a 10-seed campaign differs from a
-        standalone seed-3 run, and extending a campaign's seed list
-        re-rolls every row.  Campaign-level results are reproducible —
-        the same (spec, seed list) is bit-identical everywhere — but
-        per-seed records are not stable across batch compositions; use the
-        behavioural engine when individual runs must be pinned to a seed.
+        Each run's stream identity is a pure function of ``(tag, seed)``
+        (the domain-separation tag keeps batched streams disjoint from
+        the behavioural injector streams), so a seed's record does *not*
+        depend on which other seeds share its batch, block or shard:
+        simulating seeds ``[3]`` and ``[0..9]`` produces the identical
+        seed-3 row.  This composition invariance is what lets the
+        warehouse resume partial campaigns as per-block deltas and the
+        service split batched campaigns into shards without changing a
+        single emitted number.
         """
-        entropy = [_STREAM_TAG] + [int(s) & 0xFFFFFFFFFFFFFFFF for s in seeds]
-        return np.random.default_rng(np.random.SeedSequence(entropy))
+        return self.substrate.make_streams(seeds, _STREAM_TAG)

@@ -61,7 +61,9 @@ from ..core.config import DesignConstraints, PAPER_OPERATING_POINT
 from ..core.cost_model import MitigationCostModel, PlatformCostParameters
 from ..faults.models import FaultModel, MixedUpset, MultiBitUpset, SingleBitUpset, default_smu_model
 from ..memmodel.technology import TechnologyNode, available_nodes, get_node
-from .design import _GridCostModel
+from .design import _GridCostModel, _model_nbytes
+from .streaming import iter_blocks, note_blocks, note_peak_bytes
+from .substrate import Substrate, get_substrate
 
 #: Objective names understood by the explorer, all minimized.
 OBJECTIVES: tuple[str, ...] = ("energy", "runtime", "area", "failure")
@@ -403,34 +405,19 @@ def reference_non_dominated(values: list[tuple[float, ...]]) -> list[int]:
     return front
 
 
-def grid_non_dominated_mask(values: np.ndarray) -> np.ndarray:
+def grid_non_dominated_mask(
+    values: np.ndarray, substrate: Substrate | str | None = None
+) -> np.ndarray:
     """Boolean mask of the non-dominated rows of ``values``, in array ops.
 
     Same weak-dominance semantics as :func:`reference_non_dominated`
-    (exactly equal rows are all kept).  Points are visited in ascending
-    objective-sum order — a weakly dominating point always has a strictly
-    smaller sum, so each pivot prunes its dominated successors and is
-    itself already known non-dominated; one compacting sweep suffices.
+    (exactly equal rows are all kept).  The sweep runs on the configured
+    :mod:`~repro.batch.substrate` (NumPy compacting sweep / Numba njit
+    kernel / CuPy device sweep); non-dominatedness is a property of the
+    point set, so every substrate returns the identical mask.
     """
-    values = np.asarray(values, dtype=np.float64)
-    if values.ndim != 2:
-        raise ValueError("values must be a 2-D (points x objectives) array")
-    n = values.shape[0]
-    if n == 0:
-        return np.zeros(0, dtype=bool)
-    order = np.argsort(values.sum(axis=1), kind="stable")
-    costs = values[order]
-    alive = np.arange(n)
-    i = 0
-    while i < costs.shape[0]:
-        pivot = costs[i]
-        keep = np.any(costs < pivot, axis=1) | np.all(costs == pivot, axis=1)
-        costs = costs[keep]
-        alive = alive[keep]
-        i = int(np.count_nonzero(keep[:i])) + 1
-    mask = np.zeros(n, dtype=bool)
-    mask[order[alive]] = True
-    return mask
+    sub = substrate if isinstance(substrate, Substrate) else get_substrate(substrate)
+    return sub.non_dominated_mask(values)
 
 
 # ---------------------------------------------------------------------- #
@@ -574,14 +561,55 @@ def _resolve_grid(
 
 
 def _filter_per_rate(
-    rates: np.ndarray, values: np.ndarray
+    rates: np.ndarray, values: np.ndarray, substrate: Substrate | str | None = None
 ) -> np.ndarray:
     """Non-dominated mask with dominance restricted to same-rate groups."""
     mask = np.zeros(values.shape[0], dtype=bool)
     for rate in np.unique(rates):
         group = np.flatnonzero(rates == rate)
-        mask[group[grid_non_dominated_mask(values[group])]] = True
+        mask[group[grid_non_dominated_mask(values[group], substrate)]] = True
     return mask
+
+
+class _StreamingFront:
+    """Running non-dominated set of one rate level, folded block by block.
+
+    Holds the survivors' objective matrix plus their payload columns
+    (all four objective values, capacity, checkpoints, feasibility,
+    chunk, global evaluation index).  Folding is exact: removing
+    dominated points between folds cannot change the final set, because
+    weak dominance is transitive — any point a dropped survivor would
+    have pruned is also pruned by whatever pruned the survivor.
+    """
+
+    def __init__(self, substrate: Substrate) -> None:
+        self.substrate = substrate
+        self.values: np.ndarray | None = None
+        self.payload: dict[str, np.ndarray] = {}
+
+    def fold(self, values: np.ndarray, payload: dict[str, np.ndarray]) -> None:
+        """Fold one evaluation block into the running front."""
+        if self.values is None:
+            candidates = np.asarray(values, dtype=np.float64)
+            merged = payload
+        else:
+            candidates = np.vstack([self.values, values])
+            merged = {
+                name: np.concatenate([self.payload[name], payload[name]])
+                for name in self.payload
+            }
+        mask = self.substrate.non_dominated_mask(candidates)
+        self.values = candidates[mask]
+        self.payload = {name: column[mask] for name, column in merged.items()}
+
+    @property
+    def nbytes(self) -> int:
+        """Accounted bytes of the survivor arrays."""
+        if self.values is None:
+            return 0
+        return int(self.values.nbytes) + sum(
+            int(column.nbytes) for column in self.payload.values()
+        )
 
 
 # ---------------------------------------------------------------------- #
@@ -599,13 +627,21 @@ def grid_pareto_front(
     chunk_stride: int = 1,
     fault_model: FaultModel | None = None,
     seed: int = 0,
+    substrate: Substrate | str | None = None,
+    block: int | None = None,
 ) -> ParetoFront:
-    """Explore the cross-technology design space on the NumPy grid engine.
+    """Explore the cross-technology design space on the array grid engine.
 
-    Every (node, ECC family, t, rate) cell evaluates all candidate chunk
-    sizes through :class:`~repro.batch.design._GridCostModel` in one array
-    pass; dominated-point filtering runs in array operations.  The result
-    is bit-identical to :func:`reference_pareto_front`.
+    Every (node, ECC family, t, rate) cell evaluates its candidate chunk
+    sizes through :class:`~repro.batch.design._GridCostModel` in blocked
+    array passes (``block=None`` resolves ``REPRO_BATCH_BLOCK``), folding
+    each block into a per-rate streaming non-dominated front — the
+    working set is ``O(block + front)``, not ``O(grid)``, which is what
+    lets 10^7-point grids run in bounded memory.  Dominance sweeps run on
+    the configured :mod:`~repro.batch.substrate`.  The result is
+    bit-identical to :func:`reference_pareto_front` for every block size
+    and substrate (the cost model is elementwise along the chunk axis and
+    non-dominatedness is set-determined).
 
     Examples
     --------
@@ -619,91 +655,98 @@ def grid_pareto_front(
         app, objectives, nodes, schemes, correctable_bits, rate_levels,
         constraints, max_chunk_words, chunk_stride, fault_model, seed,
     )
+    sub = substrate if isinstance(substrate, Substrate) else get_substrate(substrate)
     chunks = np.asarray(grid.chunks, dtype=np.int64)
     rate_array = np.asarray(grid.rate_levels, dtype=np.float64)
     cells = grid.cells()
+    num_rates = len(grid.rate_levels)
 
-    energy_parts: list[np.ndarray] = []
-    runtime_parts: list[np.ndarray] = []
-    area_parts: list[np.ndarray] = []
-    failure_parts: list[np.ndarray] = []
-    capacity_parts: list[np.ndarray] = []
-    checkpoint_parts: list[np.ndarray] = []
-    feasible_parts: list[np.ndarray] = []
-    # One model per (node, scheme, t): the platform/buffer quantities are
-    # rate-independent, so the rate axis rides on _GridCostModel's 2-D
-    # (rate x chunk) evaluation — same `rate * exposure` operation per
-    # element as the scalar reference, just not recomputed per level.
+    fronts = [_StreamingFront(sub) for _ in range(num_rates)]
+    evaluated = 0
+    triple_index = 0
     for node in grid.nodes:
         for scheme in grid.schemes:
             platform = _platform_for(node, scheme)
             for t in grid.correctable_bits:
-                model = _GridCostModel(
-                    grid.characterization,
-                    grid.constraints.with_overrides(correctable_bits=t),
-                    platform,
-                    chunks,
-                    rates=rate_array,
-                )
                 uncorrectable = uncorrectable_upset_fraction(grid.fault_model, t)
-                for row, rate in enumerate(grid.rate_levels):
-                    energy_parts.append(model.objective[row] / model.baseline_energy_pj)
-                    runtime_parts.append(
-                        model.overhead_cycles[row] / model.baseline_cycles
+                cell_constraints = grid.constraints.with_overrides(correctable_bits=t)
+                for piece in iter_blocks(chunks.size, block):
+                    model = _GridCostModel(
+                        grid.characterization,
+                        cell_constraints,
+                        platform,
+                        chunks[piece],
+                        rates=rate_array,
                     )
-                    area_parts.append(model.area_fraction[row])
-                    failure_parts.append(
-                        _grid_failure_probabilities(
-                            rate,
-                            model.capacity_words[row],
-                            model.baseline_cycles,
-                            uncorrectable,
+                    note_blocks("pareto")
+                    width = piece.stop - piece.start
+                    for row, rate in enumerate(grid.rate_levels):
+                        cell_ordinal = triple_index * num_rates + row
+                        base = cell_ordinal * chunks.size + piece.start
+                        block_columns = {
+                            "energy": model.objective[row] / model.baseline_energy_pj,
+                            "runtime": model.overhead_cycles[row]
+                            / model.baseline_cycles,
+                            "area": model.area_fraction[row],
+                            "failure": _grid_failure_probabilities(
+                                rate,
+                                model.capacity_words[row],
+                                model.baseline_cycles,
+                                uncorrectable,
+                            ),
+                            "capacity": model.capacity_words[row],
+                            "checkpoints": model.num_checkpoints[row],
+                            "feasible": model.feasible[row],
+                            "chunk": chunks[piece],
+                            "index": base + np.arange(width, dtype=np.int64),
+                        }
+                        values = np.column_stack(
+                            [block_columns[name] for name in grid.objectives]
                         )
+                        fronts[row].fold(values, block_columns)
+                        evaluated += width
+                    note_peak_bytes(
+                        "pareto",
+                        _model_nbytes(model)
+                        + sum(front.nbytes for front in fronts),
                     )
-                    capacity_parts.append(model.capacity_words[row])
-                    checkpoint_parts.append(model.num_checkpoints[row])
-                    feasible_parts.append(model.feasible[row])
+                triple_index += 1
 
-    columns = {
-        "energy": np.concatenate(energy_parts),
-        "runtime": np.concatenate(runtime_parts),
-        "area": np.concatenate(area_parts),
-        "failure": np.concatenate(failure_parts),
+    # Survivors in ascending evaluation order — exactly the order (and
+    # indices) the unblocked filter-over-the-full-grid would emit.
+    merged = {
+        name: np.concatenate([front.payload[name] for front in fronts])
+        for name in (
+            "energy", "runtime", "area", "failure",
+            "capacity", "checkpoints", "feasible", "chunk", "index",
+        )
     }
-    total = columns["energy"].shape[0]
-    cell_index = np.repeat(np.arange(len(cells)), chunks.size)
-    point_rates = np.asarray([cell[3] for cell in cells], dtype=np.float64)[cell_index]
-    values = np.column_stack([columns[name] for name in grid.objectives])
-    mask = _filter_per_rate(point_rates, values)
-
-    capacity = np.concatenate(capacity_parts)
-    checkpoints = np.concatenate(checkpoint_parts)
-    feasible = np.concatenate(feasible_parts)
-    chunk_column = np.tile(chunks, len(cells))
+    order = np.argsort(merged["index"], kind="stable")
     points: list[DesignPoint] = []
-    for index in np.flatnonzero(mask).tolist():
-        node, scheme, t, rate = cells[int(cell_index[index])]
+    for pos in order.tolist():
+        index = int(merged["index"][pos])
+        node, scheme, t, rate = cells[index // chunks.size]
         points.append(
             DesignPoint(
                 technology=node.name,
                 scheme=scheme,
                 correctable_bits=t,
-                chunk_words=int(chunk_column[index]),
+                chunk_words=int(merged["chunk"][pos]),
                 error_rate=rate,
-                num_checkpoints=int(checkpoints[index]),
-                buffer_capacity_words=int(capacity[index]),
-                energy_overhead=float(columns["energy"][index]),
-                cycle_overhead=float(columns["runtime"][index]),
-                area_fraction=float(columns["area"][index]),
-                failure_probability=float(columns["failure"][index]),
-                within_budgets=bool(feasible[index]),
+                num_checkpoints=int(merged["checkpoints"][pos]),
+                buffer_capacity_words=int(merged["capacity"][pos]),
+                energy_overhead=float(merged["energy"][pos]),
+                cycle_overhead=float(merged["runtime"][pos]),
+                area_fraction=float(merged["area"][pos]),
+                failure_probability=float(merged["failure"][pos]),
+                within_budgets=bool(merged["feasible"][pos]),
             )
         )
     return ParetoFront(
         application=grid.characterization.name,
         objectives=grid.objectives,
         points=tuple(points),
-        evaluated_points=total,
+        evaluated_points=evaluated,
     )
 
 

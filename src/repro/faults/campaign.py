@@ -37,10 +37,18 @@ def _percentile(values: Sequence[float], fraction: float) -> float:
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """Aggregated statistics of one metric across campaign runs."""
+    """Aggregated statistics of one metric across campaign runs.
+
+    ``values`` is normally a tuple of per-run floats; the streaming
+    aggregation path (:class:`repro.batch.streaming.StreamingAggregator`)
+    supplies a float64 array instead — every statistic goes through the
+    same :mod:`statistics` code either way and is returned as a plain
+    Python ``float``/``int``, so reports stay JSON-serializable and
+    bit-identical across the two representations.
+    """
 
     metric: str
-    values: tuple[float, ...]
+    values: Sequence[float]
 
     @property
     def count(self) -> int:
@@ -50,34 +58,34 @@ class CampaignResult:
     @property
     def mean(self) -> float:
         """Arithmetic mean across runs."""
-        return statistics.fmean(self.values)
+        return float(statistics.fmean(self.values))
 
     @property
     def minimum(self) -> float:
         """Smallest observed value."""
-        return min(self.values)
+        return float(min(self.values))
 
     @property
     def maximum(self) -> float:
         """Largest observed value."""
-        return max(self.values)
+        return float(max(self.values))
 
     @property
     def stdev(self) -> float:
         """Sample standard deviation (0 for a single run)."""
         if len(self.values) < 2:
             return 0.0
-        return statistics.stdev(self.values)
+        return float(statistics.stdev(self.values))
 
     @property
     def median(self) -> float:
         """Median across runs (production traffic is judged on tails)."""
-        return statistics.median(self.values)
+        return float(statistics.median(self.values))
 
     @property
     def p95(self) -> float:
         """95th-percentile value (linear interpolation between runs)."""
-        return _percentile(self.values, 0.95)
+        return float(_percentile(self.values, 0.95))
 
 
 @dataclass

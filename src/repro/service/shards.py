@@ -4,12 +4,16 @@ A *shard* is the unit the elastic worker pool schedules: a contiguous
 block of a job's specs executed by one worker call.  The planner follows
 the engines' reproducibility contracts:
 
-* ``engine="batched"`` specs all go into **one** shard, executed through
-  :class:`~repro.api.executors.BatchCampaignExecutor` — the batch engine
-  derives one fault stream per same-experiment seed group, so splitting a
-  batched campaign across workers would change its batch composition and
-  break bit-identity with :meth:`Session.campaign`.  The engine is
-  vectorized precisely so this single shard stays cheap.
+* ``engine="batched"`` specs are split into seed blocks of
+  ``batched_shard_size`` (default: the engine's own execution block
+  size, ``REPRO_BATCH_BLOCK``), each executed through
+  :class:`~repro.api.executors.BatchCampaignExecutor`.  The batch
+  engine's fault streams are counter-based per (seed, draw)
+  (:mod:`repro.batch.substrate`), so every row is independent of shard
+  composition and any partition reassembled in input order is
+  bit-identical to an in-process :meth:`Session.campaign`.  Small
+  campaigns stay one shard; blocks are sized so each worker call
+  amortizes one task profile over many seeds.
 * ``engine="behavioural"`` specs are split into seed blocks of
   ``shard_size`` — each spec's outcome depends only on the spec itself,
   so any partition reassembled in input order is bit-identical to a
@@ -32,6 +36,7 @@ from typing import Any
 
 from ..api.executors import BatchCampaignExecutor, execute_spec
 from ..api.spec import ExperimentSpec
+from ..batch.streaming import batch_block_size
 from ..warehouse.planner import plan_and_run
 
 #: Default behavioural seeds per shard.  Small enough that a burst of
@@ -69,12 +74,17 @@ class Shard:
 
 
 def plan_shards(
-    spec_dicts: Sequence[Mapping[str, Any]], shard_size: int | None = None
+    spec_dicts: Sequence[Mapping[str, Any]],
+    shard_size: int | None = None,
+    batched_shard_size: int | None = None,
 ) -> list[Shard]:
     """Partition a job's spec dicts into schedulable shards.
 
-    Batched specs form one shard (preserving their relative order, which
-    fixes the batch engine's seed-group composition); behavioural specs
+    Batched specs form seed blocks of ``batched_shard_size`` (default:
+    :func:`repro.batch.streaming.batch_block_size`, i.e.
+    ``REPRO_BATCH_BLOCK``) — the batch engine's per-seed rows are
+    composition-invariant, so the partition is free to follow worker
+    economics rather than reproducibility constraints.  Behavioural specs
     form seed blocks of ``shard_size``.  The plan never contains more
     shards than specs.
     """
@@ -82,11 +92,17 @@ def plan_shards(
         shard_size = DEFAULT_SHARD_SIZE
     if shard_size < 1:
         raise ValueError("shard_size must be at least 1")
+    if batched_shard_size is None:
+        batched_shard_size = batch_block_size()
+    if batched_shard_size is not None and batched_shard_size < 1:
+        raise ValueError("batched_shard_size must be at least 1")
     batched = [i for i, spec in enumerate(spec_dicts) if spec.get("engine") == "batched"]
     serial = [i for i, spec in enumerate(spec_dicts) if spec.get("engine") != "batched"]
     shards: list[Shard] = []
-    if batched:
-        shards.append(Shard(index=len(shards), spec_indices=tuple(batched), batched=True))
+    batched_step = batched_shard_size if batched_shard_size is not None else max(1, len(batched))
+    for start in range(0, len(batched), batched_step):
+        block = tuple(batched[start : start + batched_step])
+        shards.append(Shard(index=len(shards), spec_indices=block, batched=True))
     for start in range(0, len(serial), shard_size):
         block = tuple(serial[start : start + shard_size])
         shards.append(Shard(index=len(shards), spec_indices=block))

@@ -13,13 +13,17 @@ Unit granularity follows the engines' reproducibility contracts:
   their outcome depends only on the spec itself;
 * ``engine="batched"`` execute specs run under a *grouped* executor
   (:class:`~repro.api.executors.BatchCampaignExecutor`, or the service,
-  which shards them the same way) are one unit per same-experiment seed
-  group, keyed by the **ordered** seed list — the batch engine derives
-  one fault stream per group, so the group composition is part of the
-  result identity and groups hit or miss atomically.  Under a
-  non-grouped executor (``grouped=False``) each batched spec executes as
-  a group of one, which coincides with a one-spec group unit, so the two
-  forms share keys exactly when they share results.
+  which shards them the same way) are grouped by same-experiment and
+  split into consecutive seed **blocks** of the engine's execution block
+  size (:func:`repro.batch.streaming.batch_block_size`, i.e.
+  ``REPRO_BATCH_BLOCK``), one unit per block keyed by its ordered seed
+  sub-list.  The batch engine's fault streams are counter-based per
+  (seed, draw), so rows are independent of block composition — blocks
+  hit or miss independently and a partially synced campaign resumes as
+  a delta of its remaining blocks rather than re-executing whole.
+  Under a non-grouped executor (``grouped=False``) each batched spec
+  executes as a group of one, which coincides with a one-spec block
+  unit, so the two forms share keys exactly when they share results.
 
 Specs with no canonical JSON form — live application/scenario instances,
 ``collect_trace`` runs, ``NaN`` parameters — are *uncacheable*: they
@@ -41,6 +45,7 @@ from typing import Any
 
 from ..api.executors import RunOutcome
 from ..api.spec import ExperimentSpec
+from ..batch.streaming import batch_block_size
 from .keys import canonical_json, fingerprint_digest, unit_key
 from .store import ResultWarehouse, WarehouseEntry, WAREHOUSE_EVENTS, default_warehouse
 
@@ -115,17 +120,23 @@ def plan_units(specs: Sequence[ExperimentSpec], grouped: bool = False) -> list[U
                     engine=spec.engine,
                 )
             )
+    block = batch_block_size()
     for indices in groups.values():
-        spec_dicts = tuple(payloads[index] for index in indices)
-        units.append(
-            Unit(
-                indices=tuple(indices),
-                key=unit_key(list(spec_dicts), fingerprint),
-                spec_dicts=spec_dicts,
-                kind="execute",
-                engine="batched",
+        # Per-block units: a million-seed campaign stores (and resumes)
+        # as independent block deltas instead of one atomic entry.
+        step = block if block is not None else len(indices)
+        for start in range(0, len(indices), step):
+            chunk = indices[start : start + step]
+            spec_dicts = tuple(payloads[index] for index in chunk)
+            units.append(
+                Unit(
+                    indices=tuple(chunk),
+                    key=unit_key(list(spec_dicts), fingerprint),
+                    spec_dicts=spec_dicts,
+                    kind="execute",
+                    engine="batched",
+                )
             )
-        )
     return units
 
 

@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.batch import BatchTaskModel, CumulativeRate, classify_outcomes
-from repro.batch.engine import _distinct_words
+from repro.batch.substrate import get_substrate
 from repro.core.config import PAPER_OPERATING_POINT
 from repro.core.strategies import (
     DefaultStrategy,
@@ -114,6 +114,23 @@ class TestCumulativeRate:
         far = rate.integral([50_000], [60_000])[0]
         assert far == pytest.approx(1e-5 * 10_000)
 
+    def test_reversed_window_is_rejected(self):
+        # A reversed window would silently emit a negative expectation on
+        # the constant closed form (and garbage on the interpolated path).
+        rate = CumulativeRate(None, 1e-6)
+        with pytest.raises(ValueError, match="reversed"):
+            rate.integral([1000], [500])
+        scenario_rate = CumulativeRate(
+            BurstScenario(
+                quiescent_rate=1e-7, burst_rate=5e-6, period=10_000, burst_cycles=1_000
+            ),
+            1e-6,
+        )
+        with pytest.raises(ValueError, match="reversed"):
+            scenario_rate.integral([0, 600], [1000, 500])
+        # Degenerate (empty) windows are fine and integrate to zero.
+        assert rate.integral([500], [500])[0] == 0.0
+
 
 class TestOutcomeClassification:
     def test_nocode_is_always_silent(self):
@@ -149,14 +166,16 @@ class TestOutcomeClassification:
 
 class TestDistinctWords:
     def test_zero_upsets_strike_nothing(self):
-        rng = np.random.default_rng(0)
-        assert _distinct_words(rng, np.zeros(4, dtype=np.int64), 64).sum() == 0
+        sub = get_substrate("numpy")
+        streams = sub.make_streams(np.arange(4), tag=0)
+        assert sub.distinct_words(streams, np.zeros(4, dtype=np.int64), 64).sum() == 0
 
     def test_mean_matches_occupancy_formula(self):
-        rng = np.random.default_rng(1)
+        sub = get_substrate("numpy")
+        streams = sub.make_streams(np.arange(20_000), tag=1)
         counts = np.full(20_000, 8, dtype=np.int64)
         words = 16
-        distinct = _distinct_words(rng, counts, words)
+        distinct = sub.distinct_words(streams, counts, words)
         expected = words * (1.0 - (1.0 - 1.0 / words) ** 8)
         assert distinct.mean() == pytest.approx(expected, rel=0.02)
         assert distinct.max() <= min(8, words)

@@ -1,0 +1,279 @@
+"""The pluggable array substrate layer.
+
+Two groups of contracts live here:
+
+* the **numpy reference substrate's** semantics — counter-based stream
+  identity (composition invariance), exact sampling distributions, the
+  shared consumption conventions every substrate must honour, and the
+  weak-dominance sweep against a brute-force reference;
+* the **cross-substrate equivalence matrix** — for every registered
+  accelerated backend that is importable here (numba, cupy), full
+  campaign records and Pareto dominance masks must match the numpy
+  reference.  Sampling is bit-identical by construction (integer stream
+  math); the matrix asserts exact equality on integer outputs and
+  tight relative tolerance on the float energy column, which is the
+  explicit equivalence bound of :mod:`repro.batch.substrate`.
+  Unavailable backends are skipped, not failed — the CI ``substrates``
+  job installs numba so the matrix really runs there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch.engine import simulate_columns
+from repro.batch.model import BatchTaskModel
+from repro.batch.pareto import reference_non_dominated
+from repro.batch.substrate import (
+    ENV_SUBSTRATE,
+    Substrate,
+    SubstrateUnavailableError,
+    available_substrates,
+    default_substrate_name,
+    get_substrate,
+    substrate_available,
+    substrate_description,
+    substrate_known,
+)
+from repro.core.config import PAPER_OPERATING_POINT
+from repro.core.strategies import HybridStrategy
+
+#: The accelerated backends of the equivalence matrix.  Each entry is
+#: skipped when its library is absent (substrate_available is False).
+ACCELERATED = ("numba", "cupy")
+
+STRESS = PAPER_OPERATING_POINT.with_overrides(error_rate=2e-4)
+
+
+def _require(name: str) -> Substrate:
+    if not substrate_available(name):
+        pytest.skip(f"substrate {name!r} is not available in this environment")
+    return get_substrate(name)
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        assert available_substrates() == ("numpy", "numba", "cupy")
+        for name in available_substrates():
+            assert substrate_known(name)
+            assert substrate_description(name)
+        assert not substrate_known("jax")
+
+    def test_numpy_always_available(self):
+        assert substrate_available("numpy")
+        sub = get_substrate("numpy")
+        assert sub.name == "numpy"
+        assert sub.xp is np
+        assert sub.exact_xp is np
+        assert get_substrate("numpy") is sub  # cached instance
+
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError, match="known substrates"):
+            get_substrate("fortran")
+        assert not substrate_available("fortran")
+
+    def test_unavailable_backend_raises_with_hint(self):
+        for name in ACCELERATED:
+            if substrate_available(name):
+                continue
+            with pytest.raises(SubstrateUnavailableError, match="pip install"):
+                get_substrate(name)
+
+    def test_default_name_from_environment(self, monkeypatch):
+        monkeypatch.delenv(ENV_SUBSTRATE, raising=False)
+        assert default_substrate_name() == "numpy"
+        monkeypatch.setenv(ENV_SUBSTRATE, "numba")
+        assert default_substrate_name() == "numba"
+        monkeypatch.setenv(ENV_SUBSTRATE, "tpu")
+        with pytest.raises(ValueError, match="unknown substrate"):
+            default_substrate_name()
+
+
+class TestCounterStreams:
+    def test_streams_are_deterministic(self):
+        sub = get_substrate("numpy")
+        a = sub.make_streams([0, 1, 2], tag=7)
+        b = sub.make_streams([0, 1, 2], tag=7)
+        np.testing.assert_array_equal(a.keys, b.keys)
+        assert sub.uniform(a).tolist() == sub.uniform(b).tolist()
+
+    def test_stream_identity_is_composition_invariant(self):
+        # The key of seed 3 is the same whether simulated solo or in a
+        # batch — the property behind block/shard/warehouse invariance.
+        sub = get_substrate("numpy")
+        solo = sub.make_streams([3], tag=7)
+        batch = sub.make_streams(range(10), tag=7)
+        assert int(solo.keys[0]) == int(batch.keys[3])
+
+    def test_distinct_seeds_and_tags_decorrelate(self):
+        sub = get_substrate("numpy")
+        keys = sub.make_streams(range(1000), tag=1).keys
+        assert len(set(keys.tolist())) == 1000
+        other = sub.make_streams(range(1000), tag=2).keys
+        assert not np.any(keys == other)
+
+    def test_uniform_advances_counters(self):
+        sub = get_substrate("numpy")
+        streams = sub.make_streams([5, 6], tag=0)
+        u1 = sub.uniform(streams)
+        u2 = sub.uniform(streams)
+        assert streams.counters.tolist() == [2, 2]
+        assert not np.any(u1 == u2)
+        assert np.all((u1 >= 0.0) & (u1 < 1.0))
+
+    def test_subset_addressing_leaves_others_untouched(self):
+        sub = get_substrate("numpy")
+        streams = sub.make_streams([0, 1, 2, 3], tag=0)
+        sub.uniform(streams, idx=np.asarray([1, 3]))
+        assert streams.counters.tolist() == [0, 1, 0, 1]
+
+    def test_replay_at_same_counter_is_identical(self):
+        sub = get_substrate("numpy")
+        a = sub.make_streams([9], tag=3)
+        b = sub.make_streams([9], tag=3)
+        sub.uniform(a)
+        sub.uniform(b)
+        assert float(sub.uniform(a)[0]) == float(sub.uniform(b)[0])
+
+
+class TestSamplingDistributions:
+    def test_poisson_moments_and_consumption(self):
+        sub = get_substrate("numpy")
+        streams = sub.make_streams(range(200_000), tag=11)
+        lam = 0.8
+        draws = sub.poisson(streams, np.full(200_000, lam))
+        assert streams.counters.tolist() == [1] * 200_000  # 1 uniform/run
+        assert draws.mean() == pytest.approx(lam, rel=0.02)
+        assert draws.var() == pytest.approx(lam, rel=0.03)
+
+    def test_poisson_zero_rate_still_consumes(self):
+        # Data-independent stream advance: lam=0 runs consume their
+        # uniform too, so downstream draws stay aligned across scenarios.
+        sub = get_substrate("numpy")
+        streams = sub.make_streams([1, 2], tag=0)
+        draws = sub.poisson(streams, np.zeros(2))
+        assert draws.tolist() == [0, 0]
+        assert streams.counters.tolist() == [1, 1]
+
+    def test_binomial_moments_and_consumption(self):
+        sub = get_substrate("numpy")
+        streams = sub.make_streams(range(100_000), tag=13)
+        counts = np.full(100_000, 4, dtype=np.int64)
+        draws = sub.binomial(streams, counts, 0.3)
+        assert streams.counters.tolist()[:3] == [4, 4, 4]  # count uniforms
+        assert draws.mean() == pytest.approx(4 * 0.3, rel=0.02)
+        assert draws.max() <= 4
+
+    def test_binomial_degenerate_p_consumes_nothing(self):
+        sub = get_substrate("numpy")
+        streams = sub.make_streams([1, 2], tag=0)
+        counts = np.asarray([3, 5], dtype=np.int64)
+        assert sub.binomial(streams, counts, 0.0).tolist() == [0, 0]
+        assert sub.binomial(streams, counts, 1.0).tolist() == [3, 5]
+        assert streams.counters.tolist() == [0, 0]
+
+    def test_distinct_words_saturates_without_consuming(self):
+        sub = get_substrate("numpy")
+        streams = sub.make_streams([0], tag=0)
+        counts = np.asarray([10_000], dtype=np.int64)
+        assert sub.distinct_words(streams, counts, 8).tolist() == [8]
+        assert streams.counters.tolist() == [0]
+
+    def test_distinct_words_single_word_pool(self):
+        sub = get_substrate("numpy")
+        streams = sub.make_streams([0, 1], tag=0)
+        counts = np.asarray([0, 5], dtype=np.int64)
+        assert sub.distinct_words(streams, counts, 1).tolist() == [0, 1]
+        assert streams.counters.tolist() == [0, 0]
+
+
+class TestDominanceSweep:
+    def _brute_force(self, values: np.ndarray) -> np.ndarray:
+        survivors = reference_non_dominated([tuple(row) for row in values])
+        mask = np.zeros(len(values), dtype=bool)
+        mask[survivors] = True
+        return mask
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(size=(120, 3))
+        # Quantize to force ties and duplicated rows into the set.
+        values = np.round(values, 1)
+        mask = get_substrate("numpy").non_dominated_mask(values)
+        np.testing.assert_array_equal(mask, self._brute_force(values))
+
+    def test_duplicates_are_all_kept(self):
+        values = np.asarray([[1.0, 2.0], [1.0, 2.0], [0.5, 3.0], [2.0, 2.0]])
+        mask = get_substrate("numpy").non_dominated_mask(values)
+        assert mask.tolist() == [True, True, True, False]
+
+    def test_empty_and_bad_shapes(self):
+        sub = get_substrate("numpy")
+        assert sub.non_dominated_mask(np.zeros((0, 3))).shape == (0,)
+        with pytest.raises(ValueError, match="2-D"):
+            sub.non_dominated_mask(np.zeros(4))
+
+
+# ---------------------------------------------------------------------- #
+# Cross-substrate equivalence matrix
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", ACCELERATED)
+class TestEquivalenceMatrix:
+    def test_sampling_streams_bit_identical(self, name):
+        sub = _require(name)
+        ref = get_substrate("numpy")
+        for tag in (0, 7):
+            s_ref = ref.make_streams(range(500), tag=tag)
+            s_sub = sub.make_streams(range(500), tag=tag)
+            np.testing.assert_array_equal(
+                ref.to_numpy(s_sub.keys), np.asarray(s_ref.keys)
+            )
+            lam = np.linspace(0.0, 3.0, 500)
+            np.testing.assert_array_equal(
+                sub.to_numpy(sub.poisson(s_sub, lam)), ref.poisson(s_ref, lam)
+            )
+            counts = np.tile(np.arange(5, dtype=np.int64), 100)
+            np.testing.assert_array_equal(
+                sub.to_numpy(sub.binomial(s_sub, counts, 0.4)),
+                ref.binomial(s_ref, counts, 0.4),
+            )
+            np.testing.assert_array_equal(
+                sub.to_numpy(sub.distinct_words(s_sub, counts, 16)),
+                ref.distinct_words(s_ref, counts, 16),
+            )
+            np.testing.assert_array_equal(
+                sub.to_numpy(s_sub.counters), np.asarray(s_ref.counters)
+            )
+
+    def test_campaign_columns_match_reference(self, name, small_adpcm_encode):
+        sub = _require(name)
+        app = small_adpcm_encode
+        seeds = list(range(64))
+        columns = {}
+        for which in ("numpy", name):
+            strategy = HybridStrategy(64, STRESS, extra_buffer_words=app.state_words())
+            model = BatchTaskModel(
+                app, strategy, constraints=STRESS, substrate=which
+            )
+            columns[which] = simulate_columns(model, seeds, block=None)
+        ref, acc = columns["numpy"], columns[name]
+        assert set(ref) == set(acc)
+        for key in ref:
+            if ref[key].dtype.kind == "f":
+                np.testing.assert_allclose(acc[key], ref[key], rtol=1e-12)
+            else:
+                np.testing.assert_array_equal(acc[key], ref[key], err_msg=key)
+        assert acc["upsets_injected"].sum() > 0  # faults actually flowed
+        del sub
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dominance_mask_identical(self, name, seed):
+        sub = _require(name)
+        rng = np.random.default_rng(seed)
+        values = np.round(rng.uniform(size=(200, 4)), 1)
+        np.testing.assert_array_equal(
+            sub.non_dominated_mask(values),
+            get_substrate("numpy").non_dominated_mask(values),
+        )

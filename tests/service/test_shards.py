@@ -1,4 +1,4 @@
-"""Shard-planning tests: behavioural blocks, batched stays whole."""
+"""Shard-planning tests: behavioural blocks, batched seed-block splits."""
 
 from __future__ import annotations
 
@@ -28,13 +28,33 @@ class TestPlanShards:
         shards = plan_shards(_dicts(DEFAULT_SHARD_SIZE + 1))
         assert len(shards) == 2
 
-    def test_batched_specs_form_one_shard(self):
-        # The batch engine derives its RNG streams from the batch
-        # composition — splitting would change every sampled fault time.
+    def test_small_batched_campaign_stays_one_shard(self):
+        # Under the default (64Ki-seed) batched block size a modest
+        # campaign is one worker call amortizing one task profile.
         shards = plan_shards(_dicts(32, engine="batched"), shard_size=4)
         assert len(shards) == 1
         assert shards[0].batched
         assert shards[0].spec_indices == tuple(range(32))
+
+    def test_batched_specs_split_into_seed_blocks(self):
+        # Counter-based streams make rows composition-invariant, so the
+        # batched side may block too — reassembly is bit-identical.
+        shards = plan_shards(
+            _dicts(10, engine="batched"), shard_size=4, batched_shard_size=4
+        )
+        assert [shard.spec_indices for shard in shards] == [
+            (0, 1, 2, 3),
+            (4, 5, 6, 7),
+            (8, 9),
+        ]
+        assert all(shard.batched for shard in shards)
+
+    def test_batched_block_follows_engine_block_size(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_BLOCK", "3")
+        shards = plan_shards(_dicts(7, engine="batched"))
+        assert [len(shard.spec_indices) for shard in shards] == [3, 3, 1]
+        monkeypatch.setenv("REPRO_BATCH_BLOCK", "0")  # unlimited: one shard
+        assert len(plan_shards(_dicts(7, engine="batched"))) == 1
 
     def test_mixed_engines_split_correctly(self):
         dicts = _dicts(3) + _dicts(5, engine="batched")
@@ -44,6 +64,19 @@ class TestPlanShards:
         assert len(batched) == 1
         assert batched[0].spec_indices == (3, 4, 5, 6, 7)
         assert [shard.spec_indices for shard in behavioural] == [(0, 1), (2,)]
+
+    def test_split_batched_execution_is_bit_identical(self):
+        from repro.api.executors import BatchCampaignExecutor
+        from repro.api.spec import ExperimentSpec
+
+        dicts = _dicts(6, engine="batched")
+        shards = plan_shards(dicts, batched_shard_size=2)
+        assert len(shards) == 3
+        rows: list[list[dict]] = []
+        for shard in shards:
+            rows.extend(execute_shard_payload(shard.payload(dicts))["records_per_spec"])
+        whole = BatchCampaignExecutor().map([ExperimentSpec.from_dict(d) for d in dicts])
+        assert rows == [outcome.records for outcome in whole]
 
     def test_shard_indices_are_contiguous_ids(self):
         shards = plan_shards(_dicts(6), shard_size=2)

@@ -127,6 +127,38 @@ class TestListCommand:
         assert {"hybrid-optimal", "hybrid-adaptive"} <= by_registry["strategy"]
         assert "paper-smu" in by_registry["fault-model"]
         assert {"paper-constant", "burst", "duty-cycle"} <= by_registry["scenario"]
+        assert by_registry["substrate"] == {"numpy", "numba", "cupy"}
+
+    def test_list_marks_substrate_availability(self, capsys):
+        assert main(["list", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        descriptions = {
+            row["name"]: row["description"]
+            for row in payload["rows"]
+            if row["registry"] == "substrate"
+        }
+        assert "[available]" in descriptions["numpy"]
+
+    def test_unavailable_substrate_is_a_friendly_error(self, capsys, monkeypatch):
+        # An installed-name-but-missing-library substrate must exit 2
+        # with the install hint, never a traceback.
+        from repro.batch import substrate as substrate_module
+
+        monkeypatch.setattr(substrate_module, "_INSTANCES", {})
+        monkeypatch.setattr(
+            substrate_module.NumbaSubstrate,
+            "_check_available",
+            lambda self: (_ for _ in ()).throw(
+                substrate_module.SubstrateUnavailableError(
+                    "substrate 'numba' needs the numba package (pip install numba)"
+                )
+            ),
+        )
+        assert main([
+            "campaign", "--app", "adpcm-encode", "--strategy", "default",
+            "--seeds", "0", "--engine", "batched", "--substrate", "numba",
+        ]) == 2
+        assert "pip install numba" in capsys.readouterr().err
 
     def test_list_renders_table(self, capsys):
         assert main(["list"]) == 0

@@ -58,6 +58,36 @@ class TestPlanUnits:
         units = plan_units(specs, grouped=True)
         assert sorted(unit.indices for unit in units) == [(0, 2), (1,)]
 
+    def test_grouped_batched_units_split_by_engine_block(self, monkeypatch) -> None:
+        # Counter-based streams make each seed's row invariant to the
+        # block it runs in, so a campaign warehouses as per-block deltas:
+        # resuming after a crash replays only the missing blocks.
+        monkeypatch.setenv("REPRO_BATCH_BLOCK", "2")
+        specs = [_spec(seed=s, engine="batched") for s in range(5)]
+        units = plan_units(specs, grouped=True)
+        assert [unit.indices for unit in units] == [(0, 1), (2, 3), (4,)]
+        assert all(unit.engine == "batched" for unit in units)
+        assert len({unit.key for unit in units}) == 3  # distinct cache keys
+
+    def test_block_units_resume_and_merge_bit_identical(
+        self, monkeypatch, tmp_path
+    ) -> None:
+        from repro.api.executors import BatchCampaignExecutor
+
+        specs = [_spec(seed=s, engine="batched") for s in range(5)]
+        whole = BatchCampaignExecutor().map(specs)
+        monkeypatch.setenv("REPRO_BATCH_BLOCK", "2")
+        warehouse = ResultWarehouse(tmp_path)
+        first = DeltaPlanner(warehouse).plan(specs[:4], grouped=True)
+        first.merge(BatchCampaignExecutor().map(first.missing_specs()))
+        # Widening the campaign replays the stored blocks and executes
+        # only the new tail block — and the stitched rows equal one
+        # unblocked execution of the full campaign.
+        widened = DeltaPlanner(warehouse).plan(specs, grouped=True)
+        assert widened.missing_indices() == [4]
+        merged = widened.merge(BatchCampaignExecutor().map(widened.missing_specs()))
+        assert [o.records for o in merged] == [o.records for o in whole]
+
     def test_trace_collection_is_uncacheable(self) -> None:
         (unit,) = plan_units([_spec(collect_trace=True)])
         assert unit.key is None
@@ -134,8 +164,9 @@ class TestDeltaPlan:
         assert warehouse.entries() == []
 
     def test_grouped_unit_hits_atomically(self, tmp_path) -> None:
-        # A cached (0, 1) group must not answer a (0, 1, 2) group: the
-        # batch engine's fault stream depends on the group composition.
+        # A cached (0, 1) group must not answer a (0, 1, 2) group: unit
+        # keys hash the whole block, so reuse happens at block
+        # granularity (rows are composition-invariant, lookups are not).
         warehouse = ResultWarehouse(tmp_path)
         pair = [_spec(seed=s, engine="batched") for s in (0, 1)]
         plan = DeltaPlanner(warehouse).plan(pair, grouped=True)
