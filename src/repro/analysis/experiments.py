@@ -964,10 +964,23 @@ DEFAULT_SCENARIOS: tuple[str, ...] = ("paper-constant", "burst", "duty-cycle", "
 #: Default strategy grid: the paper's static optimum vs the adaptive one.
 DEFAULT_SCENARIO_STRATEGIES: tuple[str, ...] = ("hybrid-optimal", "hybrid-adaptive")
 
+#: The oracle strategy regret is measured against: it reads the scenario's
+#: true rate, so no honest (estimator-driven) strategy can beat it except
+#: by sampling luck.
+ORACLE_STRATEGY = "hybrid-adaptive"
+
 
 @dataclass(frozen=True)
 class ScenarioCell:
-    """Averaged behavioural outcome of one (scenario, strategy) pair."""
+    """Averaged behavioural outcome of one (scenario, strategy) pair.
+
+    ``regret`` is the mean over seeds of the *per-realization* energy gap
+    to the oracle adaptive strategy under the same scenario and seed
+    (``None`` when the oracle is not part of the sweep's strategy grid).
+    The oracle's own regret is identically 0; an estimator-driven
+    strategy's regret measures what rate *estimation* costs relative to
+    rate *knowledge*.
+    """
 
     scenario: str
     strategy: str
@@ -979,6 +992,7 @@ class ScenarioCell:
     checkpoints: float
     fully_mitigated_fraction: float
     relative_energy: float
+    regret: float | None = None
 
 
 @dataclass(frozen=True)
@@ -1023,6 +1037,7 @@ class ScenarioSweepResult:
                 entry.strategy,
                 round(entry.energy_nj, 1),
                 round(entry.relative_energy, 3),
+                round(entry.regret, 2) if entry.regret is not None else "-",
                 round(entry.upsets, 1),
                 round(entry.errors_detected, 1),
                 round(entry.rollbacks, 1),
@@ -1036,8 +1051,9 @@ class ScenarioSweepResult:
         return f"Scenario sweep — {self.application} across fault environments"
 
     def to_result_set(self) -> ResultSet:
-        records = [
-            {
+        records = []
+        for entry in self.cells:
+            record = {
                 "scenario": entry.scenario,
                 "strategy": entry.strategy,
                 "energy_nj": entry.energy_nj,
@@ -1049,8 +1065,9 @@ class ScenarioSweepResult:
                 "checkpoints": entry.checkpoints,
                 "fully_mitigated_fraction": entry.fully_mitigated_fraction,
             }
-            for entry in self.cells
-        ]
+            if entry.regret is not None:
+                record["regret"] = entry.regret
+            records.append(record)
         return ResultSet.from_records(self._title(), records)
 
     def render(self) -> str:
@@ -1060,6 +1077,7 @@ class ScenarioSweepResult:
                 "strategy",
                 "energy (nJ)",
                 "rel. energy",
+                "regret (nJ)",
                 "upsets",
                 "errors",
                 "rollbacks",
@@ -1127,12 +1145,27 @@ def scenario_sweep(
     cursor = 0
     for scenario in scenarios:
         baseline_energy: float | None = None
+        blocks: dict[str, list[dict]] = {}
         for strategy in strategies:
-            block = records[cursor : cursor + len(seeds)]
+            blocks[strategy] = records[cursor : cursor + len(seeds)]
             cursor += len(seeds)
+        # Regret is computed per realization: strategy and oracle are
+        # compared on the same (scenario, seed) — the same sample path —
+        # then averaged, so realization-to-realization variance cancels.
+        oracle_block = blocks.get(ORACLE_STRATEGY)
+        for strategy in strategies:
+            block = blocks[strategy]
             energy = _average([r["energy_nj"] for r in block])
             if baseline_energy is None:
                 baseline_energy = energy
+            regret = None
+            if oracle_block is not None:
+                regret = _average(
+                    [
+                        r["energy_nj"] - oracle["energy_nj"]
+                        for r, oracle in zip(block, oracle_block)
+                    ]
+                )
             cells.append(
                 ScenarioCell(
                     scenario=scenario,
@@ -1145,6 +1178,7 @@ def scenario_sweep(
                     checkpoints=_average([r["checkpoints_committed"] for r in block]),
                     fully_mitigated_fraction=_average([r["fully_mitigated"] for r in block]),
                     relative_energy=energy / baseline_energy if baseline_energy else 0.0,
+                    regret=regret,
                 )
             )
     return ScenarioSweepResult(

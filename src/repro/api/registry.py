@@ -21,6 +21,7 @@ from ..core.optimizer import optimize_chunk_size
 from ..core.strategies import (
     AdaptiveHybridStrategy,
     DefaultStrategy,
+    EstimatingAdaptiveStrategy,
     HwMitigationStrategy,
     HybridStrategy,
     MitigationStrategy,
@@ -40,8 +41,10 @@ from ..scenarios.registry import (
     available_scenarios,
     build_scenario,
     register_scenario,
+    scenario_defaults,
     scenario_description,
     scenario_known,
+    signature_defaults,
 )
 
 __all__ = [
@@ -53,11 +56,14 @@ __all__ = [
     "build_fault_model",
     "build_scenario",
     "build_strategy",
+    "fault_model_defaults",
     "register_fault_model",
     "register_scenario",
     "register_strategy",
+    "scenario_defaults",
     "scenario_description",
     "scenario_known",
+    "strategy_defaults",
     "strategy_known",
 ]
 
@@ -168,6 +174,37 @@ def _build_hybrid_adaptive(
     )
 
 
+def _build_hybrid_estimating(
+    app: StreamingApplication,
+    constraints: DesignConstraints,
+    *,
+    opt_seed: int = 0,
+    extra_buffer_words: int | None = None,
+    label: str = "hybrid-estimating",
+    estimator: str = "bayes",
+    window_cycles: int = 5_000,
+    monitor_words: int = 4096,
+    windows: int = 2,
+    decay: float = 0.4,
+    prior_exposure: float = 5e6,
+    prior_rate_factor: float = 50.0,
+) -> MitigationStrategy:
+    return EstimatingAdaptiveStrategy(
+        app,
+        constraints,
+        extra_buffer_words=extra_buffer_words,
+        label=label,
+        opt_seed=int(opt_seed),
+        estimator=str(estimator),
+        window_cycles=int(window_cycles),
+        monitor_words=int(monitor_words),
+        windows=int(windows),
+        decay=float(decay),
+        prior_exposure=float(prior_exposure),
+        prior_rate_factor=float(prior_rate_factor),
+    )
+
+
 _STRATEGIES: dict[str, StrategyFactory] = {
     "default": _build_default,
     "sw-mitigation": _build_sw,
@@ -176,6 +213,7 @@ _STRATEGIES: dict[str, StrategyFactory] = {
     "hybrid-optimal": _build_hybrid_optimal,
     "hybrid-suboptimal": _build_hybrid_suboptimal,
     "hybrid-adaptive": _build_hybrid_adaptive,
+    "hybrid-estimating": _build_hybrid_estimating,
 }
 
 
@@ -228,6 +266,16 @@ def available_strategies() -> list[str]:
 def available_fault_models() -> list[str]:
     """Names of every registered fault model."""
     return sorted(_FAULT_MODELS)
+
+
+def strategy_defaults() -> dict[str, dict[str, str]]:
+    """Keyword defaults of every strategy factory (warehouse fingerprint)."""
+    return signature_defaults(_STRATEGIES)
+
+
+def fault_model_defaults() -> dict[str, dict[str, str]]:
+    """Keyword defaults of every fault-model factory (warehouse fingerprint)."""
+    return signature_defaults(_FAULT_MODELS)
 
 
 def strategy_known(name: str) -> bool:

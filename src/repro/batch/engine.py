@@ -37,12 +37,13 @@ composition) changes no emitted number.
 from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
+from dataclasses import replace
 
 import numpy as np
 
 from ..core.strategies import RecoveryPolicy
 from ..runtime.executor import MAX_ROLLBACK_ATTEMPTS
-from .model import BatchTaskModel, OutcomeProbabilities
+from .model import BatchTaskModel, OutcomeProbabilities, RunLayout
 from .streaming import iter_blocks, note_blocks, note_peak_bytes
 from .substrate import RunStreams
 
@@ -122,6 +123,7 @@ class _RunTotals:
 
 def _sample_attempt(
     model: BatchTaskModel,
+    layout: RunLayout,
     streams: RunStreams,
     window_end,
     live: int,
@@ -130,7 +132,12 @@ def _sample_attempt(
 ) -> tuple:
     """Upset counts and outcome split for one exposure window per run."""
     sub = model.substrate
-    lam = words * model.rate.integral(window_end - live, window_end, substrate=sub)
+    if layout.rate.per_run:
+        lam = words * layout.rate.integral(
+            window_end - live, window_end, substrate=sub, runs=idx
+        )
+    else:
+        lam = words * layout.rate.integral(window_end - live, window_end, substrate=sub)
     counts = sub.poisson(streams, lam, idx)
     detected, corrected, silent = _split_outcomes(model, streams, counts, idx)
     return counts, detected, corrected, silent
@@ -140,18 +147,18 @@ def _sample_attempt(
 # Inline / none / rollback recovery: every phase retries locally
 # ---------------------------------------------------------------------- #
 def _simulate_phase_loop(
-    model: BatchTaskModel, streams: RunStreams, totals: _RunTotals
+    model: BatchTaskModel, layout: RunLayout, streams: RunStreams, totals: _RunTotals
 ) -> None:
     sub = model.substrate
     xp = sub.xp
-    costs = model.costs
+    costs = layout.costs
     max_attempts = (
         MAX_ROLLBACK_ATTEMPTS
         if model.strategy.recovery == RecoveryPolicy.ROLLBACK
         else 0
     )
     commits = model.strategy.uses_checkpoints
-    for p in range(model.num_phases):
+    for p in range(layout.num_phases):
         words = int(costs.words[p])
         exec_c = int(costs.exec_cycles[p])
         drain_c = int(costs.drain_cycles[p])
@@ -161,7 +168,7 @@ def _simulate_phase_loop(
 
         totals.clock += exec_c
         counts, detected, corrected, silent = _sample_attempt(
-            model, streams, totals.clock, live, words
+            model, layout, streams, totals.clock, live, words
         )
         totals.clock += drain_c
         totals.energy += exec_e + drain_e
@@ -177,13 +184,13 @@ def _simulate_phase_loop(
             failed_idx = xp.flatnonzero(failed)
             totals.errors_detected[failed] += 1
             totals.rollbacks[failed] += 1
-            totals.clock[failed] += model.isr_cycles
-            totals.energy[failed] += model.isr_energy
-            totals.recovery_cycles[failed] += model.isr_cycles
+            totals.clock[failed] += layout.isr_cycles
+            totals.energy[failed] += layout.isr_energy
+            totals.recovery_cycles[failed] += layout.isr_cycles
 
             window_end = totals.clock[failed] + exec_c
             counts, detected, corrected, silent = _sample_attempt(
-                model, streams, window_end, live, words, failed_idx
+                model, layout, streams, window_end, live, words, failed_idx
             )
             totals.clock[failed] += exec_c + drain_c
             totals.energy[failed] += exec_e + drain_e
@@ -216,11 +223,11 @@ def _simulate_phase_loop(
 # Restart recovery: the first failing phase aborts the whole pass
 # ---------------------------------------------------------------------- #
 def _simulate_restart(
-    model: BatchTaskModel, streams: RunStreams, totals: _RunTotals
+    model: BatchTaskModel, layout: RunLayout, streams: RunStreams, totals: _RunTotals
 ) -> None:
     sub = model.substrate
     xp = sub.xp
-    costs = model.costs
+    costs = layout.costs
     runs = totals.clock.shape[0]
     max_restarts = int(getattr(model.strategy, "max_restarts", 1))
     committed = xp.zeros(runs, dtype=bool)
@@ -232,7 +239,7 @@ def _simulate_restart(
         running = active.copy()
         pass_silent = xp.zeros(runs, dtype=xp.int64)
 
-        for p in range(model.num_phases):
+        for p in range(layout.num_phases):
             if not bool(running.any()):
                 break
             running_idx = xp.flatnonzero(running)
@@ -243,7 +250,7 @@ def _simulate_restart(
 
             totals.clock[running] += exec_c
             counts, detected, corrected, silent = _sample_attempt(
-                model, streams, totals.clock[running], live, words, running_idx
+                model, layout, streams, totals.clock[running], live, words, running_idx
             )
             totals.clock[running] += drain_c
             totals.energy[running] += float(costs.exec_energy[p]) + float(
@@ -282,17 +289,48 @@ def _simulate_restart(
 
 # ---------------------------------------------------------------------- #
 def _simulate_block(model: BatchTaskModel, seeds: Sequence[int]) -> dict[str, np.ndarray]:
-    """Simulate one block of seeds into host float64 metric columns."""
+    """Simulate one block of seeds into host float64 metric columns.
+
+    Seed-dependent schedules (stochastic scenario × scenario-reading
+    planner, or a seed-consuming planner) force one layout — and hence
+    one sub-block — per seed; seed-dependent rate paths alone keep the
+    shared layout and swap in a per-run breakpoint table.  Either way a
+    run's row is a pure function of ``(spec, seed)``, so the partition
+    stays invisible in the emitted columns.
+    """
+    if model.schedule_seed_dependent:
+        pieces = [
+            _simulate_layout_block(model, model.layout_for_seed(int(seed)), [seed])
+            for seed in seeds
+        ]
+        if len(pieces) == 1:
+            return pieces[0]
+        return {
+            name: np.concatenate([piece[name] for piece in pieces])
+            for name in METRIC_COLUMNS
+        }
+    layout = model.layout
+    if model.rate_seed_dependent:
+        layout = replace(layout, rate=model.rate_for_block(seeds))
+    return _simulate_layout_block(model, layout, seeds)
+
+
+def _simulate_layout_block(
+    model: BatchTaskModel, layout: RunLayout, seeds: Sequence[int]
+) -> dict[str, np.ndarray]:
+    """Simulate one block of seeds that share a single run layout."""
     sub = model.substrate
     streams = model.make_streams(seeds)
     totals = _RunTotals(len(seeds), sub.xp)
     if model.strategy.recovery == RecoveryPolicy.RESTART:
-        _simulate_restart(model, streams, totals)
+        _simulate_restart(model, layout, streams, totals)
     else:
-        _simulate_phase_loop(model, streams, totals)
+        _simulate_phase_loop(model, layout, streams, totals)
 
     clock = sub.to_numpy(totals.clock)
-    energy = sub.to_numpy(totals.energy) + model.leakage_pj(clock)
+    energy = sub.to_numpy(totals.energy) + (
+        layout.leakage_mw * clock.astype(np.float64) / model.frequency_hz * 1e9
+    )
     silent = sub.to_numpy(totals.silent)
     correct = (silent == 0).astype(np.float64)
     if model.deadline_cycles == 0:

@@ -36,6 +36,7 @@ Fidelity contract (verified by ``tests/batch/``):
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -63,25 +64,46 @@ class CumulativeRate:
     scenarios are converted to a breakpoint table so the integral is a pair
     of ``np.interp`` lookups; constant rates use a closed form.  The table
     is grown on demand when a window reaches past the current horizon.
+
+    Passing a *sequence* of scenarios (realized per-run sample paths of a
+    stochastic environment) builds one breakpoint table **per run**: row
+    ``i`` integrates scenario ``i``, and ``integral(..., runs=idx)``
+    selects which rows the window boundaries belong to.  This is what
+    lets the batched engine drive each run of a block along its own
+    realized rate path without leaving array land.
     """
 
     def __init__(
         self,
-        scenario: Scenario | None,
+        scenario: Scenario | Sequence[Scenario] | None,
         fixed_rate: float,
         horizon: int = 1,
     ) -> None:
         self.fixed_rate = float(fixed_rate)
-        self.scenario = scenario
-        if scenario is not None and scenario.is_constant:
-            # Degenerate to the closed form: one rate for all time.
-            self.fixed_rate = float(scenario.rate_at(0))
-            self.scenario = None
         self._breaks: np.ndarray | None = None
         self._cum: np.ndarray | None = None
         self._horizon = 0
-        if self.scenario is not None:
-            self._extend(max(1, int(horizon)))
+        if isinstance(scenario, Scenario) or scenario is None:
+            self._run_scenarios: list[Scenario] | None = None
+            self.scenario = scenario
+            if scenario is not None and scenario.is_constant:
+                # Degenerate to the closed form: one rate for all time.
+                self.fixed_rate = float(scenario.rate_at(0))
+                self.scenario = None
+            if self.scenario is not None:
+                self._extend(max(1, int(horizon)))
+        else:
+            self._run_scenarios = list(scenario)
+            self.scenario = None
+            if not self._run_scenarios:
+                raise ValueError("per-run mode needs at least one scenario")
+            self._run_rates: np.ndarray | None = None
+            self._extend_runs(max(1, int(horizon)))
+
+    @property
+    def per_run(self) -> bool:
+        """Whether this table integrates one rate path per run."""
+        return self._run_scenarios is not None
 
     def _extend(self, horizon: int) -> None:
         segments = self.scenario.segments(0, horizon)
@@ -96,7 +118,58 @@ class CumulativeRate:
         self._cum = cum
         self._horizon = horizon
 
-    def integral(self, start, end, substrate: Substrate | None = None) -> np.ndarray:
+    def _extend_runs(self, horizon: int) -> None:
+        """Rebuild the padded per-run breakpoint tables to ``horizon``.
+
+        Every row's segments tile ``[0, horizon)`` exactly, so rows end on
+        the same final break; shorter rows are right-padded by repeating
+        that final break with zero rate, which keeps the row-wise lookup
+        exact at every ``t`` in ``[0, horizon]``.
+        """
+        tables = [scenario.segments(0, horizon) for scenario in self._run_scenarios]
+        width = max(len(segments) for segments in tables)
+        runs = len(tables)
+        breaks = np.full((runs, width + 1), float(horizon), dtype=np.float64)
+        cum = np.empty((runs, width + 1), dtype=np.float64)
+        rates = np.zeros((runs, width), dtype=np.float64)
+        for row, segments in enumerate(tables):
+            breaks[row, 0] = 0.0
+            cum[row, 0] = 0.0
+            for index, segment in enumerate(segments):
+                breaks[row, index + 1] = segment.end
+                cum[row, index + 1] = cum[row, index] + segment.rate * segment.cycles
+                rates[row, index] = segment.rate
+            cum[row, len(segments):] = cum[row, len(segments)]
+        self._breaks = breaks
+        self._cum = cum
+        self._run_rates = rates
+        self._horizon = horizon
+
+    def _cum_at_runs(self, t, rows, xp):
+        """Cumulative integral at times ``t`` along rows ``rows``."""
+        breaks = xp.asarray(self._breaks)
+        cum = xp.asarray(self._cum)
+        rates = xp.asarray(self._run_rates)
+        row_breaks = breaks[rows]
+        row_cum = cum[rows]
+        row_rates = rates[rows]
+        width = row_rates.shape[1]
+        index = xp.clip(
+            xp.sum(row_breaks <= t[:, None], axis=1) - 1, 0, width - 1
+        )
+        gather = xp.take_along_axis
+        base_break = gather(row_breaks, index[:, None], axis=1)[:, 0]
+        base_cum = gather(row_cum, index[:, None], axis=1)[:, 0]
+        rate = gather(row_rates, index[:, None], axis=1)[:, 0]
+        return base_cum + (t - base_break) * rate
+
+    def integral(
+        self,
+        start,
+        end,
+        substrate: Substrate | None = None,
+        runs=None,
+    ) -> np.ndarray:
         """``∫ rate dt`` over ``[start, end)``, elementwise over arrays.
 
         Windows must be well-formed: every ``end`` must be ``>= start``
@@ -104,13 +177,30 @@ class CumulativeRate:
         which the Poisson sampler downstream would reject much less
         legibly).  Passing a :class:`~repro.batch.substrate.Substrate`
         evaluates the lookup in that backend's array namespace, keeping
-        device arrays on the device.
+        device arrays on the device.  In per-run mode ``runs`` holds the
+        row index of each window (``None`` means window ``i`` belongs to
+        run ``i``).
         """
         xp = substrate.xp if substrate is not None else np
         start = xp.asarray(start, dtype=xp.float64)
         end = xp.asarray(end, dtype=xp.float64)
         if bool(xp.any(end < start)):
             raise ValueError("integral window is reversed: every end must be >= start")
+        if self._run_scenarios is not None:
+            top = float(end.max()) if end.size else 0.0
+            while top > self._horizon:
+                self._extend_runs(max(int(top * 2) + 1, self._horizon * 2))
+            start = xp.atleast_1d(start)
+            end = xp.atleast_1d(end)
+            if runs is None:
+                if start.shape[0] != len(self._run_scenarios):
+                    raise ValueError(
+                        "per-run integral needs one window per run (or explicit runs)"
+                    )
+                rows = xp.arange(len(self._run_scenarios))
+            else:
+                rows = xp.asarray(runs)
+            return self._cum_at_runs(end, rows, xp) - self._cum_at_runs(start, rows, xp)
         if self.scenario is None:
             return self.fixed_rate * (end - start)
         top = float(end.max()) if end.size else 0.0
@@ -217,6 +307,30 @@ class _PhaseCosts:
     checkpoint_energy: np.ndarray
 
 
+@dataclass(frozen=True)
+class RunLayout:
+    """Everything seed-dependent planning can change about a run.
+
+    For deterministic scenarios and oracle-free strategies one layout is
+    shared by every seed (bit-identical to the pre-stochastic engine).
+    Stochastic scenarios realize a rate path per seed, and seed-consuming
+    planners (:class:`~repro.core.strategies.EstimatingAdaptiveStrategy`)
+    additionally re-plan the schedule — and with it the platform sizing,
+    ISR cost and leakage — per seed.
+    """
+
+    schedule: object             # CheckpointSchedule
+    costs: _PhaseCosts
+    isr_cycles: int
+    isr_energy: float
+    leakage_mw: float
+    rate: CumulativeRate
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.schedule.phases)
+
+
 class BatchTaskModel:
     """One campaign configuration, ready to simulate many seeds at once.
 
@@ -256,34 +370,68 @@ class BatchTaskModel:
         # Shared with TaskExecutor (repro.runtime.executor.profile_task),
         # so both engines plan from bit-identical profiles and schedules.
         profile = profile_task(self.app, self.app.generate_input(self.profile_seed))
-        step_words = profile.step_words
-        step_cycles = profile.step_cycles
-        step_reads = profile.step_reads
-        step_writes = profile.step_writes
         if profile.total_words == 0:
             raise ValueError("the task produced no output words; nothing to protect")
-
-        self.schedule = self.strategy.plan_schedule(
-            step_words, profile.estimated_step_cycles, scenario=self.scenario
-        )
-        state_words = self.app.state_words()
-        platform = self.strategy.build_platform(
-            required_buffer_words=self.schedule.max_phase_words + state_words
-        )
-        spec = platform.processor.spec
-        l1 = platform.l1
-        l1p = platform.l1p
+        self._profile = profile
 
         self.useful_cycles = profile.baseline_cycles
         self.deadline_cycles = math.ceil(
             self.useful_cycles * (1.0 + self.constraints.cycle_overhead)
         )
 
+        # Seed-dependence flags drive the engine's layout strategy:
+        # a stochastic scenario makes the *rate path* per-seed; it makes
+        # the *schedule* per-seed only if the planner reads the scenario,
+        # and a seed-consuming planner (simulated observation channel)
+        # makes the schedule per-seed even under deterministic scenarios.
+        stochastic = self.scenario is not None and self.scenario.is_stochastic
+        plan_uses_scenario = bool(getattr(self.strategy, "plan_uses_scenario", False))
+        plan_depends_on_seed = bool(getattr(self.strategy, "plan_depends_on_seed", False))
+        self.rate_seed_dependent = stochastic
+        self.schedule_seed_dependent = self.scenario is not None and (
+            (stochastic and plan_uses_scenario) or plan_depends_on_seed
+        )
+        self._layout_cache: dict[int, RunLayout] = {}
+
+        # The representative layout: for seed-independent campaigns it is
+        # *the* layout (bit-identical to the pre-stochastic engine); for
+        # seed-dependent ones it plans against the unrealized scenario
+        # (the process's mean path) and backs the compatibility aliases.
+        self.layout = self._layout_for(self.scenario, seed=0)
+        self.schedule = self.layout.schedule
+        self.costs = self.layout.costs
+        self.isr_cycles = self.layout.isr_cycles
+        self.isr_energy = self.layout.isr_energy
+        self.leakage_mw = self.layout.leakage_mw
+        self.rate = self.layout.rate
+
+    def _layout_for(self, scenario: Scenario | None, seed: int) -> RunLayout:
+        """Plan one run layout: schedule, per-phase costs, ISR, leakage."""
+        profile = self._profile
+        step_words = profile.step_words
+        step_cycles = profile.step_cycles
+        step_reads = profile.step_reads
+        step_writes = profile.step_writes
+
+        schedule = self.strategy.plan_schedule(
+            step_words,
+            profile.estimated_step_cycles,
+            scenario=scenario,
+            seed=seed,
+        )
+        state_words = self.app.state_words()
+        platform = self.strategy.build_platform(
+            required_buffer_words=schedule.max_phase_words + state_words
+        )
+        spec = platform.processor.spec
+        l1 = platform.l1
+        l1p = platform.l1p
+
         e_cycle = spec.dynamic_energy_per_cycle_pj
         acc = l1.access_cycles
         state_region = state_words + spec.status_register_words
 
-        phases = self.schedule.phases
+        phases = schedule.phases
         words = np.empty(len(phases), dtype=np.int64)
         exec_cycles = np.empty(len(phases), dtype=np.int64)
         exec_energy = np.empty(len(phases), dtype=np.float64)
@@ -315,7 +463,7 @@ class BatchTaskModel:
             checkpoint_energy = np.zeros(len(phases), dtype=np.float64)
         live_cycles = np.minimum(exec_cycles, self.constraints.drain_latency_cycles)
 
-        self.costs = _PhaseCosts(
+        costs = _PhaseCosts(
             words=words,
             exec_cycles=exec_cycles,
             drain_cycles=drain_cycles.astype(np.int64),
@@ -340,23 +488,66 @@ class BatchTaskModel:
                 + spec.context_restore_cycles
                 + 4
             )
-            self.isr_cycles = DEFAULT_ENTRY_CYCLES + handler_cycles + DEFAULT_EXIT_CYCLES
-            self.isr_energy = (
-                self.isr_cycles * e_cycle + state_region * l1p.read_energy_pj
-            )
+            isr_cycles = DEFAULT_ENTRY_CYCLES + handler_cycles + DEFAULT_EXIT_CYCLES
+            isr_energy = isr_cycles * e_cycle + state_region * l1p.read_energy_pj
         else:
-            self.isr_cycles = 0
-            self.isr_energy = 0.0
+            isr_cycles = 0
+            isr_energy = 0.0
 
-        self.leakage_mw = spec.static_power_mw + platform.total_memory_leakage_mw()
+        # Platform-wide constants (identical across layouts: the L1 code
+        # and clock never depend on the planned schedule).
         self.frequency_hz = spec.frequency_hz
         self.word_bits = l1.code.codeword_bits
-        self.rate = CumulativeRate(
-            self.scenario,
+        if not hasattr(self, "outcomes"):
+            self.outcomes = classify_outcomes(l1.code, self.fault_model)
+
+        rate = CumulativeRate(
+            scenario,
             self.constraints.error_rate,
-            horizon=int(self.costs.exec_cycles.sum() + self.costs.drain_cycles.sum()) + 1,
+            horizon=int(costs.exec_cycles.sum() + costs.drain_cycles.sum()) + 1,
         )
-        self.outcomes = classify_outcomes(l1.code, self.fault_model)
+        return RunLayout(
+            schedule=schedule,
+            costs=costs,
+            isr_cycles=isr_cycles,
+            isr_energy=isr_energy,
+            leakage_mw=spec.static_power_mw + platform.total_memory_leakage_mw(),
+            rate=rate,
+        )
+
+    # ------------------------------------------------------------------ #
+    def layout_for_seed(self, seed: int) -> RunLayout:
+        """The run layout of one seed (the shared layout when possible).
+
+        Seed-dependent layouts are cached (bounded), keyed by seed: the
+        realized scenario and the planned schedule are pure functions of
+        ``(spec, seed)``, so a cache hit is exactly a recomputation.
+        """
+        if not self.schedule_seed_dependent:
+            return self.layout
+        seed = int(seed)
+        layout = self._layout_cache.get(seed)
+        if layout is None:
+            realized = self.scenario.realize(seed)
+            layout = self._layout_for(realized, seed)
+            if len(self._layout_cache) >= 256:
+                self._layout_cache.pop(next(iter(self._layout_cache)))
+            self._layout_cache[seed] = layout
+        return layout
+
+    def rate_for_block(self, seeds: Sequence[int]) -> CumulativeRate:
+        """The cumulative-rate table of one block of seeds.
+
+        Deterministic scenarios share one table; stochastic scenarios get
+        one realized breakpoint row per seed (each row a pure function of
+        its seed, so the block partition stays invisible in the results).
+        """
+        if not self.rate_seed_dependent:
+            return self.layout.rate
+        realized = [self.scenario.realize(int(seed)) for seed in seeds]
+        costs = self.layout.costs
+        horizon = int(costs.exec_cycles.sum() + costs.drain_cycles.sum()) + 1
+        return CumulativeRate(realized, self.constraints.error_rate, horizon=horizon)
 
     # ------------------------------------------------------------------ #
     @property

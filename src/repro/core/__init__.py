@@ -17,11 +17,18 @@ from .chunking import (
 )
 from .config import PAPER_OPERATING_POINT, DesignConstraints
 from .cost_model import CostBreakdown, MitigationCostModel, PlatformCostParameters
+from .estimators import (
+    GammaPoissonEstimator,
+    RateEstimator,
+    WindowedMLEEstimator,
+    make_estimator,
+)
 from .feasibility import FeasiblePoint, FeasibleRegion, feasible_region
 from .optimizer import ChunkSizeOptimizer, OptimizationResult, optimize_chunk_size
 from .strategies import (
     AdaptiveHybridStrategy,
     DefaultStrategy,
+    EstimatingAdaptiveStrategy,
     HwMitigationStrategy,
     HybridStrategy,
     MitigationStrategy,
@@ -49,8 +56,13 @@ __all__ = [
     "ChunkSizeOptimizer",
     "OptimizationResult",
     "optimize_chunk_size",
+    "GammaPoissonEstimator",
+    "RateEstimator",
+    "WindowedMLEEstimator",
+    "make_estimator",
     "AdaptiveHybridStrategy",
     "DefaultStrategy",
+    "EstimatingAdaptiveStrategy",
     "HwMitigationStrategy",
     "HybridStrategy",
     "MitigationStrategy",

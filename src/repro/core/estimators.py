@@ -1,0 +1,160 @@
+"""Online fault-rate estimators fed by observed ECC events.
+
+:class:`~repro.core.strategies.AdaptiveHybridStrategy` is an *oracle*: it
+reads the scenario's true rate when sizing chunks.  A deployed runtime
+only sees what its ECC machinery reports — correction/detection counts
+from a monitored region of memory over an observation window.  These
+estimators turn that event stream into a running rate estimate:
+
+* :class:`WindowedMLEEstimator` — the Poisson maximum-likelihood estimate
+  over a sliding window of recent observations
+  (``total counts / total word-cycles``).  Unbiased and fast to react,
+  but noisy when the window holds few events.
+* :class:`GammaPoissonEstimator` — an exponential-decay conjugate
+  Gamma–Poisson posterior.  Each window decays the posterior's pseudo
+  counts/exposure by a forgetting factor and adds the new observation;
+  the point estimate is the posterior mean ``alpha / beta``.  The prior
+  (the design's nominal rate) regularizes the quiet-environment regime
+  where whole windows see zero events.
+
+Both expose the same two-method protocol (``update`` / ``rate``), so
+:class:`~repro.core.strategies.EstimatingAdaptiveStrategy` can swap them
+per spec parameter.  Estimators are cheap mutable state machines; the
+strategy builds a fresh one per planned run so schedules stay pure
+functions of ``(spec, seed)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+
+
+class RateEstimator(abc.ABC):
+    """Online estimator of a Poisson event rate per word-cycle."""
+
+    @abc.abstractmethod
+    def update(self, counts: int, word_cycles: float) -> None:
+        """Fold in one observation window.
+
+        Parameters
+        ----------
+        counts:
+            ECC correction/detection events observed in the window.
+        word_cycles:
+            The window's exposure (monitored words × window cycles).
+        """
+
+    @abc.abstractmethod
+    def rate(self) -> float:
+        """The current point estimate (events per word per cycle)."""
+
+
+class WindowedMLEEstimator(RateEstimator):
+    """Poisson MLE over a sliding window of recent observations.
+
+    Parameters
+    ----------
+    prior_rate:
+        Estimate returned before any observation arrives (the design's
+        nominal rate).
+    windows:
+        Number of most-recent observation windows kept.  Larger windows
+        average out Poisson noise but react slower to regime changes.
+    """
+
+    def __init__(self, prior_rate: float, windows: int = 8) -> None:
+        if prior_rate < 0:
+            raise ValueError("prior_rate must be non-negative")
+        if windows < 1:
+            raise ValueError("windows must be at least 1")
+        self.prior_rate = float(prior_rate)
+        self.windows = int(windows)
+        self._history: deque[tuple[int, float]] = deque(maxlen=self.windows)
+
+    def update(self, counts: int, word_cycles: float) -> None:
+        if counts < 0:
+            raise ValueError("counts must be non-negative")
+        if word_cycles <= 0:
+            raise ValueError("word_cycles must be positive")
+        self._history.append((int(counts), float(word_cycles)))
+
+    def rate(self) -> float:
+        if not self._history:
+            return self.prior_rate
+        exposure = sum(word_cycles for _, word_cycles in self._history)
+        counts = sum(count for count, _ in self._history)
+        return counts / exposure
+
+
+class GammaPoissonEstimator(RateEstimator):
+    """Exponentially-forgetting conjugate Gamma–Poisson posterior.
+
+    The posterior after each window is ``Gamma(alpha, beta)`` with
+    ``alpha`` pseudo-counts and ``beta`` pseudo-exposure; a window with
+    ``c`` counts over ``e`` word-cycles updates
+
+    ``alpha ← decay · alpha + c``, ``beta ← decay · beta + e``
+
+    so old evidence fades geometrically and the effective memory is
+    ``1 / (1 - decay)`` windows.  The point estimate is the posterior
+    mean ``alpha / beta``, which starts at ``prior_rate`` and is pulled
+    toward it whenever recent evidence is thin.
+
+    Parameters
+    ----------
+    prior_rate:
+        Prior mean rate (the design's nominal rate).
+    decay:
+        Forgetting factor in ``(0, 1]``; 1 means never forget.
+    prior_exposure:
+        Strength of the prior in word-cycles of pseudo-exposure: how much
+        real evidence it takes to overrule the design assumption.
+    """
+
+    def __init__(
+        self,
+        prior_rate: float,
+        decay: float = 0.9,
+        prior_exposure: float = 1e7,
+    ) -> None:
+        if prior_rate < 0:
+            raise ValueError("prior_rate must be non-negative")
+        if not 0 < decay <= 1:
+            raise ValueError("decay must be in (0, 1]")
+        if prior_exposure <= 0:
+            raise ValueError("prior_exposure must be positive")
+        self.prior_rate = float(prior_rate)
+        self.decay = float(decay)
+        self._alpha = float(prior_rate) * float(prior_exposure)
+        self._beta = float(prior_exposure)
+
+    def update(self, counts: int, word_cycles: float) -> None:
+        if counts < 0:
+            raise ValueError("counts must be non-negative")
+        if word_cycles <= 0:
+            raise ValueError("word_cycles must be positive")
+        self._alpha = self.decay * self._alpha + counts
+        self._beta = self.decay * self._beta + word_cycles
+
+    def rate(self) -> float:
+        return self._alpha / self._beta
+
+
+def make_estimator(
+    kind: str,
+    prior_rate: float,
+    *,
+    windows: int = 8,
+    decay: float = 0.9,
+    prior_exposure: float = 1e7,
+) -> RateEstimator:
+    """Instantiate an estimator by short name (``"mle"`` or ``"bayes"``)."""
+    key = kind.strip().lower()
+    if key == "mle":
+        return WindowedMLEEstimator(prior_rate, windows=windows)
+    if key == "bayes":
+        return GammaPoissonEstimator(
+            prior_rate, decay=decay, prior_exposure=prior_exposure
+        )
+    raise ValueError(f"unknown estimator kind {kind!r}; use 'mle' or 'bayes'")

@@ -20,6 +20,10 @@ the runtime reacts to a detected error:
   the chunk-size optimizer per scenario rate level, so checkpoint density
   tracks the current error rate — dense checkpoints through bursts,
   sparse ones through quiescent stretches.
+* :class:`EstimatingAdaptiveStrategy` — the honest version of the above:
+  chunks are sized from an online rate estimate reconstructed from
+  observed ECC correction/detection counts
+  (:mod:`repro.core.estimators`), never from the scenario's true rate.
 """
 
 from __future__ import annotations
@@ -65,6 +69,14 @@ class MitigationStrategy(abc.ABC):
     name: str = "abstract"
     recovery: str = RecoveryPolicy.NONE
     uses_checkpoints: bool = False
+    #: Whether :meth:`plan_schedule` reads the scenario's rate timeline.
+    #: The batch engine uses this to decide if stochastic scenarios make
+    #: the *schedule* (not just the fault process) seed-dependent.
+    plan_uses_scenario: bool = False
+    #: Whether :meth:`plan_schedule` consumes the spec seed directly
+    #: (e.g. a simulated observation channel), independent of the
+    #: scenario being stochastic.
+    plan_depends_on_seed: bool = False
 
     def __init__(self, constraints: DesignConstraints | None = None) -> None:
         self.constraints = constraints if constraints is not None else PAPER_OPERATING_POINT
@@ -92,6 +104,7 @@ class MitigationStrategy(abc.ABC):
         step_words: Sequence[int],
         step_cycles: Sequence[int] | None = None,
         scenario: Scenario | None = None,
+        seed: int = 0,
     ) -> CheckpointSchedule:
         """Plan the checkpoint schedule for one profiled task.
 
@@ -99,7 +112,11 @@ class MitigationStrategy(abc.ABC):
         :meth:`chunk_words_for` words, ignoring timing and environment —
         exactly the paper's fixed-chunk plan.  ``step_cycles`` (estimated
         cycles per step, including memory traffic) and ``scenario`` let
-        environment-aware strategies vary the chunk size over the task.
+        environment-aware strategies vary the chunk size over the task;
+        ``seed`` is the run's spec seed, consumed only by strategies that
+        declare :attr:`plan_depends_on_seed` (simulated observation
+        channels must replay identically across engines).  Callers pass
+        the *realized* scenario, so plans are pure in ``(spec, seed)``.
         """
         chunk_words = self.chunk_words_for(sum(step_words))
         return plan_schedule_from_profile(list(step_words), chunk_words)
@@ -249,6 +266,8 @@ class AdaptiveHybridStrategy(HybridStrategy):
         Seed of the input used for profiling/optimization.
     """
 
+    plan_uses_scenario = True
+
     def __init__(
         self,
         app: StreamingApplication,
@@ -316,6 +335,7 @@ class AdaptiveHybridStrategy(HybridStrategy):
         step_words: Sequence[int],
         step_cycles: Sequence[int] | None = None,
         scenario: Scenario | None = None,
+        seed: int = 0,
     ) -> CheckpointSchedule:
         """Variable-chunk plan: each phase sized for its scenario rate.
 
@@ -327,11 +347,153 @@ class AdaptiveHybridStrategy(HybridStrategy):
         features span many thousands of cycles.
         """
         if scenario is None or step_cycles is None:
-            return super().plan_schedule(step_words, step_cycles, scenario)
+            return super().plan_schedule(step_words, step_cycles, scenario, seed)
         return plan_variable_schedule(
             list(step_words),
             list(step_cycles),
             lambda clock: self.chunk_words_for_rate(scenario.rate_at(clock)),
+            self.chunk_words,
+        )
+
+
+class EstimatingAdaptiveStrategy(AdaptiveHybridStrategy):
+    """Adaptive mitigation driven by an *estimated* (not oracle) rate.
+
+    :class:`AdaptiveHybridStrategy` reads the scenario's true rate — an
+    oracle no deployed runtime has.  This strategy sees only what an ECC
+    monitor would report: per observation window, the number of
+    correction/detection events over ``monitor_words`` monitored words.
+    An online estimator (:mod:`repro.core.estimators`) turns that event
+    stream into a running rate estimate, and each chunk is sized by the
+    same grid optimizer at the *estimated* rate in effect when the phase
+    opens.  The gap to the oracle is the ``regret`` column of
+    :func:`repro.analysis.experiments.scenario_sweep`.
+
+    The observation channel is simulated: window event counts are Poisson
+    draws (counter-based stream keyed on the spec seed) with mean
+    ``monitor_words × ∫ realized rate`` over the window.  Because the
+    channel is a pure function of ``(spec, seed)`` and runs inside
+    :meth:`plan_schedule`, the behavioural executor and the batched
+    engine plan bit-identical schedules (:attr:`plan_depends_on_seed`
+    tells the batch model to plan per seed).
+
+    Parameters
+    ----------
+    estimator:
+        ``"bayes"`` (decayed Gamma–Poisson posterior, the default) or
+        ``"mle"`` (sliding-window maximum likelihood).
+    window_cycles:
+        Observation window length in cycles; shorter windows react
+        faster but see fewer events per update.
+    monitor_words:
+        Monitored words: the channel's exposure per cycle.
+    windows / decay / prior_exposure:
+        Estimator knobs, forwarded to
+        :func:`repro.core.estimators.make_estimator`.
+    prior_rate_factor:
+        The estimator boots from ``error_rate × prior_rate_factor`` — a
+        *pessimistic* prior, so the chunks planned before the first
+        observation window completes are conservatively small.  A
+        deployed runtime cannot know whether it is booting into a burst;
+        starting cautious and relaxing once the monitor reports costs a
+        few extra checkpoints on quiet starts but avoids re-executing a
+        large chunk when the environment opens hot.
+    """
+
+    plan_depends_on_seed = True
+
+    #: Domain-separation tag of the simulated ECC observation channel.
+    _ESTIMATOR_TAG = 0xE5717A70
+
+    def __init__(
+        self,
+        app: StreamingApplication,
+        constraints: DesignConstraints | None = None,
+        extra_buffer_words: int | None = None,
+        label: str = "hybrid-estimating",
+        opt_seed: int = 0,
+        estimator: str = "bayes",
+        window_cycles: int = 5_000,
+        monitor_words: int = 4096,
+        windows: int = 2,
+        decay: float = 0.4,
+        prior_exposure: float = 5e6,
+        prior_rate_factor: float = 50.0,
+    ) -> None:
+        from .estimators import make_estimator
+
+        if window_cycles <= 0:
+            raise ValueError("window_cycles must be positive")
+        if monitor_words <= 0:
+            raise ValueError("monitor_words must be positive")
+        if prior_rate_factor <= 0:
+            raise ValueError("prior_rate_factor must be positive")
+        super().__init__(
+            app,
+            constraints,
+            extra_buffer_words=extra_buffer_words,
+            label=label,
+            opt_seed=opt_seed,
+        )
+        self.estimator_kind = estimator
+        self.window_cycles = int(window_cycles)
+        self.monitor_words = int(monitor_words)
+        self.estimator_windows = int(windows)
+        self.estimator_decay = float(decay)
+        self.prior_exposure = float(prior_exposure)
+        self.prior_rate_factor = float(prior_rate_factor)
+        # Validate the estimator configuration eagerly, not at plan time.
+        self._make_estimator = lambda: make_estimator(
+            estimator,
+            self.constraints.error_rate * self.prior_rate_factor,
+            windows=self.estimator_windows,
+            decay=self.estimator_decay,
+            prior_exposure=self.prior_exposure,
+        )
+        self._make_estimator()
+
+    def plan_schedule(
+        self,
+        step_words: Sequence[int],
+        step_cycles: Sequence[int] | None = None,
+        scenario: Scenario | None = None,
+        seed: int = 0,
+    ) -> CheckpointSchedule:
+        """Variable-chunk plan sized from the estimated rate only.
+
+        The observation channel advances in fixed windows behind the
+        planning clock: before answering the chunk target at ``clock``,
+        every complete window ending at or before ``clock`` is observed
+        (a Poisson event count at the realized rate) and folded into the
+        estimator.  The chunk is then sized for the estimator's current
+        rate — the true rate never leaks into the plan.
+        """
+        if scenario is None or step_cycles is None:
+            return MitigationStrategy.plan_schedule(
+                self, step_words, step_cycles, scenario, seed
+            )
+        from ..utils.rng import CounterStream, stream_key
+
+        estimator = self._make_estimator()
+        channel = CounterStream(stream_key(seed, self._ESTIMATOR_TAG))
+        window_exposure = float(self.monitor_words * self.window_cycles)
+        observed_until = 0
+
+        def target_for(clock: int) -> int:
+            nonlocal observed_until
+            while observed_until + self.window_cycles <= clock:
+                lam = self.monitor_words * sum(
+                    seg.rate * seg.cycles
+                    for seg in scenario.segments(observed_until, self.window_cycles)
+                )
+                estimator.update(channel.poisson(lam), window_exposure)
+                observed_until += self.window_cycles
+            return self.chunk_words_for_rate(estimator.rate())
+
+        return plan_variable_schedule(
+            list(step_words),
+            list(step_cycles),
+            target_for,
             self.chunk_words,
         )
 

@@ -260,10 +260,21 @@ class TaskExecutor:
         if profile.total_words == 0:
             raise ValueError("the task produced no output words; nothing to protect")
 
+        # Stochastic scenarios realize one concrete sample path per spec
+        # seed; deterministic scenarios pass through unchanged.  The
+        # realized path is shared by the planner and the injector, and is
+        # the same path the batched engine derives from (spec, seed).
+        scenario = (
+            self.scenario.realize(self.seed) if self.scenario is not None else None
+        )
+
         # Estimated per-step cycles (compute + L1 traffic) give adaptive
         # strategies a timeline to align chunk sizes with the scenario.
         schedule = self.strategy.plan_schedule(
-            profile.step_words, profile.estimated_step_cycles, scenario=self.scenario
+            profile.step_words,
+            profile.estimated_step_cycles,
+            scenario=scenario,
+            seed=self.seed,
         )
 
         state_words = self.app.state_words()
@@ -275,7 +286,7 @@ class TaskExecutor:
             rate_per_word_cycle=self.constraints.error_rate,
             fault_model=self.fault_model,
             seed=self.seed + 1,
-            scenario=self.scenario,
+            scenario=scenario,
         )
 
         stats = SimulationStats(

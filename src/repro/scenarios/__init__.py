@@ -6,6 +6,11 @@ segment-wise (exact Poisson per constant-rate segment), the runtime
 threads the scenario through every exposure window, and the experiment
 API addresses scenarios by registry name so they serialize inside specs
 exactly like applications, strategies and fault models.
+
+Stochastic scenarios (:mod:`repro.scenarios.stochastic`) describe random
+rate *processes*: ``scenario.realize(seed)`` draws one concrete sample
+path per spec seed from counter-based streams, so realizations are
+bit-identical across engines and batch compositions.
 """
 
 from .base import (
@@ -27,18 +32,30 @@ from .registry import (
     scenario_description,
     scenario_known,
 )
+from .stochastic import (
+    MarkovModulatedScenario,
+    RandomBurstScenario,
+    RealizedScenario,
+    StochasticScenario,
+    TraceScenario,
+)
 
 __all__ = [
     "BurstScenario",
     "ConcatScenario",
     "ConstantRate",
     "DutyCycleScenario",
+    "MarkovModulatedScenario",
     "OverlayScenario",
     "PiecewiseScenario",
     "RampScenario",
+    "RandomBurstScenario",
     "RateSegment",
+    "RealizedScenario",
     "ScaledScenario",
     "Scenario",
+    "StochasticScenario",
+    "TraceScenario",
     "available_scenarios",
     "build_scenario",
     "register_scenario",

@@ -83,22 +83,51 @@ class Scenario(abc.ABC):
 
     # ------------------------------------------------------------------ #
     def mean_rate(self, start_cycle: int, cycles: int) -> float:
-        """Cycle-weighted average rate over a window."""
+        """Cycle-weighted average rate over a window.
+
+        ``cycles`` must be positive: an empty or reversed window has no
+        average rate, and silently answering 0.0 (as earlier versions
+        did) poisoned downstream expected-upset math.
+        """
         if cycles <= 0:
-            return 0.0
+            raise ValueError(
+                f"mean_rate needs a positive window, got cycles={cycles}"
+            )
         total = sum(seg.rate * seg.cycles for seg in self.segments(start_cycle, cycles))
         return total / cycles
 
     def peak_rate(self, start_cycle: int, cycles: int) -> float:
-        """Largest segment rate within a window (0 for an empty window)."""
-        return max(
-            (seg.rate for seg in self.segments(start_cycle, cycles)), default=0.0
-        )
+        """Largest segment rate within a (positive, non-empty) window."""
+        if cycles <= 0:
+            raise ValueError(
+                f"peak_rate needs a positive window, got cycles={cycles}"
+            )
+        return max(seg.rate for seg in self.segments(start_cycle, cycles))
 
     @property
     def is_constant(self) -> bool:
         """Whether the scenario is a single constant rate for all time."""
         return False
+
+    @property
+    def is_stochastic(self) -> bool:
+        """Whether per-run sample paths differ (see :meth:`realize`)."""
+        return False
+
+    def realize(self, seed: int) -> "Scenario":
+        """The per-run sample path of this scenario for one spec seed.
+
+        Deterministic scenarios (everything in this module) *are* their
+        own realization and return ``self``.  Stochastic scenarios
+        (:mod:`repro.scenarios.stochastic`) return a concrete
+        piecewise-constant path drawn from counter-based streams keyed on
+        ``seed`` — a pure function of ``(scenario, seed)``, so the
+        behavioural executor and the batched engine realize bit-identical
+        rate paths regardless of batch composition.  Combinators realize
+        their children (with derived, independent child seeds) and
+        rebuild themselves around the realized parts.
+        """
+        return self
 
     # ------------------------------------------------------------------ #
     # Combinators
@@ -462,6 +491,15 @@ class RampScenario(Scenario):
 # ---------------------------------------------------------------------- #
 # Combinators
 # ---------------------------------------------------------------------- #
+#: Domain-separation tags deriving independent child realization seeds,
+#: so composing two copies of the same stochastic process never yields
+#: correlated sample paths.
+_CONCAT_FIRST_TAG = 0xC0CA71
+_CONCAT_SECOND_TAG = 0xC0CA72
+_OVERLAY_FIRST_TAG = 0x0E517A1
+_OVERLAY_SECOND_TAG = 0x0E517A2
+
+
 class ScaledScenario(Scenario):
     """Every rate of the wrapped scenario multiplied by a constant factor."""
 
@@ -485,6 +523,14 @@ class ScaledScenario(Scenario):
     @property
     def is_constant(self) -> bool:
         return self.inner.is_constant
+
+    @property
+    def is_stochastic(self) -> bool:
+        return self.inner.is_stochastic
+
+    def realize(self, seed: int) -> "Scenario":
+        inner = self.inner.realize(seed)
+        return self if inner is self.inner else ScaledScenario(inner, self.factor)
 
     def describe(self) -> str:
         return f"{self.factor:g} x ({self.inner.describe()})"
@@ -521,6 +567,19 @@ class ConcatScenario(Scenario):
                 for seg in shifted
             )
         return _merge_adjacent(out)
+
+    @property
+    def is_stochastic(self) -> bool:
+        return self.first.is_stochastic or self.second.is_stochastic
+
+    def realize(self, seed: int) -> "Scenario":
+        from ..utils.rng import derive_seed
+
+        first = self.first.realize(derive_seed(seed, _CONCAT_FIRST_TAG))
+        second = self.second.realize(derive_seed(seed, _CONCAT_SECOND_TAG))
+        if first is self.first and second is self.second:
+            return self
+        return ConcatScenario(first, second, self.switch_cycle)
 
     def describe(self) -> str:
         return (
@@ -560,6 +619,19 @@ class OverlayScenario(Scenario):
     @property
     def is_constant(self) -> bool:
         return self.first.is_constant and self.second.is_constant
+
+    @property
+    def is_stochastic(self) -> bool:
+        return self.first.is_stochastic or self.second.is_stochastic
+
+    def realize(self, seed: int) -> "Scenario":
+        from ..utils.rng import derive_seed
+
+        first = self.first.realize(derive_seed(seed, _OVERLAY_FIRST_TAG))
+        second = self.second.realize(derive_seed(seed, _OVERLAY_SECOND_TAG))
+        if first is self.first and second is self.second:
+            return self
+        return OverlayScenario(first, second)
 
     def describe(self) -> str:
         return f"({self.first.describe()}) + ({self.second.describe()})"

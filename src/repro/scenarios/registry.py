@@ -16,6 +16,7 @@ parameters.
 
 from __future__ import annotations
 
+import inspect
 from collections.abc import Callable
 
 from .base import (
@@ -25,6 +26,11 @@ from .base import (
     PiecewiseScenario,
     RampScenario,
     Scenario,
+)
+from .stochastic import (
+    MarkovModulatedScenario,
+    RandomBurstScenario,
+    TraceScenario,
 )
 
 #: Signature of a scenario factory: (base_rate, **params) -> scenario.
@@ -129,6 +135,54 @@ def _build_step_down(
     )
 
 
+def _build_markov(
+    base_rate: float,
+    *,
+    level_factors: tuple[float, ...] = (0.1, 1.0, 20.0),
+    dwell_cycles: tuple[int, ...] = (400_000, 200_000, 50_000),
+) -> Scenario:
+    """A CTMC wandering over quiet/nominal/harsh rate regimes."""
+    factors = tuple(float(f) for f in level_factors)
+    dwells = tuple(int(d) for d in dwell_cycles)
+    if len(factors) != len(dwells):
+        raise ValueError("level_factors and dwell_cycles must pair up")
+    return MarkovModulatedScenario(
+        [(base_rate * factor, dwell) for factor, dwell in zip(factors, dwells)]
+    )
+
+
+def _build_random_burst(
+    base_rate: float,
+    *,
+    quiescent_factor: float = 0.1,
+    burst_factor: float = 50.0,
+    mean_interarrival: int = 360_000,
+    mean_burst_cycles: int = 40_000,
+    intensity_jitter: float = 0.5,
+) -> Scenario:
+    """Poisson-arriving bursts with random width and intensity."""
+    return RandomBurstScenario(
+        quiescent_rate=base_rate * float(quiescent_factor),
+        burst_rate=base_rate * float(burst_factor),
+        mean_interarrival=int(mean_interarrival),
+        mean_burst_cycles=int(mean_burst_cycles),
+        intensity_jitter=float(intensity_jitter),
+    )
+
+
+def _build_trace(
+    base_rate: float,
+    *,
+    path: str,
+    rate_scale: float = 1.0,
+    relative: bool = False,
+    tail_rate: float | None = None,
+) -> Scenario:
+    """A measured rate timeline loaded from a CSV trace file."""
+    scale = float(rate_scale) * (base_rate if relative else 1.0)
+    return TraceScenario(path, rate_scale=scale, tail_rate=tail_rate)
+
+
 _SCENARIOS: dict[str, ScenarioFactory] = {
     "paper-constant": _build_paper_constant,
     "constant": _build_constant,
@@ -137,15 +191,47 @@ _SCENARIOS: dict[str, ScenarioFactory] = {
     "ramp": _build_ramp,
     "storm": _build_storm,
     "step-down": _build_step_down,
+    "markov": _build_markov,
+    "random-burst": _build_random_burst,
+    "trace": _build_trace,
 }
 
 
 # ---------------------------------------------------------------------- #
 # Public lookup / registration API
 # ---------------------------------------------------------------------- #
+def signature_defaults(factories: dict[str, Callable]) -> dict[str, dict[str, str]]:
+    """``repr`` of every keyword default across a registry's factories.
+
+    Part of the warehouse code fingerprint: registry *names* alone miss
+    an in-place edit to a factory default (same name, different numbers),
+    which would silently serve stale cached results.  Factories whose
+    signature cannot be introspected (C callables) contribute an empty
+    mapping rather than failing key derivation.
+    """
+    defaults: dict[str, dict[str, str]] = {}
+    for name in sorted(factories):
+        try:
+            params = inspect.signature(factories[name]).parameters
+        except (TypeError, ValueError):
+            defaults[name] = {}
+            continue
+        defaults[name] = {
+            param.name: repr(param.default)
+            for param in params.values()
+            if param.default is not inspect.Parameter.empty
+        }
+    return defaults
+
+
 def available_scenarios() -> list[str]:
     """Names of every registered fault environment."""
     return sorted(_SCENARIOS)
+
+
+def scenario_defaults() -> dict[str, dict[str, str]]:
+    """Keyword defaults of every scenario factory (warehouse fingerprint)."""
+    return signature_defaults(_SCENARIOS)
 
 
 def scenario_known(name: str) -> bool:

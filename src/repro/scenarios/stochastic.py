@@ -1,0 +1,367 @@
+"""Stochastic fault environments: per-run sample paths from spec seeds.
+
+The deterministic scenarios of :mod:`repro.scenarios.base` describe one
+fixed rate timeline.  Real intermittent-error environments are random
+*processes*: the rate level itself wanders (Markov-modulated radiation
+regimes), bursts arrive at random times with random widths and
+intensities, and mission profiles come from measured flux traces.  This
+module adds those families:
+
+* :class:`StochasticScenario` — the base of every random environment.
+  The *unrealized* scenario exposes the process's deterministic mean
+  path (``rate_at`` / ``segments`` answer the stationary mean), and
+  :meth:`~repro.scenarios.base.Scenario.realize` draws one concrete
+  piecewise-constant sample path per spec seed.
+* :class:`MarkovModulatedScenario` — a continuous-time Markov chain over
+  discrete rate levels (exponential dwell times, uniform jumps to the
+  other levels).
+* :class:`RandomBurstScenario` — Poisson burst arrivals with random
+  (exponential) widths and random (uniform-jitter) intensities over a
+  quiescent baseline.
+* :class:`TraceScenario` — a deterministic rate timeline imported from a
+  CSV file (e.g. an orbital flux timeline); its realization is itself.
+
+Realizations are drawn from counter-based splitmix64 streams
+(:mod:`repro.utils.rng`) keyed on ``(scenario family, seed)``: the sample
+path is a pure function of the scenario's parameters and the spec seed,
+so the behavioural executor and the batched campaign engine realize
+bit-identical rate paths, independent of batch composition, block
+partitioning or sharding.  Combinators (``scale`` / ``concat`` /
+``overlay``) realize their children with derived, independent child
+seeds, so composed copies of the same process never correlate.
+"""
+
+from __future__ import annotations
+
+import abc
+import csv
+from bisect import bisect_right
+from collections.abc import Iterator, Sequence
+from pathlib import Path
+
+from ..utils.rng import CounterStream, stream_key
+from .base import PiecewiseScenario, RateSegment, Scenario, _merge_adjacent
+
+#: Domain-separation tags of the realization streams (one per family).
+_MARKOV_TAG = 0x3A17C0F1
+_RANDOM_BURST_TAG = 0x3A17C0F2
+
+#: Pieces appended per lazy extension round, bounding per-call overhead.
+_EXTEND_CHUNK = 32
+
+
+class RealizedScenario(Scenario):
+    """One concrete sample path of a stochastic scenario.
+
+    The path is generated lazily: pieces are pulled from the source
+    process's deterministic draw stream only as queries reach past the
+    covered horizon, and extension is strictly sequential, so the table
+    is identical whatever order (or from which engine) the queries come.
+    Cycles before 0 use the first piece's rate, mirroring
+    :class:`~repro.scenarios.base.PiecewiseScenario`.
+    """
+
+    def __init__(self, source: "StochasticScenario", seed: int) -> None:
+        self.source = source
+        self.seed = int(seed)
+        self._pieces: Iterator[tuple[int, float]] = source._sample_path(self.seed)
+        self._breaks: list[int] = [0]
+        self._rates: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    def _ensure(self, end_cycle: int) -> None:
+        """Extend the cached piece table to cover ``[0, end_cycle)``."""
+        while self._breaks[-1] < end_cycle or not self._rates:
+            for _ in range(_EXTEND_CHUNK):
+                cycles, rate = next(self._pieces)
+                cycles = int(cycles)
+                rate = float(rate)
+                if cycles <= 0:
+                    raise ValueError("sampled piece cycles must be positive")
+                if rate < 0:
+                    raise ValueError("sampled piece rates must be non-negative")
+                self._breaks.append(self._breaks[-1] + cycles)
+                self._rates.append(rate)
+            if self._breaks[-1] >= end_cycle and self._rates:
+                return
+
+    def piece_table(self, horizon: int) -> list[tuple[int, float]]:
+        """The realized ``(cycles, rate)`` pieces covering ``[0, horizon)``."""
+        self._ensure(max(1, int(horizon)))
+        out: list[tuple[int, float]] = []
+        for index, rate in enumerate(self._rates):
+            if self._breaks[index] >= horizon:
+                break
+            out.append((self._breaks[index + 1] - self._breaks[index], rate))
+        return out
+
+    # ------------------------------------------------------------------ #
+    def rate_at(self, cycle: int) -> float:
+        self._ensure(max(1, cycle + 1))
+        if cycle < 0:
+            return self._rates[0]
+        return self._rates[bisect_right(self._breaks, cycle) - 1]
+
+    def segments(self, start_cycle: int, cycles: int) -> list[RateSegment]:
+        if cycles <= 0:
+            return []
+        end = start_cycle + cycles
+        self._ensure(max(1, end))
+        out: list[RateSegment] = []
+        cursor = start_cycle
+        if cursor < 0:
+            head = min(0, end) - cursor
+            out.append(RateSegment(start=cursor, cycles=head, rate=self._rates[0]))
+            cursor += head
+        while cursor < end:
+            index = bisect_right(self._breaks, cursor) - 1
+            seg_end = min(end, self._breaks[index + 1])
+            out.append(
+                RateSegment(start=cursor, cycles=seg_end - cursor, rate=self._rates[index])
+            )
+            cursor = seg_end
+        return _merge_adjacent(out)
+
+    def describe(self) -> str:
+        return f"realization(seed={self.seed}) of {self.source.describe()}"
+
+
+class StochasticScenario(Scenario):
+    """A random rate process whose sample path is drawn per spec seed.
+
+    Subclasses implement :meth:`_sample_path` (the deterministic draw
+    stream of one realization) plus the analytic :meth:`mean_level` /
+    :meth:`peak_level` of the process.  The unrealized scenario answers
+    ``rate_at`` / ``segments`` with the stationary mean — the right
+    deterministic stand-in for planning against the *expected*
+    environment — while :meth:`realize` yields the per-run path that the
+    injector and the batch engine actually simulate.
+    """
+
+    @abc.abstractmethod
+    def _sample_path(self, seed: int) -> Iterator[tuple[int, float]]:
+        """Infinite iterator of ``(cycles, rate)`` pieces for one seed."""
+
+    @abc.abstractmethod
+    def mean_level(self) -> float:
+        """Stationary (long-run time-average) rate of the process."""
+
+    @abc.abstractmethod
+    def peak_level(self) -> float:
+        """Largest rate any realization can sustain."""
+
+    @property
+    def is_stochastic(self) -> bool:
+        return True
+
+    def realize(self, seed: int) -> Scenario:
+        return RealizedScenario(self, seed)
+
+    def rate_at(self, cycle: int) -> float:
+        return self.mean_level()
+
+    def segments(self, start_cycle: int, cycles: int) -> list[RateSegment]:
+        if cycles <= 0:
+            return []
+        return [RateSegment(start=start_cycle, cycles=cycles, rate=self.mean_level())]
+
+
+class MarkovModulatedScenario(StochasticScenario):
+    """A CTMC over discrete rate levels (radiation regimes).
+
+    Parameters
+    ----------
+    levels:
+        ``(rate, mean_dwell_cycles)`` pairs, one per regime.  The process
+        dwells in a level for an exponential time with that level's mean,
+        then jumps uniformly to one of the *other* levels.  At least two
+        levels are required (one level is just :class:`ConstantRate`).
+
+    The embedded jump chain is doubly stochastic, so its stationary
+    distribution is uniform and the time-stationary weight of level *i*
+    is proportional to its mean dwell — which gives the closed-form
+    :meth:`mean_level` the Monte-Carlo property tests check against.
+    The initial level of each realization is drawn from that stationary
+    distribution, so sample paths are stationary from cycle 0.
+    """
+
+    def __init__(self, levels: Sequence[tuple[float, int]]) -> None:
+        if len(levels) < 2:
+            raise ValueError("a Markov-modulated scenario needs at least two levels")
+        normalized: list[tuple[float, int]] = []
+        for rate, dwell in levels:
+            rate = float(rate)
+            dwell = int(dwell)
+            if rate < 0:
+                raise ValueError("level rates must be non-negative")
+            if dwell <= 0:
+                raise ValueError("level mean dwell cycles must be positive")
+            normalized.append((rate, dwell))
+        self.levels = tuple(normalized)
+
+    def _sample_path(self, seed: int) -> Iterator[tuple[int, float]]:
+        stream = CounterStream(stream_key(seed, _MARKOV_TAG))
+        total_dwell = sum(dwell for _, dwell in self.levels)
+        # Initial level ~ the time-stationary (dwell-weighted) law.
+        pick = stream.uniform() * total_dwell
+        current = 0
+        acc = 0.0
+        for index, (_, dwell) in enumerate(self.levels):
+            acc += dwell
+            if pick < acc:
+                current = index
+                break
+        while True:
+            rate, mean_dwell = self.levels[current]
+            dwell = max(1, round(stream.exponential(float(mean_dwell))))
+            yield dwell, rate
+            # Uniform jump to one of the other levels.
+            step = stream.randint(len(self.levels) - 1)
+            current = step if step < current else step + 1
+
+    def mean_level(self) -> float:
+        total = sum(dwell for _, dwell in self.levels)
+        return sum(rate * dwell for rate, dwell in self.levels) / total
+
+    def peak_level(self) -> float:
+        return max(rate for rate, _ in self.levels)
+
+    def describe(self) -> str:
+        spans = ", ".join(f"{rate:.2e}@{dwell}" for rate, dwell in self.levels)
+        return f"markov-modulated [{spans}]"
+
+
+class RandomBurstScenario(StochasticScenario):
+    """Poisson burst arrivals with random width and intensity.
+
+    Parameters
+    ----------
+    quiescent_rate:
+        Background rate between bursts.
+    burst_rate:
+        Mean *additional* rate during a burst (superposed on the
+        baseline, matching the Poisson superposition convention of
+        :meth:`~repro.scenarios.base.Scenario.overlay`).
+    mean_interarrival:
+        Mean quiescent gap (cycles) between the end of one burst and the
+        start of the next — exponential, i.e. Poisson arrivals.
+    mean_burst_cycles:
+        Mean burst width (exponential).
+    intensity_jitter:
+        Half-width of the uniform multiplicative jitter on each burst's
+        intensity: a burst adds ``burst_rate * U[1-j, 1+j)``.
+    """
+
+    def __init__(
+        self,
+        quiescent_rate: float,
+        burst_rate: float,
+        mean_interarrival: int,
+        mean_burst_cycles: int,
+        intensity_jitter: float = 0.5,
+    ) -> None:
+        if quiescent_rate < 0 or burst_rate < 0:
+            raise ValueError("rates must be non-negative")
+        if mean_interarrival <= 0 or mean_burst_cycles <= 0:
+            raise ValueError("mean interarrival and burst cycles must be positive")
+        if not 0 <= intensity_jitter < 1:
+            raise ValueError("intensity_jitter must be in [0, 1)")
+        self.quiescent_rate = float(quiescent_rate)
+        self.burst_rate = float(burst_rate)
+        self.mean_interarrival = int(mean_interarrival)
+        self.mean_burst_cycles = int(mean_burst_cycles)
+        self.intensity_jitter = float(intensity_jitter)
+
+    def _sample_path(self, seed: int) -> Iterator[tuple[int, float]]:
+        stream = CounterStream(stream_key(seed, _RANDOM_BURST_TAG))
+        jitter = self.intensity_jitter
+        while True:
+            gap = max(1, round(stream.exponential(float(self.mean_interarrival))))
+            width = max(1, round(stream.exponential(float(self.mean_burst_cycles))))
+            factor = stream.uniform_in(1.0 - jitter, 1.0 + jitter)
+            yield gap, self.quiescent_rate
+            yield width, self.quiescent_rate + self.burst_rate * factor
+
+    def mean_level(self) -> float:
+        burst_fraction = self.mean_burst_cycles / (
+            self.mean_interarrival + self.mean_burst_cycles
+        )
+        return self.quiescent_rate + self.burst_rate * burst_fraction
+
+    def peak_level(self) -> float:
+        return self.quiescent_rate + self.burst_rate * (1.0 + self.intensity_jitter)
+
+    def describe(self) -> str:
+        return (
+            f"random bursts +{self.burst_rate:.2e} (~{self.mean_burst_cycles} cycles "
+            f"every ~{self.mean_interarrival}) over {self.quiescent_rate:.2e} baseline"
+        )
+
+
+class TraceScenario(Scenario):
+    """A deterministic rate timeline imported from a CSV trace.
+
+    The file holds one ``cycles,rate`` row per span (a header row is
+    skipped if present): ``cycles`` is the span's duration and ``rate``
+    its upset rate per word per cycle.  After the last span the rate
+    holds at the final row's value (the environment settles), unless an
+    explicit ``tail_rate`` overrides it.  ``rate_scale`` rescales every
+    rate on load — the hook the registry uses to express traces relative
+    to an operating point.
+
+    Traces are deterministic: :meth:`realize` returns ``self``, and the
+    trace composes with stochastic scenarios through the combinators.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        rate_scale: float = 1.0,
+        tail_rate: float | None = None,
+    ) -> None:
+        if rate_scale < 0:
+            raise ValueError("rate_scale must be non-negative")
+        self.path = Path(path)
+        self.rate_scale = float(rate_scale)
+        pieces = self._load_pieces(self.path, self.rate_scale)
+        if tail_rate is not None:
+            tail_rate = float(tail_rate) * self.rate_scale
+        self._piecewise = PiecewiseScenario(pieces, tail_rate=tail_rate)
+
+    @staticmethod
+    def _load_pieces(path: Path, rate_scale: float) -> list[tuple[int, float]]:
+        pieces: list[tuple[int, float]] = []
+        with path.open(newline="", encoding="utf-8") as handle:
+            for row in csv.reader(handle):
+                if not row or not row[0].strip() or row[0].lstrip().startswith("#"):
+                    continue
+                try:
+                    cycles = int(float(row[0]))
+                    rate = float(row[1])
+                except (ValueError, IndexError):
+                    if not pieces:
+                        continue  # header row
+                    raise ValueError(
+                        f"malformed trace row {row!r} in {path}"
+                    ) from None
+                pieces.append((cycles, rate * rate_scale))
+        if not pieces:
+            raise ValueError(f"trace {path} holds no (cycles, rate) rows")
+        return pieces
+
+    @property
+    def span_cycles(self) -> int:
+        """Total cycles covered by the trace's explicit spans."""
+        return self._piecewise.span_cycles
+
+    def rate_at(self, cycle: int) -> float:
+        return self._piecewise.rate_at(cycle)
+
+    def segments(self, start_cycle: int, cycles: int) -> list[RateSegment]:
+        return self._piecewise.segments(start_cycle, cycles)
+
+    def describe(self) -> str:
+        return (
+            f"trace {self.path.name}: {len(self._piecewise.pieces)} spans over "
+            f"{self.span_cycles} cycles"
+        )

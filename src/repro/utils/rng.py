@@ -4,11 +4,135 @@ Every stochastic component of the reproduction (fault injection, synthetic
 workload generation) draws from a :class:`numpy.random.Generator` created
 through this module so that experiments are reproducible from a single
 seed and independent components receive independent streams.
+
+Besides the NumPy generators, this module provides *counter-based*
+splitmix64 streams (:func:`stream_key`, :class:`CounterStream`) with the
+same key-derivation and uniform-extraction math as the batch substrates
+(:mod:`repro.batch.substrate`).  A draw is a pure function of
+``(key, counter)``, which is what makes scenario realizations and
+estimator observation channels composition-invariant: the value drawn for
+one ``(seed, tag, counter)`` triple never depends on what else was drawn,
+in which order, by which engine, or in which process.  This module sits at
+the bottom of the layering so :mod:`repro.scenarios` and
+:mod:`repro.core` can share the streams without importing the batch
+layer.
 """
 
 from __future__ import annotations
 
+import math
+from statistics import NormalDist
+
 import numpy as np
+
+#: splitmix64 increment (golden-ratio) constant — identical to the batch
+#: substrates' key schedule.
+_GAMMA = 0x9E3779B97F4A7C15
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: Above this mean, Poisson CDF inversion underflows; a (deterministic)
+#: normal approximation takes over.  The threshold is far above any
+#: per-segment mean the scenarios produce in practice.
+_POISSON_INVERSION_LIMIT = 64.0
+
+_STD_NORMAL = NormalDist()
+
+
+def mix64(value: int) -> int:
+    """Scalar splitmix64 finalizer on Python ints (for key derivation)."""
+    z = value & _MASK64
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EB & _MASK64
+    return z ^ (z >> 31)
+
+
+def stream_key(seed: int, tag: int) -> int:
+    """Stream identity of ``(tag, seed)``: the substrates' key schedule.
+
+    Matches :meth:`repro.batch.substrate.Substrate.make_streams` exactly,
+    so callers get the same domain separation guarantees: different tags
+    give statistically independent streams for the same seed, and a tag's
+    stream never collides with the behavioural injector's NumPy streams.
+    """
+    tag_mix = mix64(tag * _GAMMA)
+    return mix64((mix64((int(seed) & _MASK64) ^ tag_mix) + _GAMMA) & _MASK64)
+
+
+def derive_seed(seed: int, tag: int) -> int:
+    """A child seed for ``tag``, independent of other tags' children.
+
+    Scenario combinators use this to hand each stochastic child its own
+    realization seed, so overlaying or concatenating two copies of the
+    same process yields independent sample paths.
+    """
+    return mix64((int(seed) & _MASK64) ^ mix64(tag * _GAMMA))
+
+
+class CounterStream:
+    """A counter-based splitmix64 uniform stream (one scalar at a time.)
+
+    The draw at counter ``c`` is a pure function of ``(key, c)``, so a
+    stream can be replayed, forked or verified independently of execution
+    order.  The uniform extraction (top 53 bits) matches the batch
+    substrates bit for bit.
+    """
+
+    __slots__ = ("key", "counter")
+
+    def __init__(self, key: int, counter: int = 0) -> None:
+        self.key = int(key) & _MASK64
+        self.counter = int(counter)
+
+    def next_u64(self) -> int:
+        """The next raw 64-bit draw (advances the counter)."""
+        scrambled = mix64(((self.counter + 1) * _GAMMA) & _MASK64)
+        self.counter += 1
+        return mix64(self.key ^ scrambled)
+
+    def uniform(self) -> float:
+        """The next uniform in ``[0, 1)`` (53-bit mantissa)."""
+        return (self.next_u64() >> 11) * 2.0**-53
+
+    def exponential(self, mean: float) -> float:
+        """An exponential variate with the given mean (one uniform)."""
+        if mean <= 0:
+            raise ValueError("exponential mean must be positive")
+        return -mean * math.log1p(-self.uniform())
+
+    def uniform_in(self, low: float, high: float) -> float:
+        """A uniform variate in ``[low, high)`` (one uniform)."""
+        return low + (high - low) * self.uniform()
+
+    def randint(self, n: int) -> int:
+        """A uniform integer in ``[0, n)`` (one uniform)."""
+        if n <= 0:
+            raise ValueError("randint needs a positive bound")
+        return min(int(self.uniform() * n), n - 1)
+
+    def poisson(self, lam: float) -> int:
+        """A Poisson variate with mean ``lam`` (one uniform).
+
+        CDF inversion for small means (the substrates' scheme); a
+        rounded normal approximation for means beyond the inversion
+        limit, where the exact pmf underflows.  Both paths consume
+        exactly one uniform, keeping stream consumption shape-stable.
+        """
+        if lam < 0:
+            raise ValueError("poisson mean must be non-negative")
+        if lam == 0:
+            return 0
+        u = self.uniform()
+        if lam > _POISSON_INVERSION_LIMIT:
+            z = _STD_NORMAL.inv_cdf(min(max(u, 1e-12), 1.0 - 1e-12))
+            return max(0, round(lam + math.sqrt(lam) * z))
+        probability = math.exp(-lam)
+        cumulative = probability
+        k = 0
+        while u >= cumulative and k < 10_000:
+            k += 1
+            probability *= lam / k
+            cumulative += probability
+        return k
 
 
 def make_rng(seed: int | None = None) -> np.random.Generator:

@@ -13,9 +13,13 @@ registry edit) must miss by construction.  Two functions establish that:
   silently coercing would let two distinct payloads share a hash.
 * :func:`code_fingerprint` — a digest of the package version plus the
   content of every spec-ingredient registry (applications, strategies,
-  fault models, scenarios).  The fingerprint is folded into every unit
-  key, so bumping the package or registering a different model set
-  invalidates stale entries without any explicit versioning dance.
+  fault models, scenarios), including each factory's keyword *defaults*.
+  The fingerprint is folded into every unit key, so bumping the package,
+  registering a different model set, or editing a factory default
+  in place invalidates stale entries without any explicit versioning
+  dance.  (Names alone are not enough: a spec that omits a parameter
+  inherits the factory default, so two builds that differ only in a
+  default produce different numbers under identical spec payloads.)
 
 :func:`unit_key` combines both into the extended canonical hash the
 warehouse stores under: SHA-256 over the canonical JSON of the unit's
@@ -31,7 +35,9 @@ from typing import Any
 
 #: Bumped when the key derivation itself changes shape, so old entries
 #: can never be misread as answers to the new scheme.
-KEY_SCHEMA_VERSION = 1
+#: v2: factory keyword defaults joined the fingerprint — an in-place
+#: default edit (same registry names) now rotates every key.
+KEY_SCHEMA_VERSION = 2
 
 
 def canonical_json(payload: Any) -> str:
@@ -52,17 +58,22 @@ def canonical_sha256(payload: Any) -> str:
 def code_fingerprint() -> dict[str, Any]:
     """The code/data identity folded into every warehouse key.
 
-    Captures the package version and the sorted name sets of every
-    registry a spec can reference.  A registry rename, addition or
-    removal — or a version bump — changes the fingerprint and therefore
-    every key, so entries computed by different code can never be served
-    as current results.
+    Captures the package version, the sorted name sets of every registry
+    a spec can reference, and the keyword defaults of each parameterized
+    factory (strategies, fault models, scenarios).  A registry rename,
+    addition or removal, an in-place edit to a factory default, or a
+    version bump all change the fingerprint and therefore every key, so
+    entries computed by different code can never be served as current
+    results.
     """
     from .. import __version__
     from ..api.registry import (
         available_fault_models,
         available_scenarios,
         available_strategies,
+        fault_model_defaults,
+        scenario_defaults,
+        strategy_defaults,
     )
     from ..apps.registry import available_applications
 
@@ -74,6 +85,11 @@ def code_fingerprint() -> dict[str, Any]:
             "strategies": available_strategies(),
             "fault_models": available_fault_models(),
             "scenarios": available_scenarios(),
+        },
+        "factory_defaults": {
+            "strategies": strategy_defaults(),
+            "fault_models": fault_model_defaults(),
+            "scenarios": scenario_defaults(),
         },
     }
 

@@ -18,7 +18,7 @@ import math
 import pytest
 
 from repro.analysis import fig4_feasible_region, fig5_energy, table1_optimal_chunks
-from repro.analysis.experiments import fig5_specs
+from repro.analysis.experiments import fig5_specs, scenario_sweep
 from repro.api.executors import BatchCampaignExecutor
 from repro.apps.registry import PAPER_BENCHMARK_ORDER, get_application
 from repro.core.config import PAPER_OPERATING_POINT
@@ -43,6 +43,22 @@ class TestGoldenArtefacts:
         golden.check(
             "fig5", fig5_energy(seeds=FIG5_SEEDS).to_result_set().to_dict()
         )
+
+    def test_stochastic_scenario_sweep(self, golden):
+        """Stochastic environments + estimator regret, frozen end to end.
+
+        The batched engine is deterministic per (spec, seed), so the whole
+        sweep — realized Markov/burst sample paths, per-seed estimator
+        schedules, and the regret column against the oracle — pins exactly.
+        """
+        result = scenario_sweep(
+            scenarios=["markov", "random-burst", "storm"],
+            application="adpcm-encode",
+            strategies=["hybrid-optimal", "hybrid-adaptive", "hybrid-estimating"],
+            seeds=FIG5_SEEDS,
+            engine="batched",
+        )
+        golden.check("scenario_sweep_stochastic", result.to_result_set().to_dict())
 
 
 def _batched_fig5_samples() -> dict[tuple[str, str], list[float]]:

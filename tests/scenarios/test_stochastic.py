@@ -1,0 +1,390 @@
+"""Property tests for the stochastic fault environments.
+
+Four families of guarantees, checked with Hypothesis where the property
+is universal:
+
+* realization determinism — a sample path is a pure function of
+  ``(scenario, seed)``, independent of query order;
+* structural soundness — realized ``segments()`` tile their window
+  exactly and agree with ``rate_at`` everywhere;
+* combinator algebra — ``scale(1)`` is an identity on realizations and
+  ``concat`` splices realized children without gaps or overlaps;
+* statistics — Monte-Carlo averages over many realizations converge to
+  the closed-form ``mean_level`` / respect ``peak_level``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    ConstantRate,
+    MarkovModulatedScenario,
+    RandomBurstScenario,
+    RealizedScenario,
+    TraceScenario,
+    available_scenarios,
+    build_scenario,
+)
+from repro.scenarios.base import _CONCAT_FIRST_TAG, _CONCAT_SECOND_TAG
+from repro.utils.rng import derive_seed
+
+# --------------------------------------------------------------------- #
+# Hypothesis strategies
+# --------------------------------------------------------------------- #
+_rates = st.floats(min_value=0.0, max_value=1e-3, allow_nan=False)
+_dwells = st.integers(min_value=1, max_value=100_000)
+
+markov_scenarios = st.lists(
+    st.tuples(_rates, _dwells), min_size=2, max_size=4
+).map(MarkovModulatedScenario)
+
+random_burst_scenarios = st.builds(
+    RandomBurstScenario,
+    quiescent_rate=st.floats(min_value=0.0, max_value=1e-6),
+    burst_rate=st.floats(min_value=1e-7, max_value=1e-3),
+    mean_interarrival=st.integers(min_value=100, max_value=200_000),
+    mean_burst_cycles=st.integers(min_value=50, max_value=50_000),
+    intensity_jitter=st.floats(min_value=0.0, max_value=0.9),
+)
+
+stochastic_scenarios = st.one_of(markov_scenarios, random_burst_scenarios)
+
+seeds = st.integers(min_value=0, max_value=2**63 - 1)
+
+
+def _assert_tiles(segments, start: int, cycles: int) -> None:
+    assert segments, "a non-empty window must produce segments"
+    assert segments[0].start == start
+    assert segments[-1].end == start + cycles
+    for before, after in zip(segments, segments[1:]):
+        assert before.end == after.start
+    assert sum(seg.cycles for seg in segments) == cycles
+
+
+# --------------------------------------------------------------------- #
+# Realization determinism
+# --------------------------------------------------------------------- #
+class TestRealizationDeterminism:
+    @settings(max_examples=30, deadline=None)
+    @given(scenario=stochastic_scenarios, seed=seeds)
+    def test_same_seed_same_path(self, scenario, seed):
+        first = scenario.realize(seed)
+        second = scenario.realize(seed)
+        assert first is not second
+        assert first.piece_table(200_000) == second.piece_table(200_000)
+
+    @settings(max_examples=30, deadline=None)
+    @given(scenario=stochastic_scenarios, seed=seeds)
+    def test_query_order_cannot_change_the_path(self, scenario, seed):
+        eager = scenario.realize(seed)
+        lazy = scenario.realize(seed)
+        # One copy is pushed far out immediately, the other grows through
+        # small interleaved queries; the cached tables must coincide.
+        eager.rate_at(150_000)
+        for cycle in (10, 40_000, 3, 120_000, 75_000):
+            lazy.rate_at(cycle)
+            lazy.segments(cycle, 1_000)
+        assert eager.piece_table(150_000) == lazy.piece_table(150_000)
+
+    def test_different_seeds_give_different_paths(self):
+        scenario = MarkovModulatedScenario([(1e-7, 5_000), (1e-4, 2_000)])
+        tables = {tuple(scenario.realize(seed).piece_table(100_000)) for seed in range(8)}
+        assert len(tables) > 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(scenario=stochastic_scenarios, seed=seeds)
+    def test_realize_marks_the_path_deterministic(self, scenario, seed):
+        assert scenario.is_stochastic
+        realized = scenario.realize(seed)
+        assert isinstance(realized, RealizedScenario)
+        assert not realized.is_stochastic
+        assert realized.realize(seed + 1) is realized
+        assert f"seed={seed}" in realized.describe()
+
+
+# --------------------------------------------------------------------- #
+# Segments tile exactly to rate_at
+# --------------------------------------------------------------------- #
+class TestSegmentsTiling:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        scenario=stochastic_scenarios,
+        seed=st.integers(min_value=0, max_value=2**32),
+        start=st.integers(min_value=-1_000, max_value=150_000),
+        cycles=st.integers(min_value=1, max_value=50_000),
+    )
+    def test_segments_tile_and_match_rate_at(self, scenario, seed, start, cycles):
+        realized = scenario.realize(seed)
+        segments = realized.segments(start, cycles)
+        _assert_tiles(segments, start, cycles)
+        for seg in segments:
+            assert seg.rate == realized.rate_at(seg.start)
+            assert seg.rate == realized.rate_at(seg.end - 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(scenario=stochastic_scenarios, seed=st.integers(min_value=0, max_value=2**32))
+    def test_empty_window_is_empty(self, scenario, seed):
+        assert scenario.realize(seed).segments(100, 0) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(scenario=stochastic_scenarios, seed=st.integers(min_value=0, max_value=2**32))
+    def test_negative_cycles_hold_the_first_rate(self, scenario, seed):
+        realized = scenario.realize(seed)
+        assert realized.rate_at(-1) == realized.rate_at(0)
+        head = realized.segments(-500, 400)
+        _assert_tiles(head, -500, 400)
+        assert all(seg.rate == realized.rate_at(0) for seg in head)
+
+
+# --------------------------------------------------------------------- #
+# Combinator algebra
+# --------------------------------------------------------------------- #
+class TestCombinatorAlgebra:
+    @settings(max_examples=30, deadline=None)
+    @given(scenario=stochastic_scenarios, seed=st.integers(min_value=0, max_value=2**32))
+    def test_scale_one_is_an_identity_on_realizations(self, scenario, seed):
+        plain = scenario.realize(seed)
+        scaled = scenario.scale(1.0).realize(seed)
+        assert scaled.segments(0, 120_000) == plain.segments(0, 120_000)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        scenario=stochastic_scenarios,
+        seed=st.integers(min_value=0, max_value=2**32),
+        factor=st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+    )
+    def test_scale_multiplies_every_realized_rate(self, scenario, seed, factor):
+        plain = scenario.realize(seed)
+        scaled = scenario.scale(factor).realize(seed)
+        for cycle in (0, 999, 31_337, 110_000):
+            assert scaled.rate_at(cycle) == pytest.approx(factor * plain.rate_at(cycle))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        first=stochastic_scenarios,
+        second=stochastic_scenarios,
+        seed=st.integers(min_value=0, max_value=2**32),
+        switch=st.integers(min_value=1, max_value=80_000),
+    )
+    def test_concat_splices_realized_children_continuously(
+        self, first, second, seed, switch
+    ):
+        combined = first.concat(second, switch)
+        assert combined.is_stochastic
+        realized = combined.realize(seed)
+
+        # The window straddling the switch tiles with no gap or overlap.
+        window = realized.segments(max(0, switch - 10_000), 20_000)
+        _assert_tiles(window, max(0, switch - 10_000), 20_000)
+
+        # Each side reproduces its child's realization at the derived
+        # child seed: left in place, right shifted to start at ``switch``.
+        left = first.realize(derive_seed(seed, _CONCAT_FIRST_TAG))
+        right = second.realize(derive_seed(seed, _CONCAT_SECOND_TAG))
+        assert realized.rate_at(switch - 1) == left.rate_at(switch - 1)
+        for offset in (0, 123, 9_999):
+            assert realized.rate_at(switch + offset) == right.rate_at(offset)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        scenario=stochastic_scenarios,
+        seed=st.integers(min_value=0, max_value=2**32),
+        background=st.floats(min_value=0.0, max_value=1e-5),
+    )
+    def test_overlay_adds_a_constant_background(self, scenario, seed, background):
+        plain = scenario.realize(seed)
+        overlaid = scenario.overlay(ConstantRate(background)).realize(seed)
+        # The stochastic child keeps its own derived seed, so the overlay
+        # is checked against the matching child realization.
+        from repro.scenarios.base import _OVERLAY_FIRST_TAG
+
+        child = scenario.realize(derive_seed(seed, _OVERLAY_FIRST_TAG))
+        for cycle in (0, 4_567, 60_000):
+            assert overlaid.rate_at(cycle) == pytest.approx(
+                child.rate_at(cycle) + background
+            )
+        assert plain.piece_table(1_000)  # plain stays usable alongside
+
+
+# --------------------------------------------------------------------- #
+# Mean / peak statistics vs Monte-Carlo
+# --------------------------------------------------------------------- #
+class TestMeanPeakStatistics:
+    HORIZON = 400_000
+    SEEDS = range(40)
+
+    def test_markov_mean_matches_monte_carlo(self):
+        scenario = MarkovModulatedScenario([(1e-7, 30_000), (5e-5, 10_000), (2e-4, 2_000)])
+        expected = scenario.mean_level()
+        sampled = [
+            scenario.realize(seed).mean_rate(0, self.HORIZON) for seed in self.SEEDS
+        ]
+        average = sum(sampled) / len(sampled)
+        assert average == pytest.approx(expected, rel=0.25)
+        # The unrealized process plans against its stationary mean.
+        assert scenario.rate_at(12_345) == expected
+        assert scenario.mean_rate(0, self.HORIZON) == pytest.approx(expected)
+
+    def test_markov_realizations_stay_on_the_level_set(self):
+        levels = [(1e-7, 30_000), (5e-5, 10_000), (2e-4, 2_000)]
+        scenario = MarkovModulatedScenario(levels)
+        allowed = {rate for rate, _ in levels}
+        for seed in range(10):
+            realized = scenario.realize(seed)
+            rates = {seg.rate for seg in realized.segments(0, self.HORIZON)}
+            assert rates <= allowed
+            assert realized.peak_rate(0, self.HORIZON) <= scenario.peak_level()
+
+    def test_random_burst_mean_matches_monte_carlo(self):
+        scenario = RandomBurstScenario(
+            quiescent_rate=5e-8,
+            burst_rate=1e-4,
+            mean_interarrival=50_000,
+            mean_burst_cycles=5_000,
+            intensity_jitter=0.5,
+        )
+        expected = scenario.mean_level()
+        sampled = [
+            scenario.realize(seed).mean_rate(0, self.HORIZON) for seed in self.SEEDS
+        ]
+        average = sum(sampled) / len(sampled)
+        assert average == pytest.approx(expected, rel=0.25)
+
+    def test_random_burst_respects_peak_and_floor(self):
+        scenario = RandomBurstScenario(
+            quiescent_rate=5e-8,
+            burst_rate=1e-4,
+            mean_interarrival=50_000,
+            mean_burst_cycles=5_000,
+            intensity_jitter=0.5,
+        )
+        for seed in range(10):
+            realized = scenario.realize(seed)
+            for seg in realized.segments(0, self.HORIZON):
+                assert scenario.quiescent_rate <= seg.rate <= scenario.peak_level()
+
+
+# --------------------------------------------------------------------- #
+# Constructor validation
+# --------------------------------------------------------------------- #
+class TestValidation:
+    def test_markov_needs_two_levels(self):
+        with pytest.raises(ValueError, match="two levels"):
+            MarkovModulatedScenario([(1e-6, 1_000)])
+
+    def test_markov_rejects_bad_levels(self):
+        with pytest.raises(ValueError):
+            MarkovModulatedScenario([(-1e-6, 1_000), (1e-6, 1_000)])
+        with pytest.raises(ValueError):
+            MarkovModulatedScenario([(1e-6, 0), (1e-6, 1_000)])
+
+    def test_random_burst_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RandomBurstScenario(-1e-8, 1e-5, 1_000, 100)
+        with pytest.raises(ValueError):
+            RandomBurstScenario(1e-8, 1e-5, 0, 100)
+        with pytest.raises(ValueError):
+            RandomBurstScenario(1e-8, 1e-5, 1_000, 100, intensity_jitter=1.0)
+
+
+# --------------------------------------------------------------------- #
+# mean_rate / peak_rate window validation (regression)
+# --------------------------------------------------------------------- #
+class TestWindowValidation:
+    @pytest.fixture(
+        params=[
+            ConstantRate(1e-6),
+            MarkovModulatedScenario([(1e-7, 1_000), (1e-5, 500)]),
+            MarkovModulatedScenario([(1e-7, 1_000), (1e-5, 500)]).realize(3),
+        ],
+        ids=["constant", "stochastic", "realized"],
+    )
+    def scenario(self, request):
+        return request.param
+
+    @pytest.mark.parametrize("cycles", [0, -1, -10_000])
+    def test_mean_rate_rejects_empty_windows(self, scenario, cycles):
+        with pytest.raises(ValueError, match="positive window"):
+            scenario.mean_rate(0, cycles)
+
+    @pytest.mark.parametrize("cycles", [0, -1, -10_000])
+    def test_peak_rate_rejects_empty_windows(self, scenario, cycles):
+        with pytest.raises(ValueError, match="positive window"):
+            scenario.peak_rate(0, cycles)
+
+
+# --------------------------------------------------------------------- #
+# Trace scenarios (CSV import)
+# --------------------------------------------------------------------- #
+class TestTraceScenario:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "trace.csv"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_round_trip_with_header_comments_and_blanks(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "cycles,rate\n"
+            "# solar-quiet segment\n"
+            "1000,1e-7\n"
+            "\n"
+            "500,2e-5\n"
+            "2000,5e-8\n",
+        )
+        trace = TraceScenario(path)
+        assert trace.span_cycles == 3_500
+        assert trace.rate_at(0) == 1e-7
+        assert trace.rate_at(1_000) == 2e-5
+        assert trace.rate_at(1_500) == 5e-8
+        # After the last span the final rate holds.
+        assert trace.rate_at(1_000_000) == 5e-8
+        assert not trace.is_stochastic
+        assert trace.realize(7) is trace
+
+    def test_tail_rate_override_and_scaling(self, tmp_path):
+        path = self._write(tmp_path, "1000,2.0\n500,4.0\n")
+        trace = TraceScenario(path, rate_scale=1e-6, tail_rate=1.0)
+        assert trace.rate_at(0) == pytest.approx(2e-6)
+        assert trace.rate_at(1_200) == pytest.approx(4e-6)
+        assert trace.rate_at(10_000) == pytest.approx(1e-6)
+
+    def test_malformed_row_after_data_raises(self, tmp_path):
+        path = self._write(tmp_path, "1000,1e-7\nnot-a-number,oops\n")
+        with pytest.raises(ValueError, match="malformed trace row"):
+            TraceScenario(path)
+
+    def test_empty_trace_raises(self, tmp_path):
+        path = self._write(tmp_path, "cycles,rate\n# nothing\n")
+        with pytest.raises(ValueError, match="no .* rows"):
+            TraceScenario(path)
+
+    def test_registry_builds_relative_traces(self, tmp_path):
+        path = self._write(tmp_path, "1000,0.5\n500,2.0\n")
+        scenario = build_scenario(
+            "trace", 1e-6, path=str(path), relative=True
+        )
+        assert scenario.rate_at(0) == pytest.approx(5e-7)
+        assert scenario.rate_at(1_200) == pytest.approx(2e-6)
+
+
+# --------------------------------------------------------------------- #
+# Registry integration
+# --------------------------------------------------------------------- #
+class TestRegistry:
+    def test_stochastic_families_are_registered(self):
+        names = available_scenarios()
+        assert "markov" in names
+        assert "random-burst" in names
+        assert "trace" in names
+
+    def test_build_markov_and_random_burst(self):
+        markov = build_scenario("markov", 1e-6)
+        bursts = build_scenario("random-burst", 1e-6)
+        assert isinstance(markov, MarkovModulatedScenario)
+        assert isinstance(bursts, RandomBurstScenario)
+        assert markov.is_stochastic and bursts.is_stochastic
+        assert markov.describe() and bursts.describe()

@@ -88,9 +88,18 @@ class TestFingerprint:
     def test_captures_version_schema_and_registries(self) -> None:
         fingerprint = code_fingerprint()
         assert fingerprint["package_version"]
-        assert fingerprint["key_schema"] == 1
+        assert fingerprint["key_schema"] == 2
         assert "adpcm-encode" in fingerprint["registries"]["apps"]
         assert "hybrid-optimal" in fingerprint["registries"]["strategies"]
+        assert "markov" in fingerprint["registries"]["scenarios"]
+
+    def test_captures_factory_defaults(self) -> None:
+        # A spec that omits strategy_params inherits the factory defaults,
+        # so those defaults are part of the result identity.
+        defaults = code_fingerprint()["factory_defaults"]
+        assert defaults["strategies"]["hybrid-estimating"]["estimator"] == repr("bayes")
+        assert "prior_rate_factor" in defaults["strategies"]["hybrid-estimating"]
+        assert "level_factors" in defaults["scenarios"]["markov"]
 
     def test_digest_is_stable_within_a_process(self) -> None:
         assert fingerprint_digest() == fingerprint_digest()
@@ -104,6 +113,22 @@ class TestFingerprint:
             "available_applications",
             lambda: ["some-new-benchmark"],
         )
+        assert fingerprint_digest() != baseline
+
+    def test_default_edit_moves_the_digest(self, monkeypatch) -> None:
+        # Same registry names, different factory default — the exact edit
+        # name-only fingerprints would miss, serving stale cached numbers.
+        import repro.api.registry as api_registry
+
+        baseline = fingerprint_digest()
+        names_before = api_registry.available_strategies()
+        original = api_registry._STRATEGIES["hybrid-estimating"]
+
+        def retuned(app, constraints, *, window_cycles=123_456, **params):
+            return original(app, constraints, window_cycles=window_cycles, **params)
+
+        monkeypatch.setitem(api_registry._STRATEGIES, "hybrid-estimating", retuned)
+        assert api_registry.available_strategies() == names_before
         assert fingerprint_digest() != baseline
 
 
